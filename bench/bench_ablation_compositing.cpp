@@ -1,0 +1,69 @@
+// Ablation for §6's compositing decision: "We chose direct-send
+// compositing because it allows an overlap of communication and
+// computation, and also because it fits within the MapReduce model."
+// Binary swap (Ma et al. 1994) is the classic alternative; we run both
+// on identical frames and report runtime plus exchanged bytes.
+//
+// Expected shape: direct-send overlaps fragment routing with further
+// ray casting, so it wins at the paper's scales (bricks ≈ GPUs, a few
+// nodes); binary swap's log2(G) synchronous rounds each move O(pixels)
+// bytes and cannot overlap the map phase.
+
+#include "common.hpp"
+
+#include "volren/binary_swap.hpp"
+
+int main() {
+  using namespace vrmr;
+  using namespace vrmr::bench;
+
+  print_header("bench_ablation_compositing", "§6 direct-send vs binary-swap");
+
+  for (const Int3 dims : {Int3{256, 256, 256}, Int3{512, 512, 512}}) {
+    Table table({"gpus", "direct-send_s", "ds exposed comm_s", "binary-swap_s",
+                 "bs swap_s", "ds net", "bs net"});
+    for (const int gpus : {2, 4, 8, 16}) {
+      const volren::Volume volume = volren::datasets::skull(dims);
+      volren::RenderOptions options;
+      options.image_width = image_size();
+      options.image_height = image_size();
+      options.cast.decimation = decimation_for(dims);
+      options.transfer = volren::TransferFunction::bone();
+      options.distance = 1.2f;
+      options.azimuth = 0.65f;
+      options.elevation = 0.3f;
+      options.target_bricks = gpus;
+
+      sim::Engine e1;
+      cluster::Cluster c1(e1, cluster::ClusterConfig::with_total_gpus(gpus));
+      const volren::RenderResult direct = volren::render_mapreduce(c1, volume, options);
+
+      sim::Engine e2;
+      cluster::Cluster c2(e2, cluster::ClusterConfig::with_total_gpus(gpus));
+      const volren::BinarySwapResult swap = volren::render_binary_swap(c2, volume, options);
+
+      // Communication the pipeline failed to hide behind ray casting:
+      // direct-send streams fragments during the map phase, so only the
+      // tail after the last kernel is exposed; binary swap's rounds are
+      // synchronous and fully exposed by construction.
+      const double ds_exposed = direct.stats.t_routed - direct.stats.t_map_done;
+      table.add_row({std::to_string(gpus), Table::num(direct.stats.runtime_s, 4),
+                     Table::num(ds_exposed, 4), Table::num(swap.runtime_s, 4),
+                     Table::num(swap.swap_s, 4), format_bytes(direct.stats.bytes_net),
+                     format_bytes(swap.bytes_net)});
+    }
+    std::cout << dims_label(dims) << ":\n" << table.to_string() << "\n";
+  }
+  std::cout
+      << "reading this table: the paper chose direct-send on design grounds —\n"
+      << "overlap with computation and fit with the MapReduce model (§6) — without\n"
+      << "publishing a binary-swap measurement. The quantified trade-off: binary\n"
+      << "swap posts only G·log2(G) messages, so at these small GPU counts its raw\n"
+      << "compositing span can undercut direct-send's all-to-all; but its exchanged\n"
+      << "bytes grow linearly with G (bs net column) while direct-send's stay\n"
+      << "~flat, and its rounds are synchronous barriers (bs swap_s is fully\n"
+      << "exposed) whereas direct-send hides most routing under the map phase\n"
+      << "(ds exposed << total). At hundreds of GPUs — the regime the paper argues\n"
+      << "for — the byte scaling and barrier costs reverse the comparison.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Ablation for §3.1.1's design decision: "Partitioning is done in a
+// per-pixel round-robin fashion. This is, empirically, the
+// highest-performing method." We sweep the three distributions the
+// paper weighed (round-robin / striped / tiled) and report both runtime
+// and the load-balance spread across reducers that explains it:
+// round-robin deals every pixel run evenly, striped and tiled leave
+// whole reducers idle when the volume's footprint misses their bands.
+
+#include "common.hpp"
+
+int main() {
+  using namespace vrmr;
+  using namespace vrmr::bench;
+
+  print_header("bench_ablation_partition",
+               "§3.1.1 partition-strategy decision (round-robin wins)");
+
+  const std::vector<std::pair<std::string, mr::PartitionStrategy>> strategies = {
+      {"round-robin", mr::PartitionStrategy::PixelRoundRobin},
+      {"striped", mr::PartitionStrategy::Striped},
+      {"tiled", mr::PartitionStrategy::Tiled},
+  };
+
+  for (const Int3 dims : {Int3{256, 256, 256}, Int3{512, 512, 512}}) {
+    Table table({"strategy", "gpus", "total_s", "sort+reduce_s", "max/mean reducer load",
+                 "idle reducers"});
+    for (const auto& [name, strategy] : strategies) {
+      for (const int gpus : {8, 16}) {
+        volren::RenderOptions options;
+        options.partition = strategy;
+        const volren::RenderResult r = run_point({"skull", dims, gpus}, options);
+
+        // Load balance across reducers.
+        std::uint64_t max_load = 0, total_load = 0;
+        int idle = 0;
+        for (const auto& red : r.stats.per_reducer) {
+          max_load = std::max(max_load, red.pairs_in);
+          total_load += red.pairs_in;
+          if (red.pairs_in == 0) ++idle;
+        }
+        const double mean_load =
+            static_cast<double>(total_load) / std::max<size_t>(1, r.stats.per_reducer.size());
+        table.add_row({name, std::to_string(gpus), Table::num(r.stats.runtime_s, 4),
+                       Table::num(r.stats.stage.sort_s + r.stats.stage.reduce_s, 4),
+                       Table::num(static_cast<double>(max_load) / std::max(1.0, mean_load), 2),
+                       std::to_string(idle)});
+      }
+    }
+    std::cout << dims_label(dims) << ":\n" << table.to_string() << "\n";
+  }
+  std::cout
+      << "expected: round-robin's max/mean stays ~1.0 (perfect balance, the paper's\n"
+      << "stated reason for choosing it); striped/tiled leave reducers idle and skew\n"
+      << "sort+reduce onto a subset.\n"
+      << "\n"
+      << "deviation (see EXPERIMENTS.md): on *total* time our fabric model can favor\n"
+      << "the sparse strategies at high GPU counts — they simply post fewer\n"
+      << "(mapper, reducer) messages, and the calibrated per-message software cost\n"
+      << "dominates at these fragment volumes. The paper's measured round-robin\n"
+      << "advantage came from load balance on its real 2010 MPI stack, an effect\n"
+      << "that outweighs message count only when fragment volume is much larger\n"
+      << "than the bricks≈GPUs configurations produce. At the paper's 8-GPU sweet\n"
+      << "spot the three strategies agree to ~15% here, with round-robin's balance\n"
+      << "metrics exactly as the paper describes.\n";
+  return 0;
+}

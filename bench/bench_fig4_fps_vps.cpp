@@ -1,0 +1,59 @@
+// Figure 4: frames/second (left panel) and million voxels/second
+// (right panel) versus GPU count for every volume size, plus the
+// 512x512x2048 Plume (§5). Qualitative shapes to reproduce:
+//   * FPS rises with GPUs up to the ≈8-GPU sweet spot, then falls off
+//     as direct-send communication grows;
+//   * VPS rises steeply with volume size (the paper's headline scaling
+//     argument): a bigger volume amortizes fixed pipeline costs;
+//   * the 1024³ volume reaches the highest absolute VPS.
+
+#include "common.hpp"
+
+int main() {
+  using namespace vrmr;
+  using namespace vrmr::bench;
+
+  print_header("bench_fig4_fps_vps", "Fig. 4 (FPS and VPS vs GPU count)");
+
+  struct Series {
+    std::string dataset;
+    Int3 dims;
+  };
+  const std::vector<Series> series = {{"skull", {128, 128, 128}},
+                                      {"skull", {256, 256, 256}},
+                                      {"skull", {512, 512, 512}},
+                                      {"skull", {1024, 1024, 1024}},
+                                      {"plume", {512, 512, 2048}}};
+  const std::vector<int> gpu_counts = {1, 2, 4, 8, 16, 32};
+
+  Table fps({"volume", "g=1", "g=2", "g=4", "g=8", "g=16", "g=32"});
+  Table vps({"volume", "g=1", "g=2", "g=4", "g=8", "g=16", "g=32"});
+  for (const Series& s : series) {
+    std::vector<std::string> fps_row{dims_label(s.dims)};
+    std::vector<std::string> vps_row{dims_label(s.dims)};
+    // 1024^3 floats leave no VRAM headroom on one device (paper: the
+      // 1024^3 series starts at 2 GPUs).
+      const bool too_big_for_one = s.dims.volume() * 4 >= (4LL << 30);
+    for (const int gpus : gpu_counts) {
+      if (gpus == 1 && too_big_for_one) {
+        fps_row.push_back("-");
+        vps_row.push_back("-");
+        continue;
+      }
+      const volren::RenderResult r = run_point({s.dataset, s.dims, gpus});
+      fps_row.push_back(Table::num(r.fps(), 2));
+      vps_row.push_back(Table::num(r.mvps(), 0));
+    }
+    fps.add_row(fps_row);
+    vps.add_row(vps_row);
+  }
+
+  std::cout << "Frames per second (Fig. 4 left):\n" << fps.to_string() << "\n";
+  std::cout << "Million voxels per second (Fig. 4 right):\n" << vps.to_string() << "\n";
+  maybe_print_csv("fig4_fps", fps);
+  maybe_print_csv("fig4_vps", vps);
+  std::cout << "Reference point (paper footnote 1): ParaView reaches 346 MVPS on 512\n"
+               "processes; the paper's 16 GPUs more than double it — compare the\n"
+               "1024^3 row at g=16 above and see bench_vs_cpu_baseline.\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+#pragma once
+
+// Shared harness for the figure-reproduction benches.
+//
+// Scale: by default every bench runs the paper's exact evaluation
+// geometry — 512² images (§5) and logical volumes up to 1024³ — with
+// the functional sampling loop decimated per DESIGN.md §2 (stored proxy
+// grids, every logical step charged to the simulated clock). Set
+// VRMR_FAST=1 to drop to 256² images for quicker iteration; the bench
+// header lines record whichever scale was used.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "sim/engine.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+#include "volren/datasets.hpp"
+#include "volren/renderer.hpp"
+
+namespace vrmr::bench {
+
+inline bool fast_mode() {
+  const char* env = std::getenv("VRMR_FAST");
+  return env != nullptr && env[0] == '1';
+}
+
+/// VRMR_CSV=1: figure benches also emit machine-readable CSV blocks
+/// (for regenerating the plots).
+inline bool csv_mode() {
+  const char* env = std::getenv("VRMR_CSV");
+  return env != nullptr && env[0] == '1';
+}
+
+inline void maybe_print_csv(const std::string& name, const Table& table) {
+  if (!csv_mode()) return;
+  std::cout << "--- csv: " << name << " ---\n" << table.to_csv() << "--- end csv ---\n";
+}
+
+inline int image_size() { return fast_mode() ? 256 : 512; }
+
+/// Functional decimation for a logical volume: exact up to 128³, then
+/// proportional (1024³ -> stride 8). Cost accounting always uses the
+/// logical resolution.
+inline int decimation_for(Int3 dims) {
+  const int max_dim = std::max({dims.x, dims.y, dims.z});
+  return std::max(1, max_dim / 128);
+}
+
+struct SweepPoint {
+  std::string dataset;
+  Int3 dims;
+  int gpus = 1;
+};
+
+inline std::string dims_label(Int3 d) {
+  if (d.x == d.y && d.y == d.z) return std::to_string(d.x) + "^3";
+  return std::to_string(d.x) + "x" + std::to_string(d.y) + "x" + std::to_string(d.z);
+}
+
+/// Render one sweep point on a fresh simulated cluster with the paper's
+/// configuration (bone TF for skull, fire otherwise; bricks ≈ GPUs).
+inline volren::RenderResult run_point(const SweepPoint& point,
+                                      volren::RenderOptions options = {}) {
+  const volren::Volume volume = volren::datasets::by_name(point.dataset, point.dims);
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterConfig::with_total_gpus(point.gpus));
+
+  options.image_width = image_size();
+  options.image_height = image_size();
+  options.cast.decimation = decimation_for(point.dims);
+  options.transfer = point.dataset == "skull" ? volren::TransferFunction::bone()
+                                              : volren::TransferFunction::fire();
+  // Frame the volume like the paper's teaser renders: close enough to
+  // fill most of the image.
+  options.distance = 1.2f;
+  options.azimuth = 0.65f;
+  options.elevation = 0.3f;
+  // At least two bricks whenever one would overflow VRAM (1024³ floats
+  // exceed a 4 GiB device once the ghost shell is added).
+  // A staged brick must fit VRAM alongside the mapper's static data
+  // (transfer-function texture, output slots) — leave headroom.
+  const std::uint64_t vram_budget = cluster.config().hw.gpu.vram_bytes - (64u << 20);
+  options.target_bricks = point.gpus;
+  while (true) {
+    const Int3 brick_dims = volren::BrickLayout::choose_brick_dims(
+        point.dims, options.target_bricks);
+    const Int3 padded{std::min(point.dims.x, brick_dims.x + 2),
+                      std::min(point.dims.y, brick_dims.y + 2),
+                      std::min(point.dims.z, brick_dims.z + 2)};
+    if (static_cast<std::uint64_t>(padded.volume()) * sizeof(float) <= vram_budget) {
+      break;
+    }
+    options.target_bricks *= 2;
+  }
+  return volren::render_mapreduce(cluster, volume, options);
+}
+
+inline void print_header(const std::string& bench, const std::string& figure) {
+  std::cout << "=== " << bench << " — reproduces " << figure << " ===\n"
+            << "image " << image_size() << "x" << image_size()
+            << (fast_mode() ? " (VRMR_FAST)" : " (paper scale)")
+            << "; times are simulated seconds on the calibrated NCSA "
+               "Accelerator Cluster model (DESIGN.md §5)\n\n";
+}
+
+}  // namespace vrmr::bench

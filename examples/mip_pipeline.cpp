@@ -1,0 +1,172 @@
+// Pluggability demo (paper §6.1): "If the user wished to use splatting
+// or slicing instead of ray casting, the map phase is all that would
+// need to be changed." Here we swap the map kernel for maximum-
+// intensity projection (MIP) and the reducer for a max-merge — the
+// partition and sort stages are reused untouched.
+//
+//   $ ./examples/mip_pipeline [out.ppm]
+
+#include <atomic>
+#include <iostream>
+#include <limits>
+
+#include "cluster/cluster.hpp"
+#include "mr/job.hpp"
+#include "sim/engine.hpp"
+#include "util/units.hpp"
+#include "volren/datasets.hpp"
+#include "volren/marching.hpp"
+#include "volren/renderer.hpp"
+
+namespace {
+
+using namespace vrmr;
+
+/// Per-brick maximum intensity along the ray. 8-byte homogeneous value.
+struct MipValue {
+  float intensity;
+  float depth;
+};
+static_assert(sizeof(MipValue) == 8);
+
+/// Custom mapper: same staging/launch skeleton as RayCastMapper, but
+/// the per-thread program keeps a running max instead of compositing.
+class MipMapper final : public mr::Mapper {
+ public:
+  MipMapper(const volren::Volume& volume, volren::FrameSetup frame)
+      : volume_(&volume), frame_(std::move(frame)) {}
+
+  mr::MapOutcome map(gpusim::Device& device, const mr::Chunk& chunk,
+                     mr::KvBuffer& out) override {
+    const auto& brick_chunk = dynamic_cast<const volren::BrickChunk&>(chunk);
+    const volren::BrickInfo& brick = brick_chunk.info();
+    const volren::Camera& camera = frame_.camera;
+
+    const volren::PixelRect rect = camera.project_box(brick.world_box);
+    if (rect.empty()) return {};
+
+    Int3 stored;
+    const std::vector<float> voxels =
+        volume_->materialize(brick.padded_origin, brick.padded_dims, 1, &stored);
+    gpusim::Texture3D texture(device, stored, brick.device_bytes());
+    texture.upload(voxels);
+
+    const Int3 block{16, 16, 1};
+    const Int3 grid{ceil_div(rect.width(), 16), ceil_div(rect.height(), 16), 1};
+    const std::int64_t row = static_cast<std::int64_t>(grid.x) * 16;
+    const std::int64_t threads = row * grid.y * 16;
+    std::vector<std::uint32_t> keys(static_cast<size_t>(threads), mr::kPlaceholderKey);
+    std::vector<MipValue> values(static_cast<size_t>(threads));
+
+    const Aabb volume_box = volume_->world_box();
+    const Vec3 dims_f = to_vec3(volume_->dims());
+    const Vec3 extent = volume_->world_extent();
+    const float dt = frame_.cast.step_size(*volume_);
+    const Vec3 origin_f = to_vec3(brick.padded_origin);
+    std::atomic<std::uint64_t> samples{0};
+
+    device.launch_2d(grid, block, [&](const gpusim::ThreadCtx& ctx) {
+      const int px = rect.x0 + ctx.global_x();
+      const int py = rect.y0 + ctx.global_y();
+      const size_t slot = static_cast<size_t>(ctx.global_y()) * row + ctx.global_x();
+      if (px >= rect.x1 || py >= rect.y1) return;
+      const Ray ray = camera.pixel_ray(px, py);
+      float v0, v1, te, tx;
+      if (!volume_box.intersect(ray, 0.0f, std::numeric_limits<float>::max(), &v0, &v1))
+        return;
+      if (!brick.world_box.intersect(ray, v0, v1, &te, &tx)) return;
+
+      float best = 0.0f;
+      float best_t = te;
+      std::uint64_t n = 0;
+      for (float t = te + 0.5f * dt; t < tx; t += dt, ++n) {
+        const Vec3 gv = (ray.at(t) / extent) * dims_f;
+        const float s = texture.sample(gv - origin_f);
+        if (s > best) {
+          best = s;
+          best_t = t;
+        }
+      }
+      samples.fetch_add(n, std::memory_order_relaxed);
+      if (best > 0.0f) {
+        keys[slot] = static_cast<std::uint32_t>(py) * camera.width() + px;
+        values[slot] = MipValue{best, best_t};
+      }
+    });
+
+    out.append_bulk(keys, values.data());
+    return {samples.load(), static_cast<std::uint64_t>(threads)};
+  }
+
+ private:
+  const volren::Volume* volume_;
+  volren::FrameSetup frame_;
+};
+
+/// Custom reducer: max over the per-brick maxima — order-independent,
+/// so no depth sort is needed at all.
+class MaxReducer final : public mr::Reducer {
+ public:
+  explicit MaxReducer(std::vector<volren::FinishedPixel>* out) : out_(out) {}
+  void reduce(std::uint32_t key, const std::byte* values, std::size_t count) override {
+    float best = 0.0f;
+    for (std::size_t i = 0; i < count; ++i) {
+      MipValue v;
+      std::memcpy(&v, values + i * sizeof(MipValue), sizeof(v));
+      best = std::max(best, v.intensity);
+    }
+    out_->push_back({key, Vec3{best, best, best}});
+  }
+
+ private:
+  std::vector<volren::FinishedPixel>* out_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "mip.ppm";
+
+  const volren::Volume volume = volren::datasets::supernova({96, 96, 96});
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterConfig::with_total_gpus(4));
+
+  volren::RenderOptions options;
+  options.image_width = 384;
+  options.image_height = 384;
+  const volren::FrameSetup frame = volren::make_frame(volume, options);
+
+  mr::JobConfig config;
+  config.value_size = sizeof(MipValue);
+  config.domain.num_keys = 384 * 384;
+  config.domain.image_width = 384;
+
+  mr::Job job(cluster, config);
+  job.set_mapper_factory([&](int, gpusim::Device&) {
+    return std::make_unique<MipMapper>(volume, frame);
+  });
+  std::vector<std::vector<volren::FinishedPixel>> pieces(
+      static_cast<size_t>(cluster.total_gpus()));
+  job.set_reducer_factory([&](int r) {
+    return std::make_unique<MaxReducer>(&pieces[static_cast<size_t>(r)]);
+  });
+
+  const volren::BrickLayout layout(volume.dims(), volume.world_extent(),
+                                   volren::BrickLayout::choose_brick_size(volume.dims(), 4),
+                                   1);
+  for (const volren::BrickInfo& info : layout.bricks()) {
+    job.add_chunk(std::make_unique<volren::BrickChunk>(volume, info));
+  }
+
+  const mr::JobStats stats = job.run();
+  const volren::Image image = volren::stitch_image(384, 384, Vec3{0, 0, 0}, pieces);
+  image.write_ppm(out_path);
+
+  std::cout << "MIP render of " << volume.name() << " via the same MapReduce pipeline\n"
+            << "  frame time: " << format_seconds(stats.runtime_s) << "\n"
+            << "  fragments:  " << stats.fragments << "\n"
+            << "  only the Mapper and Reducer were swapped — partition and\n"
+            << "  sort stages are the stock library code (paper §6.1).\n"
+            << "image written to " << out_path << "\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+#pragma once
+
+// Static description of a simulated GPU, plus its analytic cost model.
+//
+// Defaults model a Tesla C1060-class device (the per-GPU slice of the
+// Tesla S1070 boards in the paper's NCSA Accelerator Cluster): 4 GiB of
+// VRAM, 30 SMs, ~100 GB/s device memory, and a sustained trilinear
+// texture-sampling rate calibrated so that the paper's §6.3 anchor
+// (1024³ map compute ≈ 503 ms on 8 GPUs) is reproduced.
+
+#include <cstdint>
+#include <string>
+
+namespace vrmr::gpusim {
+
+struct DeviceProps {
+  std::string name = "SimTesla C1060";
+
+  /// Device memory capacity. The MapReduce restriction "any single map
+  /// task must fit in GPU main memory" (§3.1.1) is enforced against it.
+  std::uint64_t vram_bytes = 4ULL * 1024 * 1024 * 1024;
+
+  /// Number of streaming multiprocessors (informational; block-level
+  /// parallel execution uses the host pool regardless).
+  int multiprocessors = 30;
+
+  /// Sustained ray-casting throughput: trilinear 3-D texture fetch +
+  /// 1-D transfer-function lookup + compositing arithmetic, per second.
+  double sample_rate_per_s = 1.4e9;
+
+  /// Fixed kernel launch overhead (driver + grid setup).
+  double kernel_launch_overhead_s = 40e-6;
+
+  /// Device-memory bandwidth; charged for kv-pair compaction on device.
+  double mem_bandwidth_Bps = 100e9;
+
+  // --- cost model --------------------------------------------------------
+
+  /// Simulated duration of a map kernel that takes `samples` volume
+  /// samples and writes `bytes_out` of key-value pairs to device memory.
+  double kernel_time(std::uint64_t samples, std::uint64_t bytes_out = 0) const {
+    return kernel_launch_overhead_s +
+           static_cast<double>(samples) / sample_rate_per_s +
+           static_cast<double>(bytes_out) / mem_bandwidth_Bps;
+  }
+};
+
+}  // namespace vrmr::gpusim

@@ -1,0 +1,153 @@
+#include "io/brick_file.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace vrmr::io {
+
+namespace {
+
+template <typename T>
+void write_pod(std::ofstream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::ifstream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return v;
+}
+
+void write_record(std::ofstream& out, const BrickRecord& r) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(r.grid_pos.x));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(r.grid_pos.y));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(r.grid_pos.z));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(r.padded_dims.x));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(r.padded_dims.y));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(r.padded_dims.z));
+  write_pod<std::uint64_t>(out, r.offset);
+  write_pod<std::uint64_t>(out, r.bytes);
+}
+
+BrickRecord read_record(std::ifstream& in) {
+  BrickRecord r;
+  r.grid_pos.x = static_cast<int>(read_pod<std::uint32_t>(in));
+  r.grid_pos.y = static_cast<int>(read_pod<std::uint32_t>(in));
+  r.grid_pos.z = static_cast<int>(read_pod<std::uint32_t>(in));
+  r.padded_dims.x = static_cast<int>(read_pod<std::uint32_t>(in));
+  r.padded_dims.y = static_cast<int>(read_pod<std::uint32_t>(in));
+  r.padded_dims.z = static_cast<int>(read_pod<std::uint32_t>(in));
+  r.offset = read_pod<std::uint64_t>(in);
+  r.bytes = read_pod<std::uint64_t>(in);
+  return r;
+}
+
+std::uint64_t directory_bytes(int num_bricks) {
+  // 6 * u32 + 2 * u64 per record.
+  return static_cast<std::uint64_t>(num_bricks) * (6 * 4 + 2 * 8);
+}
+
+constexpr std::uint64_t kFixedHeaderBytes = 4u * 8;  // 8 u32 fields
+
+}  // namespace
+
+BrickFileWriter::BrickFileWriter(const std::filesystem::path& path, Int3 volume_dims,
+                                 int brick_size, int ghost, int num_bricks)
+    : out_(path, std::ios::binary | std::ios::trunc), expected_bricks_(num_bricks) {
+  VRMR_CHECK_MSG(out_.good(), "cannot open " << path << " for writing");
+  VRMR_CHECK(volume_dims.x > 0 && volume_dims.y > 0 && volume_dims.z > 0);
+  VRMR_CHECK(brick_size > 0 && ghost >= 0 && num_bricks > 0);
+  header_.volume_dims = volume_dims;
+  header_.brick_size = brick_size;
+  header_.ghost = ghost;
+
+  // Reserve header + directory space; rewritten by finalize().
+  write_pod<std::uint32_t>(out_, kBrickFileMagic);
+  write_pod<std::uint32_t>(out_, kBrickFileVersion);
+  write_pod<std::uint32_t>(out_, static_cast<std::uint32_t>(volume_dims.x));
+  write_pod<std::uint32_t>(out_, static_cast<std::uint32_t>(volume_dims.y));
+  write_pod<std::uint32_t>(out_, static_cast<std::uint32_t>(volume_dims.z));
+  write_pod<std::uint32_t>(out_, static_cast<std::uint32_t>(brick_size));
+  write_pod<std::uint32_t>(out_, static_cast<std::uint32_t>(ghost));
+  write_pod<std::uint32_t>(out_, static_cast<std::uint32_t>(num_bricks));
+  const std::vector<char> zeros(directory_bytes(num_bricks), 0);
+  out_.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+}
+
+BrickFileWriter::~BrickFileWriter() {
+  if (!finalized_ && out_.is_open()) {
+    // Best effort: leave a valid file even if the caller forgot.
+    try {
+      finalize();
+    } catch (...) {
+      // Destructor must not throw.
+    }
+  }
+}
+
+void BrickFileWriter::append_brick(Int3 grid_pos, Int3 padded_dims,
+                                   const std::vector<float>& voxels) {
+  VRMR_CHECK_MSG(!finalized_, "append after finalize");
+  VRMR_CHECK_MSG(static_cast<std::int64_t>(voxels.size()) == padded_dims.volume(),
+                 "payload " << voxels.size() << " voxels != dims " << padded_dims);
+  VRMR_CHECK_MSG(static_cast<int>(header_.bricks.size()) < expected_bricks_,
+                 "more bricks than declared (" << expected_bricks_ << ")");
+  BrickRecord rec;
+  rec.grid_pos = grid_pos;
+  rec.padded_dims = padded_dims;
+  rec.offset = static_cast<std::uint64_t>(out_.tellp());
+  rec.bytes = voxels.size() * sizeof(float);
+  out_.write(reinterpret_cast<const char*>(voxels.data()),
+             static_cast<std::streamsize>(rec.bytes));
+  VRMR_CHECK_MSG(out_.good(), "short write");
+  header_.bricks.push_back(rec);
+}
+
+void BrickFileWriter::finalize() {
+  VRMR_CHECK_MSG(!finalized_, "finalize called twice");
+  VRMR_CHECK_MSG(static_cast<int>(header_.bricks.size()) == expected_bricks_,
+                 "wrote " << header_.bricks.size() << " of " << expected_bricks_
+                          << " declared bricks");
+  out_.seekp(static_cast<std::streamoff>(kFixedHeaderBytes));
+  for (const auto& rec : header_.bricks) write_record(out_, rec);
+  VRMR_CHECK_MSG(out_.good(), "directory rewrite failed");
+  out_.close();
+  finalized_ = true;
+}
+
+BrickFileReader::BrickFileReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  VRMR_CHECK_MSG(in_.good(), "cannot open " << path);
+  const auto magic = read_pod<std::uint32_t>(in_);
+  VRMR_CHECK_MSG(magic == kBrickFileMagic, "bad magic 0x" << std::hex << magic);
+  const auto version = read_pod<std::uint32_t>(in_);
+  VRMR_CHECK_MSG(version == kBrickFileVersion, "unsupported version " << version);
+  header_.volume_dims.x = static_cast<int>(read_pod<std::uint32_t>(in_));
+  header_.volume_dims.y = static_cast<int>(read_pod<std::uint32_t>(in_));
+  header_.volume_dims.z = static_cast<int>(read_pod<std::uint32_t>(in_));
+  header_.brick_size = static_cast<int>(read_pod<std::uint32_t>(in_));
+  header_.ghost = static_cast<int>(read_pod<std::uint32_t>(in_));
+  const auto count = read_pod<std::uint32_t>(in_);
+  header_.bricks.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) header_.bricks.push_back(read_record(in_));
+  VRMR_CHECK_MSG(in_.good(), "truncated directory");
+}
+
+const BrickRecord& BrickFileReader::record(int index) const {
+  VRMR_CHECK_MSG(index >= 0 && index < num_bricks(), "brick index " << index
+                                                                    << " out of range");
+  return header_.bricks[static_cast<size_t>(index)];
+}
+
+std::vector<float> BrickFileReader::read_brick(int index) {
+  const BrickRecord& rec = record(index);
+  std::vector<float> voxels(rec.bytes / sizeof(float));
+  in_.seekg(static_cast<std::streamoff>(rec.offset));
+  in_.read(reinterpret_cast<char*>(voxels.data()), static_cast<std::streamsize>(rec.bytes));
+  VRMR_CHECK_MSG(in_.good(), "short read for brick " << index);
+  return voxels;
+}
+
+}  // namespace vrmr::io

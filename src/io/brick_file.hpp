@@ -1,0 +1,88 @@
+#pragma once
+
+// On-disk bricked-volume file format ("VRBF").
+//
+// The paper bricks volumes offline and streams bricks to mappers;
+// bricking time is excluded from its measurements (§5). This format is
+// the offline artifact: a self-describing header, a brick directory
+// (grid position, padded dims, byte offset/size per brick), then raw
+// little-endian float voxel payloads. Random access to any brick is a
+// single directory lookup plus one contiguous read — which is what the
+// out-of-core streamer exploits.
+//
+// Layout (all integers little-endian):
+//   u32 magic 'VRBF' (0x46425256)   u32 version (1)
+//   u32 dims.x dims.y dims.z        u32 brick_size (core voxels/side)
+//   u32 ghost                       u32 num_bricks
+//   num_bricks × BrickRecord { u32 grid.x,y,z; u32 dims.x,y,z; u64 offset; u64 bytes }
+//   payload...
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/vec.hpp"
+
+namespace vrmr::io {
+
+inline constexpr std::uint32_t kBrickFileMagic = 0x46425256u;  // "VRBF"
+inline constexpr std::uint32_t kBrickFileVersion = 1;
+
+struct BrickRecord {
+  Int3 grid_pos;        // brick coordinates within the brick grid
+  Int3 padded_dims;     // stored voxels incl. ghost shell (edge-clamped)
+  std::uint64_t offset = 0;  // absolute file offset of the payload
+  std::uint64_t bytes = 0;   // payload size (padded_dims.volume()*4)
+};
+
+struct BrickFileHeader {
+  Int3 volume_dims;
+  int brick_size = 0;  // core voxels per side
+  int ghost = 0;
+  std::vector<BrickRecord> bricks;
+};
+
+/// Streams bricks into a VRBF file. Usage: construct, append_brick for
+/// every brick (any order), finalize (writes the directory).
+class BrickFileWriter {
+ public:
+  BrickFileWriter(const std::filesystem::path& path, Int3 volume_dims, int brick_size,
+                  int ghost, int num_bricks);
+  ~BrickFileWriter();
+
+  BrickFileWriter(const BrickFileWriter&) = delete;
+  BrickFileWriter& operator=(const BrickFileWriter&) = delete;
+
+  void append_brick(Int3 grid_pos, Int3 padded_dims, const std::vector<float>& voxels);
+
+  /// Rewrites the directory with final offsets and closes the file.
+  void finalize();
+
+ private:
+  std::ofstream out_;
+  BrickFileHeader header_;
+  int expected_bricks_;
+  bool finalized_ = false;
+};
+
+/// Random-access reader over a VRBF file.
+class BrickFileReader {
+ public:
+  explicit BrickFileReader(const std::filesystem::path& path);
+
+  const BrickFileHeader& header() const { return header_; }
+  int num_bricks() const { return static_cast<int>(header_.bricks.size()); }
+
+  /// Reads brick `index`'s voxel payload.
+  std::vector<float> read_brick(int index);
+
+  const BrickRecord& record(int index) const;
+
+ private:
+  std::ifstream in_;
+  BrickFileHeader header_;
+};
+
+}  // namespace vrmr::io

@@ -1,0 +1,63 @@
+#include "io/brick_streamer.hpp"
+
+namespace vrmr::io {
+
+BrickStreamer::BrickStreamer(BrickFileReader& reader, std::vector<int> schedule,
+                             int window)
+    : reader_(reader), schedule_(std::move(schedule)), window_(window) {
+  VRMR_CHECK_MSG(window >= 1, "window must be positive");
+  for (int id : schedule_) {
+    VRMR_CHECK_MSG(id >= 0 && id < reader_.num_bricks(),
+                   "scheduled brick " << id << " not in file");
+  }
+  fill_window();
+}
+
+void BrickStreamer::load(int brick) {
+  if (cache_.count(brick)) return;  // already resident (repeat in schedule)
+  if (static_cast<int>(cache_.size()) >= window_) {
+    const int victim = residency_order_.front();
+    residency_order_.pop_front();
+    cache_.erase(victim);
+  }
+  std::vector<float> voxels = reader_.read_brick(brick);
+  ++reads_;
+  bytes_read_ += voxels.size() * sizeof(float);
+  residency_order_.push_back(brick);
+  cache_.emplace(brick, std::move(voxels));
+}
+
+void BrickStreamer::fill_window() {
+  // Prefetch ahead of the consumer until the window is full or the
+  // schedule ends.
+  while (prefetch_cursor_ < schedule_.size() &&
+         static_cast<int>(cache_.size()) < window_) {
+    load(schedule_[prefetch_cursor_]);
+    ++prefetch_cursor_;
+  }
+}
+
+std::vector<float> BrickStreamer::consume() {
+  VRMR_CHECK_MSG(!done(), "stream exhausted");
+  const int brick = schedule_[cursor_];
+  if (!cache_.count(brick)) load(brick);  // prefetch miss (repeat entry)
+  ++cursor_;
+  if (prefetch_cursor_ < cursor_) prefetch_cursor_ = cursor_;
+
+  // Hand the payload to the consumer and retire it from the window.
+  auto it = cache_.find(brick);
+  VRMR_CHECK(it != cache_.end());
+  std::vector<float> voxels = std::move(it->second);
+  cache_.erase(it);
+  for (auto order = residency_order_.begin(); order != residency_order_.end(); ++order) {
+    if (*order == brick) {
+      residency_order_.erase(order);
+      break;
+    }
+  }
+
+  fill_window();
+  return voxels;
+}
+
+}  // namespace vrmr::io

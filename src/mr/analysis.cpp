@@ -1,0 +1,32 @@
+#include "mr/analysis.hpp"
+
+#include <algorithm>
+
+namespace vrmr::mr {
+
+SpeedOfLight speed_of_light(const JobStats& stats, const cluster::ClusterConfig& config) {
+  SpeedOfLight sol;
+  const auto& hw = config.hw;
+  const double gpus = std::max(1, stats.num_gpus);
+  const double nodes = std::max(1, stats.num_nodes);
+  const double cores = nodes * std::max(1, hw.cpu.cores);
+
+  sol.map_compute_s =
+      static_cast<double>(stats.total_samples) / (gpus * hw.gpu.sample_rate_per_s);
+  sol.h2d_s = static_cast<double>(stats.bytes_h2d) / (nodes * hw.pcie.bandwidth_Bps);
+  sol.d2h_s = static_cast<double>(stats.bytes_d2h) / (nodes * hw.pcie.bandwidth_Bps);
+  sol.net_s =
+      static_cast<double>(stats.bytes_net_inter) / (nodes * hw.fabric.bandwidth_Bps);
+  const double pairs = static_cast<double>(stats.fragments);
+  sol.sort_s = pairs / (cores * hw.cpu.sort_rate_pairs_per_s);
+  sol.reduce_s = pairs / (cores * hw.cpu.reduce_rate_frags_per_s);
+  sol.disk_s = static_cast<double>(stats.bytes_disk) / (nodes * hw.disk.bandwidth_Bps);
+
+  sol.pipelined_bound_s = std::max({sol.map_compute_s, sol.h2d_s, sol.d2h_s, sol.net_s,
+                                    sol.sort_s, sol.reduce_s});
+  sol.serial_bound_s =
+      sol.map_compute_s + sol.h2d_s + sol.d2h_s + sol.net_s + sol.sort_s + sol.reduce_s;
+  return sol;
+}
+
+}  // namespace vrmr::mr

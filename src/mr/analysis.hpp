@@ -1,0 +1,37 @@
+#pragma once
+
+// "Speed-of-light" analysis (paper §6.3): the theoretical floor for each
+// pipeline activity assuming perfect overlap and zero contention, used
+// to show "that we come very close to achieving those" peaks. Disk time
+// is reported separately and excluded from the bound, exactly as the
+// paper excludes disk from its speed-of-light calculations.
+
+#include "cluster/cluster.hpp"
+#include "mr/stats.hpp"
+
+namespace vrmr::mr {
+
+struct SpeedOfLight {
+  double map_compute_s = 0.0;  // samples / aggregate GPU sample rate
+  double h2d_s = 0.0;          // staged bytes / aggregate PCIe bandwidth
+  double d2h_s = 0.0;          // emitted bytes / aggregate PCIe bandwidth
+  double net_s = 0.0;          // inter-node bytes / aggregate NIC bandwidth
+  double sort_s = 0.0;         // pairs / aggregate CPU sort rate
+  double reduce_s = 0.0;       // fragments / aggregate CPU reduce rate
+  double disk_s = 0.0;         // informational, excluded from bounds
+
+  /// Lower bound with perfect overlap: the slowest single activity.
+  double pipelined_bound_s = 0.0;
+  /// Lower bound with zero overlap: the serial sum.
+  double serial_bound_s = 0.0;
+
+  /// achieved / bound efficiency in (0, 1]; closeness to 1 is the
+  /// paper's "computation is no longer the limiting factor" argument.
+  double efficiency(double achieved_s) const {
+    return achieved_s > 0.0 ? pipelined_bound_s / achieved_s : 0.0;
+  }
+};
+
+SpeedOfLight speed_of_light(const JobStats& stats, const cluster::ClusterConfig& config);
+
+}  // namespace vrmr::mr

@@ -1,0 +1,30 @@
+#pragma once
+
+// A Chunk is "a collection of work to be mapped" (§3.1.2) — for the
+// volume renderer, one brick of the volume. The MapReduce runtime only
+// needs three things from a chunk: how much GPU memory staging it
+// requires (to enforce the fit-in-VRAM restriction and to charge the
+// H2D copy), how many bytes the node's disk must deliver (out-of-core
+// mode), and a human-readable label. Everything else is between the
+// concrete chunk type and the mapper that consumes it.
+
+#include <cstdint>
+#include <string>
+
+namespace vrmr::mr {
+
+class Chunk {
+ public:
+  virtual ~Chunk() = default;
+
+  /// GPU memory required to stage this chunk (texture + working set).
+  virtual std::uint64_t device_bytes() const = 0;
+
+  /// Bytes read from disk when the job runs out-of-core. Defaults to
+  /// the staged size (raw voxel payload).
+  virtual std::uint64_t disk_bytes() const { return device_bytes(); }
+
+  virtual std::string label() const { return "chunk"; }
+};
+
+}  // namespace vrmr::mr

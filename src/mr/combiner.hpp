@@ -1,0 +1,40 @@
+#pragma once
+
+// Optional combiner (mapper-side partial reduce).
+//
+// The paper *omitted* this stage: "we specifically omitted partial
+// reduce/combine because it didn't increase performance for our volume
+// renderer" (§3.1). We implement it anyway so that decision can be
+// reproduced quantitatively (bench_ablation_combiner): a combiner only
+// pays off when a mapper emits many pairs per key — volume rendering
+// with bricks ≈ GPUs emits roughly one fragment per (pixel, mapper), so
+// there is nothing to combine, while histogram-style jobs collapse
+// thousands of pairs per key and benefit enormously.
+//
+// Semantics: when a send buffer flushes, its pairs are grouped by key
+// (stable counting sort) and each group is passed to the combiner,
+// which emits replacement pairs into the outgoing buffer. Combining
+// must be a *local* reduction: correct only if the reducer's final
+// reduction is insensitive to pre-aggregation of same-mapper values
+// (commutative/associative reductions such as sums, maxima, counts —
+// or depth-ordered compositing when one mapper's fragments are
+// depth-contiguous per pixel).
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mr/kv_buffer.hpp"
+
+namespace vrmr::mr {
+
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+
+  /// Combine one key group (`count` values, contiguous at `values`)
+  /// into zero or more replacement pairs appended to `out`.
+  virtual void combine(std::uint32_t key, const std::byte* values, std::size_t count,
+                       KvBuffer& out) = 0;
+};
+
+}  // namespace vrmr::mr

@@ -1,0 +1,86 @@
+#include "mr/partitioner.hpp"
+
+namespace vrmr::mr {
+
+const char* to_string(PartitionStrategy s) {
+  switch (s) {
+    case PartitionStrategy::PixelRoundRobin: return "round-robin";
+    case PartitionStrategy::Striped: return "striped";
+    case PartitionStrategy::Tiled: return "tiled";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Paper §3.1.1: "Partitioning is done in a per-pixel round-robin
+/// fashion ... A modulo is sufficient."
+class RoundRobinPartitioner final : public Partitioner {
+ public:
+  explicit RoundRobinPartitioner(int parts) : Partitioner(parts) {}
+  int owner(std::uint32_t key) const override {
+    return static_cast<int>(key % static_cast<std::uint32_t>(num_partitions()));
+  }
+};
+
+/// Contiguous key ranges: reducer r owns [r*n/R, (r+1)*n/R). For pixel
+/// keys this is horizontal scanline bands — the "striped" distribution.
+class StripedPartitioner final : public Partitioner {
+ public:
+  StripedPartitioner(int parts, std::uint32_t num_keys)
+      : Partitioner(parts), num_keys_(num_keys) {
+    VRMR_CHECK_MSG(num_keys > 0, "striped partitioning needs the key count");
+  }
+  int owner(std::uint32_t key) const override {
+    VRMR_DCHECK(key < num_keys_);
+    const auto r = static_cast<std::uint64_t>(key) *
+                   static_cast<std::uint64_t>(num_partitions()) / num_keys_;
+    return static_cast<int>(r);
+  }
+
+ private:
+  std::uint32_t num_keys_;
+};
+
+/// 2-D screen tiles dealt round-robin to reducers ("tiled" /
+/// "checkerboard" family). Needs the image width to recover (x, y).
+class TiledPartitioner final : public Partitioner {
+ public:
+  TiledPartitioner(int parts, std::uint32_t width, std::uint32_t tile)
+      : Partitioner(parts), width_(width), tile_(tile) {
+    VRMR_CHECK_MSG(width > 0, "tiled partitioning needs image width");
+    VRMR_CHECK(tile > 0);
+    tiles_x_ = (width + tile - 1) / tile;
+  }
+  int owner(std::uint32_t key) const override {
+    const std::uint32_t x = key % width_;
+    const std::uint32_t y = key / width_;
+    const std::uint32_t tile_id = (y / tile_) * tiles_x_ + (x / tile_);
+    return static_cast<int>(tile_id % static_cast<std::uint32_t>(num_partitions()));
+  }
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t tile_;
+  std::uint32_t tiles_x_;
+};
+
+}  // namespace
+
+std::unique_ptr<Partitioner> make_partitioner(PartitionStrategy strategy,
+                                              const PartitionDomain& domain,
+                                              int num_partitions) {
+  switch (strategy) {
+    case PartitionStrategy::PixelRoundRobin:
+      return std::make_unique<RoundRobinPartitioner>(num_partitions);
+    case PartitionStrategy::Striped:
+      return std::make_unique<StripedPartitioner>(num_partitions, domain.num_keys);
+    case PartitionStrategy::Tiled:
+      return std::make_unique<TiledPartitioner>(num_partitions, domain.image_width,
+                                                domain.tile_size);
+  }
+  VRMR_CHECK_MSG(false, "unknown partition strategy");
+  return nullptr;
+}
+
+}  // namespace vrmr::mr

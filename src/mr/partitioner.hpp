@@ -1,0 +1,57 @@
+#pragma once
+
+// Partitioning of the dense key domain across reducer processes.
+//
+// The paper (§3.1.1) uses per-pixel round-robin — "a modulo is
+// sufficient to determine the reducer to which a key-value pair must be
+// sent" — and reports it as empirically the highest-performing
+// distribution. We implement it plus the two alternatives the paper
+// weighed for direct-send compositing (§6: "checkerboard, tiled, or
+// striped distribution") so the ablation bench can compare them.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace vrmr::mr {
+
+enum class PartitionStrategy {
+  PixelRoundRobin,  // owner = key % R                   (paper's choice)
+  Striped,          // contiguous key ranges (scanline bands)
+  Tiled,            // 2-D screen tiles dealt round-robin
+};
+
+const char* to_string(PartitionStrategy s);
+
+/// Facts about the key domain the partitioner may exploit. Keys are
+/// pixel indices y*width + x (§3.1.2), dense in [0, num_keys).
+struct PartitionDomain {
+  std::uint32_t num_keys = 0;
+  std::uint32_t image_width = 0;   // 0 when keys are not pixels
+  std::uint32_t tile_size = 32;    // Tiled strategy tile edge
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  explicit Partitioner(int num_partitions) : num_partitions_(num_partitions) {
+    VRMR_CHECK(num_partitions >= 1);
+  }
+
+  int num_partitions() const { return num_partitions_; }
+
+  /// Which reducer owns `key`. Must be pure and total on the domain.
+  virtual int owner(std::uint32_t key) const = 0;
+
+ private:
+  int num_partitions_;
+};
+
+std::unique_ptr<Partitioner> make_partitioner(PartitionStrategy strategy,
+                                              const PartitionDomain& domain,
+                                              int num_partitions);
+
+}  // namespace vrmr::mr

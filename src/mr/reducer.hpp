@@ -1,0 +1,38 @@
+#pragma once
+
+// The Reducer interface (§3.1.2). After the counting sort, each reducer
+// iterates its key groups: for the volume renderer, one group is every
+// ray fragment that landed on one pixel; the reduce depth-sorts them
+// and composites front-to-back.
+//
+// Reducers may run on CPU or GPU (the paper found the CPU faster at
+// their scales because of the per-pixel fragment sort); placement only
+// affects the simulated cost, the functional path is identical.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace vrmr::mr {
+
+enum class ReducePlacement { Cpu, Gpu };
+
+inline const char* to_string(ReducePlacement p) {
+  return p == ReducePlacement::Cpu ? "cpu" : "gpu";
+}
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  /// Called once before the first reduce() on this reducer process.
+  virtual void begin(int reducer_index) { (void)reducer_index; }
+
+  /// Reduce one key group: `count` homogeneous values of the job's
+  /// value_size, laid out contiguously starting at `values`.
+  virtual void reduce(std::uint32_t key, const std::byte* values, std::size_t count) = 0;
+
+  /// Called after the last reduce() on this reducer process.
+  virtual void end() {}
+};
+
+}  // namespace vrmr::mr

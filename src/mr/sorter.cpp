@@ -1,0 +1,68 @@
+#include "mr/sorter.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace vrmr::mr {
+
+const char* to_string(SortPlacement p) {
+  switch (p) {
+    case SortPlacement::Auto: return "auto";
+    case SortPlacement::Cpu: return "cpu";
+    case SortPlacement::Gpu: return "gpu";
+  }
+  return "?";
+}
+
+SortedGroups counting_sort(const KvBuffer& input, std::uint32_t key_lo,
+                           std::uint32_t key_hi) {
+  VRMR_CHECK_MSG(key_hi > key_lo, "empty key range");
+  const std::size_t n = input.size();
+  const std::size_t k = key_hi - key_lo;
+
+  SortedGroups out;
+  out.sorted = KvBuffer(input.value_size());
+  if (n == 0) return out;
+
+  // Histogram.
+  std::vector<std::uint32_t> counts(k, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t key = input.key(i);
+    VRMR_CHECK_MSG(key != kPlaceholderKey, "placeholder reached sort at index " << i);
+    VRMR_CHECK_MSG(key >= key_lo && key < key_hi,
+                   "key " << key << " outside [" << key_lo << ", " << key_hi << ")");
+    ++counts[key - key_lo];
+  }
+
+  // Exclusive prefix sum -> scatter positions; also build the group
+  // index over non-empty keys.
+  std::vector<std::uint32_t> positions(k);
+  std::uint32_t running = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    positions[c] = running;
+    if (counts[c] > 0) {
+      out.group_keys.push_back(key_lo + static_cast<std::uint32_t>(c));
+      out.group_offsets.push_back(running);
+    }
+    running += counts[c];
+  }
+  out.group_offsets.push_back(running);
+
+  // Stable scatter.
+  const std::uint32_t vs = input.value_size();
+  std::vector<std::uint32_t> sorted_keys(n);
+  std::vector<std::byte> sorted_values(n * vs);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t c = input.key(i) - key_lo;
+    const std::uint32_t pos = positions[c]++;
+    sorted_keys[pos] = input.key(i);
+    std::memcpy(sorted_values.data() + static_cast<std::size_t>(pos) * vs,
+                input.value(i), vs);
+  }
+
+  out.sorted.append_bulk(sorted_keys, sorted_values.data());
+  return out;
+}
+
+}  // namespace vrmr::mr

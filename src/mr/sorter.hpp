@@ -1,0 +1,42 @@
+#pragma once
+
+// The paper's θ(n) sort (§3.1.2): "a specialized counting sort on the
+// CPU or GPU (depending on the amount of data) ... since the library
+// knows the minimum and maximum keys for each node, as well as the
+// maximum number of keys".
+//
+// counting_sort produces a stable, key-grouped buffer plus a group
+// index so the reducer can iterate (key, values[]) runs without any
+// further comparisons. Stability matters: within one pixel the values
+// arrive in mapper order and the reducer's depth sort is the only
+// reordering allowed (keeps the pipeline deterministic).
+
+#include <cstdint>
+#include <vector>
+
+#include "mr/kv_buffer.hpp"
+
+namespace vrmr::mr {
+
+/// Where a sort executes; Auto picks the GPU above a pair-count
+/// threshold, mirroring the paper's "depending on the amount of data".
+enum class SortPlacement { Auto, Cpu, Gpu };
+
+const char* to_string(SortPlacement p);
+
+/// Key-grouped output of a counting sort.
+struct SortedGroups {
+  KvBuffer sorted;                       // pairs ordered by key, stable
+  std::vector<std::uint32_t> group_keys; // distinct keys, ascending
+  std::vector<std::uint32_t> group_offsets;  // size()+1 prefix: group g is
+                                             // sorted[offsets[g], offsets[g+1])
+  std::size_t num_groups() const { return group_keys.size(); }
+};
+
+/// Stable counting sort of `input` whose keys all lie in [key_lo,
+/// key_hi). Placeholder keys are not allowed here — the partition phase
+/// must have dropped them. θ(n + k) time, θ(n + k) space.
+SortedGroups counting_sort(const KvBuffer& input, std::uint32_t key_lo,
+                           std::uint32_t key_hi);
+
+}  // namespace vrmr::mr

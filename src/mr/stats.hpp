@@ -1,0 +1,84 @@
+#pragma once
+
+// Per-job statistics. The StageBreakdown mirrors Figure 3's legend
+// exactly (Map, Partition + I/O, Sort, Reduce); the raw counters and
+// busy times feed the §6.3 bottleneck analysis bench.
+
+#include <cstdint>
+#include <vector>
+
+namespace vrmr::mr {
+
+/// Wall(-simulated)-time attribution matching the paper's Fig. 3 bars.
+///
+///   map_s          — mean per-GPU ray-cast kernel time (compute share;
+///                    the quantity §6.3 calls "computation")
+///   sort_s         — span of the global sort phase
+///   reduce_s       — span of the global reduce phase
+///   partition_io_s — everything else on the critical path: disk reads,
+///                    H2D/D2H copies, partition CPU, network routing and
+///                    the idle waits they induce (the quantity §6.3
+///                    calls "communication")
+///
+/// The four components sum to total_s by construction.
+struct StageBreakdown {
+  double map_s = 0.0;
+  double partition_io_s = 0.0;
+  double sort_s = 0.0;
+  double reduce_s = 0.0;
+  double total_s = 0.0;
+};
+
+struct GpuTaskStats {
+  int chunks = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t threads = 0;
+  std::uint64_t pairs = 0;         // emitted pairs incl. placeholders
+  std::uint64_t placeholders = 0;
+  double kernel_s = 0.0;           // simulated kernel busy time
+};
+
+struct ReducerTaskStats {
+  std::uint64_t pairs_in = 0;      // fragments routed to this reducer
+  std::uint64_t groups = 0;        // distinct keys reduced
+  bool sorted_on_gpu = false;
+};
+
+struct JobStats {
+  StageBreakdown stage;
+  double runtime_s = 0.0;          // == stage.total_s
+
+  // Phase boundaries (simulated seconds from job start).
+  double t_map_done = 0.0;         // last map kernel completed
+  double t_routed = 0.0;           // last fragment delivered to a reducer
+  double t_sorted = 0.0;           // last sort completed
+
+  // Dataflow counters.
+  std::uint64_t fragments = 0;     // non-placeholder pairs routed
+  std::uint64_t placeholders = 0;
+  std::uint64_t total_samples = 0; // volume samples charged to GPUs
+  std::uint64_t combine_input_pairs = 0;   // pairs entering combiners
+  std::uint64_t combine_output_pairs = 0;  // pairs surviving combiners
+  std::uint64_t bytes_disk = 0;
+  std::uint64_t bytes_h2d = 0;
+  std::uint64_t bytes_d2h = 0;
+  std::uint64_t bytes_net = 0;        // all routed bytes
+  std::uint64_t bytes_net_inter = 0;  // inter-node portion
+  std::uint64_t net_messages = 0;
+
+  // Resource busy-time integrals over the job (summed over instances).
+  double gpu_busy_s = 0.0;
+  double pcie_busy_s = 0.0;
+  double nic_busy_s = 0.0;
+  double disk_busy_s = 0.0;
+  double cpu_busy_s = 0.0;
+
+  std::vector<GpuTaskStats> per_gpu;
+  std::vector<ReducerTaskStats> per_reducer;
+
+  int num_gpus = 0;
+  int num_nodes = 0;
+  int num_chunks = 0;
+};
+
+}  // namespace vrmr::mr

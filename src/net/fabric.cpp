@@ -1,0 +1,69 @@
+#include "net/fabric.hpp"
+
+#include <array>
+
+#include "util/check.hpp"
+
+namespace vrmr::net {
+
+Fabric::Fabric(sim::Engine& engine, FabricModel model, int num_nodes)
+    : engine_(&engine), model_(model) {
+  VRMR_CHECK(num_nodes >= 1);
+  VRMR_CHECK(model.bandwidth_Bps > 0 && model.intra_node_bandwidth_Bps > 0);
+  tx_.reserve(static_cast<size_t>(num_nodes));
+  rx_.reserve(static_cast<size_t>(num_nodes));
+  for (int n = 0; n < num_nodes; ++n) {
+    tx_.push_back(std::make_unique<sim::Resource>(engine, "nic_tx[" + std::to_string(n) + "]"));
+    rx_.push_back(std::make_unique<sim::Resource>(engine, "nic_rx[" + std::to_string(n) + "]"));
+  }
+}
+
+void Fabric::send(int src_node, int dst_node, std::uint64_t bytes,
+                  std::function<void()> on_delivered) {
+  VRMR_CHECK(src_node >= 0 && src_node < num_nodes());
+  VRMR_CHECK(dst_node >= 0 && dst_node < num_nodes());
+  ++messages_;
+  total_bytes_ += bytes;
+
+  if (src_node == dst_node) {
+    const double dt = model_.intra_node_latency_s +
+                      static_cast<double>(bytes) / model_.intra_node_bandwidth_Bps;
+    engine_->schedule_after(dt, [cb = std::move(on_delivered)] {
+      if (cb) cb();
+    });
+    return;
+  }
+
+  inter_node_bytes_ += bytes;
+  const double serialize = model_.per_message_overhead_s +
+                           static_cast<double>(bytes) / model_.bandwidth_Bps;
+  const std::array<sim::Resource*, 2> ports = {tx_[static_cast<size_t>(src_node)].get(),
+                                               rx_[static_cast<size_t>(dst_node)].get()};
+  const double latency = model_.latency_s;
+  sim::Resource::acquire_multi(
+      ports, serialize,
+      [this, latency, cb = std::move(on_delivered)](sim::SimTime, sim::SimTime) {
+        engine_->schedule_after(latency, [cb2 = std::move(cb)] {
+          if (cb2) cb2();
+        });
+      });
+}
+
+double Fabric::ideal_transfer_time(int src_node, int dst_node, std::uint64_t bytes) const {
+  if (src_node == dst_node) {
+    return model_.intra_node_latency_s +
+           static_cast<double>(bytes) / model_.intra_node_bandwidth_Bps;
+  }
+  return model_.per_message_overhead_s + model_.latency_s +
+         static_cast<double>(bytes) / model_.bandwidth_Bps;
+}
+
+void Fabric::reset_accounting() {
+  total_bytes_ = 0;
+  inter_node_bytes_ = 0;
+  messages_ = 0;
+  for (auto& r : tx_) r->reset_accounting();
+  for (auto& r : rx_) r->reset_accounting();
+}
+
+}  // namespace vrmr::net

@@ -1,0 +1,74 @@
+#pragma once
+
+// Simulated cluster interconnect.
+//
+// Models the paper's QDR InfiniBand with a classic alpha-beta cost:
+// a message of n bytes from node s to node d occupies s's transmit port
+// and d's receive port for n/beta seconds (both must be free before the
+// transfer starts; ports are serial FIFO resources), then arrives after
+// an additional wire latency alpha. Per-NIC serialization is what makes
+// direct-send's all-to-all fragment exchange the dominant cost at high
+// GPU counts — the crossover behaviour of Fig. 3.
+//
+// Intra-node "sends" (mapper and reducer on the same node) bypass the
+// NIC and are charged at host-memcpy bandwidth without port contention,
+// matching the paper's observation that same-node routing is cheap.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace vrmr::net {
+
+struct FabricModel {
+  /// One-way wire latency (QDR InfiniBand ~ a few microseconds).
+  double latency_s = 5e-6;
+  /// Effective per-port bandwidth (QDR 4x ≈ 32 Gbit/s ≈ 3.2 GB/s usable).
+  double bandwidth_Bps = 3.2e9;
+  /// Host memcpy path for same-node transfers.
+  double intra_node_bandwidth_Bps = 5.0e9;
+  double intra_node_latency_s = 1e-6;
+  /// Fixed per-message software overhead charged on the sender port.
+  double per_message_overhead_s = 2e-6;
+};
+
+class Fabric {
+ public:
+  Fabric(sim::Engine& engine, FabricModel model, int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(tx_.size()); }
+  const FabricModel& model() const { return model_; }
+
+  /// Transfer `bytes` from src_node to dst_node; `on_delivered` fires at
+  /// the simulated time the last byte reaches the destination.
+  void send(int src_node, int dst_node, std::uint64_t bytes,
+            std::function<void()> on_delivered);
+
+  /// Serialization + latency for one message, ignoring contention
+  /// (the "speed-of-light" per-message time used in §6.3 analysis).
+  double ideal_transfer_time(int src_node, int dst_node, std::uint64_t bytes) const;
+
+  // --- accounting ---------------------------------------------------------
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t inter_node_bytes() const { return inter_node_bytes_; }
+  std::uint64_t messages() const { return messages_; }
+  sim::Resource& tx(int node) { return *tx_.at(static_cast<size_t>(node)); }
+  sim::Resource& rx(int node) { return *rx_.at(static_cast<size_t>(node)); }
+
+  void reset_accounting();
+
+ private:
+  sim::Engine* engine_;
+  FabricModel model_;
+  std::vector<std::unique_ptr<sim::Resource>> tx_;
+  std::vector<std::unique_ptr<sim::Resource>> rx_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t inter_node_bytes_ = 0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace vrmr::net

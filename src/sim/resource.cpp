@@ -1,0 +1,81 @@
+#include "sim/resource.hpp"
+
+namespace vrmr::sim {
+
+void Resource::charge(SimTime start, SimTime end, SimTime arrived) {
+  busy_ += end - start;
+  const SimTime waited = start - arrived;
+  wait_ += waited;
+  wait_stats_.add(waited);
+  ++jobs_;
+}
+
+void Resource::acquire(SimTime duration, Completion on_complete) {
+  VRMR_CHECK_MSG(duration >= 0.0, "negative duration " << duration);
+  const SimTime arrived = engine_->now();
+  const SimTime start = std::max(arrived, free_at_);
+  const SimTime end = start + duration;
+  free_at_ = end;
+  charge(start, end, arrived);
+  if (on_complete) {
+    engine_->schedule_at(end, [start, end, cb = std::move(on_complete)] { cb(start, end); });
+  }
+}
+
+void Resource::acquire_multi(std::span<Resource* const> resources, SimTime duration,
+                             Completion on_complete) {
+  VRMR_CHECK(!resources.empty());
+  VRMR_CHECK(duration >= 0.0);
+  Engine& engine = *resources.front()->engine_;
+  const SimTime arrived = engine.now();
+  SimTime start = arrived;
+  for (Resource* r : resources) {
+    VRMR_CHECK_MSG(r->engine_ == &engine, "resources belong to different engines");
+    start = std::max(start, r->free_at_);
+  }
+  const SimTime end = start + duration;
+  for (Resource* r : resources) {
+    r->free_at_ = end;
+    r->charge(start, end, arrived);
+  }
+  if (on_complete) {
+    engine.schedule_at(end, [start, end, cb = std::move(on_complete)] { cb(start, end); });
+  }
+}
+
+void Resource::reset_accounting() {
+  busy_ = 0.0;
+  wait_ = 0.0;
+  jobs_ = 0;
+  wait_stats_.reset();
+}
+
+ResourcePool::ResourcePool(Engine& engine, const std::string& name, int servers) {
+  VRMR_CHECK(servers >= 1);
+  servers_.reserve(static_cast<size_t>(servers));
+  for (int i = 0; i < servers; ++i) {
+    servers_.emplace_back(engine, name + "[" + std::to_string(i) + "]");
+  }
+}
+
+void ResourcePool::acquire(SimTime duration, Completion on_complete) {
+  Resource* best = &servers_.front();
+  for (auto& s : servers_) {
+    if (s.free_at() < best->free_at()) best = &s;
+  }
+  best->acquire(duration, std::move(on_complete));
+}
+
+SimTime ResourcePool::busy_time() const {
+  SimTime total = 0.0;
+  for (const auto& s : servers_) total += s.busy_time();
+  return total;
+}
+
+std::uint64_t ResourcePool::jobs() const {
+  std::uint64_t total = 0;
+  for (const auto& s : servers_) total += s.jobs();
+  return total;
+}
+
+}  // namespace vrmr::sim

@@ -1,0 +1,62 @@
+#pragma once
+
+// Runtime checking macros.
+//
+// VRMR_CHECK       - always-on invariant check; throws vrmr::CheckError.
+// VRMR_CHECK_MSG   - same, with a user-supplied explanatory message.
+// VRMR_DCHECK      - debug-only check (compiled out in NDEBUG builds).
+//
+// The library throws rather than aborts so that tests can assert on
+// misuse (e.g. the MapReduce restrictions of paper section 3.1.1) and so
+// that example programs can print actionable diagnostics.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace vrmr {
+
+/// Error thrown when a VRMR_CHECK fails. Carries the failed expression,
+/// source location and optional message.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace detail
+}  // namespace vrmr
+
+#define VRMR_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::vrmr::detail::check_failed(#expr, __FILE__, __LINE__, "");    \
+    }                                                                 \
+  } while (false)
+
+#define VRMR_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream vrmr_check_os_;                              \
+      vrmr_check_os_ << msg;                                          \
+      ::vrmr::detail::check_failed(#expr, __FILE__, __LINE__,         \
+                                   vrmr_check_os_.str());             \
+    }                                                                 \
+  } while (false)
+
+#ifdef NDEBUG
+#define VRMR_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define VRMR_DCHECK(expr) VRMR_CHECK(expr)
+#endif

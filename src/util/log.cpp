@@ -1,0 +1,36 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace vrmr {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  if (!enabled(level)) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostream& os = level >= LogLevel::Warn ? std::cerr : std::clog;
+  os << "[" << level_name(level) << "] [" << component << "] " << message << "\n";
+}
+
+}  // namespace vrmr

@@ -1,0 +1,61 @@
+#pragma once
+
+// Minimal leveled, thread-safe logger. Quiet by default (Warn) so tests
+// and benches stay readable; examples raise the level explicitly.
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace vrmr {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& component, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mutex_;
+};
+
+namespace detail {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component) : level_(level), component_(component) {}
+  ~LogLine() { Logger::instance().write(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace vrmr
+
+#define VRMR_LOG(level, component)                          \
+  if (!::vrmr::Logger::instance().enabled(level)) {         \
+  } else                                                    \
+    ::vrmr::detail::LogLine(level, component)
+
+#define VRMR_TRACE(component) VRMR_LOG(::vrmr::LogLevel::Trace, component)
+#define VRMR_DEBUG(component) VRMR_LOG(::vrmr::LogLevel::Debug, component)
+#define VRMR_INFO(component) VRMR_LOG(::vrmr::LogLevel::Info, component)
+#define VRMR_WARN(component) VRMR_LOG(::vrmr::LogLevel::Warn, component)
+#define VRMR_ERROR(component) VRMR_LOG(::vrmr::LogLevel::Error, component)

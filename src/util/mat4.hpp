@@ -1,0 +1,171 @@
+#pragma once
+
+// 4x4 matrix used for camera transforms (view, projection, inverses).
+// Row-major storage; vectors are treated as columns (m * v).
+
+#include <array>
+#include <cmath>
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/vec.hpp"
+
+namespace vrmr {
+
+struct Mat4 {
+  // m[row][col], row-major.
+  std::array<std::array<float, 4>, 4> m{};
+
+  constexpr Mat4() = default;
+
+  static constexpr Mat4 identity() {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) r.m[i][i] = 1.0f;
+    return r;
+  }
+
+  static constexpr Mat4 zero() { return Mat4{}; }
+
+  float& at(int r, int c) { return m[r][c]; }
+  constexpr float at(int r, int c) const { return m[r][c]; }
+
+  friend Mat4 operator*(const Mat4& a, const Mat4& b) {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        float s = 0.0f;
+        for (int k = 0; k < 4; ++k) s += a.m[i][k] * b.m[k][j];
+        r.m[i][j] = s;
+      }
+    }
+    return r;
+  }
+
+  friend constexpr bool operator==(const Mat4& a, const Mat4& b) { return a.m == b.m; }
+
+  /// Transform a point (w = 1) with perspective divide.
+  Vec3 transform_point(Vec3 p) const {
+    const float x = m[0][0] * p.x + m[0][1] * p.y + m[0][2] * p.z + m[0][3];
+    const float y = m[1][0] * p.x + m[1][1] * p.y + m[1][2] * p.z + m[1][3];
+    const float z = m[2][0] * p.x + m[2][1] * p.y + m[2][2] * p.z + m[2][3];
+    const float w = m[3][0] * p.x + m[3][1] * p.y + m[3][2] * p.z + m[3][3];
+    if (w != 0.0f && w != 1.0f) return {x / w, y / w, z / w};
+    return {x, y, z};
+  }
+
+  /// Transform a direction (w = 0, no translation).
+  Vec3 transform_vector(Vec3 v) const {
+    return {m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z};
+  }
+
+  Mat4 transposed() const {
+    Mat4 r;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) r.m[i][j] = m[j][i];
+    return r;
+  }
+
+  static Mat4 translate(Vec3 t) {
+    Mat4 r = identity();
+    r.m[0][3] = t.x;
+    r.m[1][3] = t.y;
+    r.m[2][3] = t.z;
+    return r;
+  }
+
+  static Mat4 scale(Vec3 s) {
+    Mat4 r;
+    r.m[0][0] = s.x;
+    r.m[1][1] = s.y;
+    r.m[2][2] = s.z;
+    r.m[3][3] = 1.0f;
+    return r;
+  }
+
+  /// Rotation about an arbitrary axis (Rodrigues), angle in radians.
+  static Mat4 rotate(Vec3 axis, float angle) {
+    const Vec3 a = normalize(axis);
+    const float c = std::cos(angle);
+    const float s = std::sin(angle);
+    const float t = 1.0f - c;
+    Mat4 r = identity();
+    r.m[0][0] = c + a.x * a.x * t;
+    r.m[0][1] = a.x * a.y * t - a.z * s;
+    r.m[0][2] = a.x * a.z * t + a.y * s;
+    r.m[1][0] = a.y * a.x * t + a.z * s;
+    r.m[1][1] = c + a.y * a.y * t;
+    r.m[1][2] = a.y * a.z * t - a.x * s;
+    r.m[2][0] = a.z * a.x * t - a.y * s;
+    r.m[2][1] = a.z * a.y * t + a.x * s;
+    r.m[2][2] = c + a.z * a.z * t;
+    return r;
+  }
+
+  /// Right-handed look-at view matrix (world -> camera).
+  static Mat4 look_at(Vec3 eye, Vec3 target, Vec3 up) {
+    const Vec3 f = normalize(target - eye);   // forward
+    const Vec3 s = normalize(cross(f, up));   // right
+    const Vec3 u = cross(s, f);               // true up
+    Mat4 r = identity();
+    r.m[0][0] = s.x; r.m[0][1] = s.y; r.m[0][2] = s.z; r.m[0][3] = -dot(s, eye);
+    r.m[1][0] = u.x; r.m[1][1] = u.y; r.m[1][2] = u.z; r.m[1][3] = -dot(u, eye);
+    r.m[2][0] = -f.x; r.m[2][1] = -f.y; r.m[2][2] = -f.z; r.m[2][3] = dot(f, eye);
+    return r;
+  }
+
+  /// Right-handed perspective projection; fovy in radians, maps to
+  /// clip-space z in [-1, 1].
+  static Mat4 perspective(float fovy, float aspect, float znear, float zfar) {
+    VRMR_CHECK(fovy > 0.0f && aspect > 0.0f && znear > 0.0f && zfar > znear);
+    const float f = 1.0f / std::tan(fovy * 0.5f);
+    Mat4 r;
+    r.m[0][0] = f / aspect;
+    r.m[1][1] = f;
+    r.m[2][2] = (zfar + znear) / (znear - zfar);
+    r.m[2][3] = (2.0f * zfar * znear) / (znear - zfar);
+    r.m[3][2] = -1.0f;
+    return r;
+  }
+
+  /// General inverse by Gauss-Jordan elimination with partial pivoting.
+  /// Throws CheckError for singular matrices.
+  Mat4 inverse() const {
+    std::array<std::array<double, 8>, 4> a{};
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) a[i][j] = m[i][j];
+      a[i][4 + i] = 1.0;
+    }
+    for (int col = 0; col < 4; ++col) {
+      int pivot = col;
+      for (int r = col + 1; r < 4; ++r)
+        if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+      VRMR_CHECK_MSG(std::fabs(a[pivot][col]) > 1e-12, "singular matrix");
+      std::swap(a[col], a[pivot]);
+      const double inv = 1.0 / a[col][col];
+      for (int j = 0; j < 8; ++j) a[col][j] *= inv;
+      for (int r = 0; r < 4; ++r) {
+        if (r == col) continue;
+        const double f = a[r][col];
+        if (f == 0.0) continue;
+        for (int j = 0; j < 8; ++j) a[r][j] -= f * a[col][j];
+      }
+    }
+    Mat4 out;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j) out.m[i][j] = static_cast<float>(a[i][4 + j]);
+    return out;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Mat4& mt) {
+  for (int i = 0; i < 4; ++i) {
+    os << "[";
+    for (int j = 0; j < 4; ++j) os << mt.m[i][j] << (j == 3 ? "]" : ", ");
+    os << (i == 3 ? "" : "\n");
+  }
+  return os;
+}
+
+}  // namespace vrmr

@@ -1,0 +1,66 @@
+#pragma once
+
+// Streaming statistics (Welford) and fixed-width histograms, used for
+// per-stage timing accumulation and benchmark reporting.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace vrmr {
+
+/// Numerically stable streaming accumulator: count, mean, variance,
+/// min, max, sum.
+class StatAccumulator {
+ public:
+  void add(double x);
+  void merge(const StatAccumulator& other);
+  void reset();
+
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::max();
+  double max_ = std::numeric_limits<double>::lowest();
+};
+
+/// Percentile from an explicit sample set (linear interpolation between
+/// closest ranks). `p` in [0, 100]. Sorts a copy; intended for
+/// end-of-run reporting, not hot paths.
+double percentile(std::vector<double> samples, double p);
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so nothing is silently dropped.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  std::uint64_t bin_count(int i) const { return counts_.at(static_cast<size_t>(i)); }
+  int bins() const { return static_cast<int>(counts_.size()); }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(int i) const;
+  double bin_hi(int i) const;
+
+  /// Render an ASCII sparkline-style summary (for bench output).
+  std::string ascii(int width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace vrmr

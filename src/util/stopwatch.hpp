@@ -1,0 +1,28 @@
+#pragma once
+
+// Wall-clock stopwatch. Used only for host-side measurement (benchmark
+// harness overhead reporting); all *reported experiment times* come from
+// the simulated clock in vrmr::sim.
+
+#include <chrono>
+
+namespace vrmr {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace vrmr

@@ -1,0 +1,32 @@
+#pragma once
+
+// Aligned text tables + CSV output for the benchmark harness. Every
+// figure-reproduction bench prints one of these, matching the rows /
+// series of the paper's plots.
+
+#include <string>
+#include <vector>
+
+namespace vrmr {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  std::string to_string() const;
+  std::string to_csv() const;
+
+  size_t rows() const { return rows_.size(); }
+  size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vrmr

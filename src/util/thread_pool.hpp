@@ -1,0 +1,58 @@
+#pragma once
+
+// Fixed-size worker pool. Two uses in the reproduction:
+//   1. gpusim executes CUDA-style (grid x block) kernel launches by
+//      fanning blocks out over the pool (the "streaming multiprocessors").
+//   2. Host-side data-parallel helpers (counting sort, compositing).
+//
+// parallel_for is the primary interface; it blocks the caller until the
+// range completes, mirroring a synchronous kernel launch.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vrmr {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Run fn(i) for i in [begin, end), chunked by `grain`, blocking until
+  /// all iterations finish. Exceptions from fn propagate to the caller
+  /// (first one wins). Recursive calls from inside a worker execute the
+  /// range inline to avoid deadlock.
+  void parallel_for(std::int64_t begin, std::int64_t end,
+                    const std::function<void(std::int64_t)>& fn,
+                    std::int64_t grain = 1);
+
+  /// Process-wide shared pool (lazily constructed).
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+  };
+
+  void worker_loop();
+  bool on_worker_thread() const;
+
+  std::vector<std::thread> workers_;
+  std::deque<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace vrmr

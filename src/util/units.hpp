@@ -1,0 +1,59 @@
+#pragma once
+
+// Human-readable formatting of byte counts, rates and durations for the
+// benchmark harness output.
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace vrmr {
+
+inline std::string format_bytes(std::uint64_t bytes) {
+  constexpr const char* kUnits[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  std::ostringstream os;
+  os.precision(v < 10 ? 2 : (v < 100 ? 1 : 0));
+  os << std::fixed << v << " " << kUnits[u];
+  return os.str();
+}
+
+inline std::string format_seconds(double s) {
+  std::ostringstream os;
+  os << std::fixed;
+  if (s < 1e-6) {
+    os.precision(1);
+    os << s * 1e9 << " ns";
+  } else if (s < 1e-3) {
+    os.precision(2);
+    os << s * 1e6 << " us";
+  } else if (s < 1.0) {
+    os.precision(2);
+    os << s * 1e3 << " ms";
+  } else {
+    os.precision(3);
+    os << s << " s";
+  }
+  return os.str();
+}
+
+inline std::string format_rate(double per_second, const char* unit) {
+  constexpr const char* kPrefix[] = {"", "K", "M", "G", "T"};
+  double v = per_second;
+  int u = 0;
+  while (v >= 1000.0 && u < 4) {
+    v /= 1000.0;
+    ++u;
+  }
+  std::ostringstream os;
+  os.precision(v < 10 ? 2 : 1);
+  os << std::fixed << v << " " << kPrefix[u] << unit << "/s";
+  return os.str();
+}
+
+}  // namespace vrmr

@@ -1,0 +1,224 @@
+#include "volren/binary_swap.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "mr/sorter.hpp"
+#include "util/check.hpp"
+#include "volren/marching.hpp"
+
+namespace vrmr::volren {
+
+namespace {
+
+bool is_power_of_two(int v) { return v > 0 && (v & (v - 1)) == 0; }
+
+/// Per-GPU full-resolution partial image (premultiplied; transparent
+/// where no fragment landed).
+struct Partial {
+  std::vector<Rgba> pixels;
+};
+
+}  // namespace
+
+BinarySwapResult render_binary_swap(cluster::Cluster& cluster, const Volume& volume,
+                                    const RenderOptions& options) {
+  const int num_gpus = cluster.total_gpus();
+  VRMR_CHECK_MSG(is_power_of_two(num_gpus),
+                 "binary swap requires a power-of-two GPU count, got " << num_gpus);
+
+  const FrameSetup frame = make_frame(volume, options);
+  const int width = options.image_width;
+  const int height = options.image_height;
+  const std::int64_t total_pixels = static_cast<std::int64_t>(width) * height;
+
+  // --- view-sorted slab decomposition -------------------------------------
+  // One whole slab of bricks per GPU along the dominant view axis, so
+  // GPU rank order equals front-to-back visibility order (see header).
+  const Vec3 view = normalize(volume.world_box().center() - frame.camera.eye());
+  int axis = 0;
+  float best = std::fabs(view.x);
+  if (std::fabs(view.y) > best) { axis = 1; best = std::fabs(view.y); }
+  if (std::fabs(view.z) > best) { axis = 2; }
+  const bool positive = view[axis] >= 0.0f;
+
+  const int brick_size = std::max(2, ceil_div(volume.dims()[axis], num_gpus));
+  const BrickLayout layout(volume.dims(), volume.world_extent(), brick_size,
+                           options.ghost);
+  const Int3 grid = layout.grid_dims();
+  const int slabs = grid[axis];
+  VRMR_CHECK_MSG(slabs <= num_gpus, "slab count " << slabs << " exceeds GPU count");
+
+  // slab index (in view order) -> owning GPU rank.
+  std::vector<std::vector<int>> gpu_bricks(static_cast<size_t>(num_gpus));
+  for (const BrickInfo& info : layout.bricks()) {
+    const int slab = info.grid_pos[axis];
+    const int rank = positive ? slab : (slabs - 1 - slab);
+    gpu_bricks[static_cast<size_t>(rank)].push_back(info.id);
+  }
+
+  BinarySwapResult result;
+  std::vector<Partial> partials(static_cast<size_t>(num_gpus));
+  for (auto& p : partials) p.pixels.assign(static_cast<size_t>(total_pixels), Rgba{});
+
+  auto& engine = cluster.engine();
+  const double t0 = engine.now();
+  const auto& hw = cluster.config().hw;
+
+  // --- phase 1: local render + local composite ----------------------------
+  double t_map_end = t0;
+  {
+    sim::Join map_join(num_gpus, [&] { t_map_end = engine.now(); });
+    // Build per-GPU transfer textures once.
+    std::vector<std::unique_ptr<gpusim::Texture1D>> transfer_tex;
+    for (int g = 0; g < num_gpus; ++g) {
+      transfer_tex.push_back(
+          std::make_unique<gpusim::Texture1D>(cluster.gpu(g), 256));
+      transfer_tex.back()->upload(frame.transfer.bake(256));
+    }
+
+    for (int g = 0; g < num_gpus; ++g) {
+      const int node = cluster.node_of_gpu(g);
+      double ready_at = 0.0;  // accumulated via resource chaining below
+
+      // Render this GPU's bricks sequentially, then composite locally.
+      // We run the functional kernels up front (deterministic) and
+      // charge the modeled durations as one chain per GPU.
+      mr::KvBuffer pairs(sizeof(RayFragment));
+      double kernel_time = 0.0;
+      std::uint64_t h2d_bytes = 0;
+      std::uint64_t d2h_bytes = 0;
+      for (int brick_id : gpu_bricks[static_cast<size_t>(g)]) {
+        const BrickInfo& info = layout.brick(brick_id);
+        const BrickCastOutput cast =
+            cast_brick(cluster.gpu(g), volume, info, frame, *transfer_tex[static_cast<size_t>(g)]);
+        result.total_samples += cast.samples;
+        kernel_time += hw.gpu.kernel_time(
+            cast.samples,
+            cast.threads * (sizeof(std::uint32_t) + sizeof(RayFragment)));
+        h2d_bytes += info.device_bytes();
+        d2h_bytes += cast.threads * (sizeof(std::uint32_t) + sizeof(RayFragment));
+        for (std::size_t i = 0; i < cast.keys.size(); ++i) {
+          if (cast.keys[i] == mr::kPlaceholderKey) continue;
+          pairs.append(cast.keys[i], &cast.fragments[i]);
+        }
+      }
+      result.fragments += pairs.size();
+
+      // Local composite: group by pixel, depth-sort, front-to-back.
+      if (!pairs.empty()) {
+        const mr::SortedGroups groups = mr::counting_sort(
+            pairs, 0, static_cast<std::uint32_t>(total_pixels));
+        std::vector<RayFragment> scratch;
+        auto& out_pixels = partials[static_cast<size_t>(g)].pixels;
+        for (std::size_t gi = 0; gi < groups.num_groups(); ++gi) {
+          const std::uint32_t lo = groups.group_offsets[gi];
+          const std::uint32_t hi = groups.group_offsets[gi + 1];
+          scratch.resize(hi - lo);
+          std::memcpy(scratch.data(), groups.sorted.value(lo),
+                      static_cast<std::size_t>(hi - lo) * sizeof(RayFragment));
+          std::sort(scratch.begin(), scratch.end());
+          Rgba accum = Rgba::transparent();
+          for (const RayFragment& f : scratch) {
+            accum = composite_over(accum, f.color());
+            if (accum.a >= frame.cast.ert_threshold) break;
+          }
+          out_pixels[groups.group_keys[gi]] = accum;
+        }
+      }
+
+      // Charge the chain: H2D + kernels + D2H on GPU/PCIe, then the
+      // local composite on a CPU core.
+      (void)ready_at;
+      const double h2d = hw.pcie.transfer_time(h2d_bytes);
+      const double d2h = hw.pcie.transfer_time(d2h_bytes);
+      const double composite =
+          static_cast<double>(pairs.size()) / hw.cpu.reduce_rate_frags_per_s;
+      const std::array<sim::Resource*, 2> links = {&cluster.pcie(node),
+                                                   &cluster.gpu_stream(g)};
+      sim::Resource::acquire_multi(links, h2d, [&, g, node, kernel_time, d2h, composite](
+                                                   sim::SimTime, sim::SimTime) {
+        cluster.gpu_stream(g).acquire(kernel_time, [&, g, node, d2h, composite](
+                                                       sim::SimTime, sim::SimTime) {
+          const std::array<sim::Resource*, 2> back = {&cluster.pcie(node),
+                                                      &cluster.gpu_stream(g)};
+          sim::Resource::acquire_multi(back, d2h, [&, node, composite](sim::SimTime,
+                                                                       sim::SimTime) {
+            cluster.cpu(node).acquire(
+                composite, [&](sim::SimTime, sim::SimTime) { map_join.arrive(); });
+          });
+        });
+      });
+    }
+    engine.run();
+  }
+
+  // --- phase 2: swap rounds ------------------------------------------------
+  // Region owned by every GPU, halved each round. Lower rank is closer
+  // to the eye (slab order), so merges are rank-ordered 'over'.
+  struct Region {
+    std::int64_t lo, hi;
+  };
+  std::vector<Region> regions(static_cast<size_t>(num_gpus), Region{0, total_pixels});
+  const int rounds = num_gpus > 1 ? static_cast<int>(std::log2(num_gpus)) : 0;
+  result.rounds = rounds;
+
+  for (int r = 0; r < rounds; ++r) {
+    const int bit = 1 << r;
+    // Functional merge uses pre-round snapshots so the pair's two
+    // merges are symmetric.
+    std::vector<Partial> snapshot = partials;
+
+    int deliveries = 0;
+    sim::Join round_join(num_gpus, [] {});
+    for (int g = 0; g < num_gpus; ++g) {
+      const int partner = g ^ bit;
+      const Region reg = regions[static_cast<size_t>(g)];
+      const std::int64_t mid = (reg.lo + reg.hi) / 2;
+      const bool keep_low = (g & bit) == 0;
+      const Region kept = keep_low ? Region{reg.lo, mid} : Region{mid, reg.hi};
+      const std::uint64_t bytes =
+          static_cast<std::uint64_t>(keep_low ? reg.hi - mid : mid - reg.lo) *
+          sizeof(Rgba);
+      result.bytes_net += bytes;
+      ++deliveries;
+      cluster.fabric().send(cluster.node_of_gpu(g), cluster.node_of_gpu(partner), bytes,
+                            [&round_join] { round_join.arrive(); });
+
+      // Merge the partner's half of our kept region (their send) with
+      // ours, in rank order.
+      auto& mine = partials[static_cast<size_t>(g)].pixels;
+      const auto& theirs = snapshot[static_cast<size_t>(partner)].pixels;
+      for (std::int64_t i = kept.lo; i < kept.hi; ++i) {
+        const Rgba front = g < partner ? mine[static_cast<size_t>(i)]
+                                       : theirs[static_cast<size_t>(i)];
+        const Rgba back = g < partner ? theirs[static_cast<size_t>(i)]
+                                      : mine[static_cast<size_t>(i)];
+        mine[static_cast<size_t>(i)] = composite_over(front, back);
+      }
+      regions[static_cast<size_t>(g)] = kept;
+    }
+    VRMR_CHECK(deliveries == num_gpus);
+    engine.run();
+  }
+  const double t_end = engine.now();
+
+  result.map_s = t_map_end - t0;
+  result.swap_s = t_end - t_map_end;
+  result.runtime_s = t_end - t0;
+
+  // --- gather / stitch (untimed) -------------------------------------------
+  result.image = Image(width, height, options.background);
+  for (int g = 0; g < num_gpus; ++g) {
+    const Region reg = regions[static_cast<size_t>(g)];
+    const auto& pix = partials[static_cast<size_t>(g)].pixels;
+    for (std::int64_t i = reg.lo; i < reg.hi; ++i) {
+      result.image.at_index(static_cast<std::uint32_t>(i)) =
+          blend_background(pix[static_cast<size_t>(i)], options.background);
+    }
+  }
+  return result;
+}
+
+}  // namespace vrmr::volren

@@ -1,0 +1,51 @@
+#pragma once
+
+// Binary-swap compositing (Ma et al. 1994) — the alternative the paper
+// weighed against direct-send and rejected (§6: direct-send "allows an
+// overlap of communication and computation, and also ... fits within
+// the MapReduce model"). Implemented here so the ablation bench can
+// reproduce that design decision quantitatively.
+//
+// Differences from the MapReduce direct-send pipeline:
+//   * bricks are assigned to GPUs in view-sorted slabs so each GPU's
+//     partial image is depth-orderable against the others';
+//   * each GPU first composites its own fragments locally into a full
+//     partial image (no network), then runs log2(G) pairwise exchange
+//     rounds, each swapping half of the remaining region;
+//   * the final gather of the G disjoint regions is the stitch phase
+//     and is excluded from the timed pipeline, mirroring how the
+//     MapReduce path excludes stitching.
+//
+// Requires a power-of-two GPU count (the classic algorithm; the paper's
+// 2-3 swap reference [30] generalizes it, which we do not need for the
+// ablation sweep's 1..32 GPUs).
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "volren/image.hpp"
+#include "volren/renderer.hpp"
+#include "volren/volume.hpp"
+
+namespace vrmr::volren {
+
+struct BinarySwapResult {
+  Image image;
+  double runtime_s = 0.0;    // simulated: map span + swap rounds
+  double map_s = 0.0;        // span of local render + local composite
+  double swap_s = 0.0;       // span of the exchange rounds
+  int rounds = 0;
+  std::uint64_t bytes_net = 0;       // pixels exchanged over the fabric
+  std::uint64_t fragments = 0;
+  std::uint64_t total_samples = 0;
+
+  double fps() const { return runtime_s > 0.0 ? 1.0 / runtime_s : 0.0; }
+};
+
+/// Render one frame with binary-swap compositing. Uses the same kernel,
+/// camera, transfer function and brick layout rules as
+/// render_mapreduce, so images from the two paths are comparable.
+BinarySwapResult render_binary_swap(cluster::Cluster& cluster, const Volume& volume,
+                                    const RenderOptions& options);
+
+}  // namespace vrmr::volren

@@ -1,0 +1,104 @@
+#include "volren/bricking.hpp"
+
+#include <algorithm>
+
+namespace vrmr::volren {
+
+BrickLayout::BrickLayout(Int3 volume_dims, Vec3 world_extent, int brick_size, int ghost)
+    : BrickLayout(volume_dims, world_extent, Int3{brick_size, brick_size, brick_size},
+                  ghost) {}
+
+BrickLayout::BrickLayout(Int3 volume_dims, Vec3 world_extent, Int3 brick_dims, int ghost)
+    : volume_dims_(volume_dims),
+      world_extent_(world_extent),
+      brick_size_(std::max({brick_dims.x, brick_dims.y, brick_dims.z})),
+      brick_dims_(brick_dims),
+      ghost_(ghost) {
+  VRMR_CHECK_MSG(volume_dims.x > 0 && volume_dims.y > 0 && volume_dims.z > 0,
+                 "bad volume dims " << volume_dims);
+  VRMR_CHECK_MSG(brick_dims.x > 1 && brick_dims.y > 1 && brick_dims.z > 1,
+                 "brick dims must exceed 1, got " << brick_dims);
+  VRMR_CHECK(ghost >= 0);
+
+  grid_ = Int3{ceil_div(volume_dims.x, brick_dims.x),
+               ceil_div(volume_dims.y, brick_dims.y),
+               ceil_div(volume_dims.z, brick_dims.z)};
+
+  // World positions are computed as (voxel / dims) * extent so that a
+  // shared face between neighboring bricks — and the outer faces versus
+  // the volume box — evaluate to bit-identical floats (0/d = 0 and
+  // d/d = 1 are exact). Ray/slab intersections at those planes then
+  // agree exactly across bricks, which is what makes half-open sample
+  // ownership partition every ray without gaps or double-sampling.
+  bricks_.reserve(static_cast<size_t>(grid_.volume()));
+  const auto to_world = [&](Int3 voxel) {
+    return (to_vec3(voxel) / to_vec3(volume_dims_)) * world_extent_;
+  };
+  int id = 0;
+  for (int bz = 0; bz < grid_.z; ++bz) {
+    for (int by = 0; by < grid_.y; ++by) {
+      for (int bx = 0; bx < grid_.x; ++bx) {
+        BrickInfo info;
+        info.id = id++;
+        info.grid_pos = Int3{bx, by, bz};
+        info.core_origin =
+            Int3{bx * brick_dims.x, by * brick_dims.y, bz * brick_dims.z};
+        info.core_dims = min(brick_dims, volume_dims_ - info.core_origin);
+        info.padded_origin = max(Int3{0, 0, 0}, info.core_origin - Int3{ghost, ghost, ghost});
+        const Int3 padded_end = min(volume_dims_, info.core_origin + info.core_dims +
+                                                      Int3{ghost, ghost, ghost});
+        info.padded_dims = padded_end - info.padded_origin;
+        info.world_box =
+            Aabb{to_world(info.core_origin), to_world(info.core_origin + info.core_dims)};
+        bricks_.push_back(info);
+      }
+    }
+  }
+}
+
+int BrickLayout::choose_brick_size(Int3 volume_dims, int target_bricks) {
+  VRMR_CHECK(target_bricks >= 1);
+  const int max_dim = std::max({volume_dims.x, volume_dims.y, volume_dims.z});
+  // Walk brick sizes down from whole-volume until the grid reaches the
+  // target count; prefer the largest size meeting it ("roughly within a
+  // factor of four" of the GPU count is acceptable per §6).
+  int best = max_dim;
+  for (int size = max_dim; size > 1; size = (size + 1) / 2) {
+    const std::int64_t count = static_cast<std::int64_t>(ceil_div(volume_dims.x, size)) *
+                               ceil_div(volume_dims.y, size) *
+                               ceil_div(volume_dims.z, size);
+    best = size;
+    if (count >= target_bricks) break;
+  }
+  return best;
+}
+
+Int3 BrickLayout::choose_brick_dims(Int3 volume_dims, int target_bricks) {
+  VRMR_CHECK(target_bricks >= 1);
+  // Repeatedly halve the brick axis that is currently longest (in
+  // voxels) until the grid reaches the target count. Axis splits keep
+  // bricks as close to cubic as the target allows — minimizing ghost
+  // surface and screen-footprint overlap.
+  Int3 grid{1, 1, 1};
+  while (grid.volume() < target_bricks) {
+    int axis = 0;
+    float longest = 0.0f;
+    for (int a = 0; a < 3; ++a) {
+      const float brick_len =
+          static_cast<float>(volume_dims[a]) / static_cast<float>(grid[a]);
+      // Respect the minimum brick edge of 2 voxels.
+      if (brick_len / 2.0f < 2.0f) continue;
+      if (brick_len > longest) {
+        longest = brick_len;
+        axis = a;
+      }
+    }
+    if (longest == 0.0f) break;  // cannot split further
+    grid[axis] *= 2;
+  }
+  return Int3{std::max(2, ceil_div(volume_dims.x, grid.x)),
+              std::max(2, ceil_div(volume_dims.y, grid.y)),
+              std::max(2, ceil_div(volume_dims.z, grid.z))};
+}
+
+}  // namespace vrmr::volren

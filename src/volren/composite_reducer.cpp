@@ -1,0 +1,20 @@
+#include "volren/composite_reducer.hpp"
+
+#include "util/check.hpp"
+
+namespace vrmr::volren {
+
+Image stitch_image(int width, int height, Vec3 background,
+                   std::span<const std::vector<FinishedPixel>> pieces) {
+  Image image(width, height, background);
+  const auto pixel_count = static_cast<std::uint32_t>(image.pixel_count());
+  for (const auto& piece : pieces) {
+    for (const FinishedPixel& px : piece) {
+      VRMR_CHECK_MSG(px.key < pixel_count, "stitched key " << px.key << " out of range");
+      image.at_index(px.key) = px.rgb;
+    }
+  }
+  return image;
+}
+
+}  // namespace vrmr::volren

@@ -1,0 +1,34 @@
+#pragma once
+
+// Synthetic proxies for the paper's three datasets (Fig. 2).
+//
+// The originals (a CT skull, a supernova simulation, a buoyant plume)
+// are not redistributable; what the evaluation actually depends on is
+// volume *size*, aspect ratio, dynamic range, and rough occupancy
+// (empty-space fraction and opacity distribution drive early-ray
+// termination and fragment counts). Each proxy is a smooth analytic
+// field plus hash-based noise, normalized to [0, 1]:
+//
+//   skull     — nested ellipsoidal shells (skin / bone / cavity), the
+//               classic CT-like density profile;
+//   supernova — spherical shock shell modulated by turbulent noise
+//               octaves around a dense core;
+//   plume     — a rising buoyant column widening with height, with
+//               side-entrained vortical noise; defaults to the paper's
+//               512×512×2048 aspect.
+//
+// All fields are pure functions of the voxel coordinate, so they back
+// ProceduralSource volumes of *any* logical resolution with no storage.
+
+#include "volren/volume.hpp"
+
+namespace vrmr::volren::datasets {
+
+Volume skull(Int3 dims);
+Volume supernova(Int3 dims);
+Volume plume(Int3 dims = {512, 512, 2048});
+
+/// Cube convenience used across tests/benches: side^3 skull/supernova.
+Volume by_name(const std::string& name, Int3 dims);
+
+}  // namespace vrmr::volren::datasets

@@ -1,0 +1,49 @@
+#pragma once
+
+// The ray fragment — the homogeneous value type flowing through the
+// MapReduce pipeline (§3.1.1: "Emitted values are homogeneous in size
+// and computed in GPU local memory").
+//
+// One fragment is the front-to-back composite of one ray's samples
+// through one brick: a premultiplied RGBA color plus the ray parameter
+// at brick entry (the depth the reducer sorts by) and the brick id
+// (deterministic tie-break + diagnostics). 24 bytes, trivially
+// copyable — safe to memcpy through KvBuffer, PCIe and the fabric.
+
+#include <cstdint>
+#include <type_traits>
+
+#include "util/color.hpp"
+
+namespace vrmr::volren {
+
+struct RayFragment {
+  float r = 0.0f;  // premultiplied
+  float g = 0.0f;
+  float b = 0.0f;
+  float a = 0.0f;
+  float depth = 0.0f;      // ray parameter at brick entry
+  std::uint32_t brick = 0; // emitting brick id
+
+  Rgba color() const { return {r, g, b, a}; }
+
+  void set_color(Rgba c) {
+    r = c.r;
+    g = c.g;
+    b = c.b;
+    a = c.a;
+  }
+
+  /// Depth-then-brick ordering used by the reducer; brick ids increase
+  /// along any axis-aligned traversal, so ties at shared faces resolve
+  /// deterministically.
+  friend bool operator<(const RayFragment& x, const RayFragment& y) {
+    if (x.depth != y.depth) return x.depth < y.depth;
+    return x.brick < y.brick;
+  }
+};
+
+static_assert(std::is_trivially_copyable_v<RayFragment>);
+static_assert(sizeof(RayFragment) == 24, "fragment layout is part of the wire format");
+
+}  // namespace vrmr::volren

@@ -1,0 +1,69 @@
+#include "volren/image.hpp"
+
+#include <cmath>
+#include <fstream>
+
+namespace vrmr::volren {
+
+Image::Image(int width, int height, Vec3 fill) : width_(width), height_(height) {
+  VRMR_CHECK_MSG(width > 0 && height > 0, "bad image dims " << width << "x" << height);
+  pixels_.assign(static_cast<size_t>(pixel_count()), fill);
+}
+
+void Image::write_ppm(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  VRMR_CHECK_MSG(out.good(), "cannot open " << path << " for writing");
+  out << "P6\n" << width_ << " " << height_ << "\n255\n";
+  std::vector<unsigned char> row(static_cast<size_t>(width_) * 3);
+  for (int y = 0; y < height_; ++y) {
+    for (int x = 0; x < width_; ++x) {
+      const Vec3 c = at(x, y);
+      auto encode = [](float v) {
+        const float g = std::pow(clampf(v, 0.0f, 1.0f), 1.0f / 2.2f);
+        return static_cast<unsigned char>(std::lround(g * 255.0f));
+      };
+      row[static_cast<size_t>(x) * 3 + 0] = encode(c.x);
+      row[static_cast<size_t>(x) * 3 + 1] = encode(c.y);
+      row[static_cast<size_t>(x) * 3 + 2] = encode(c.z);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  VRMR_CHECK_MSG(out.good(), "short write to " << path);
+}
+
+ImageDiff compare_images(const Image& a, const Image& b) {
+  VRMR_CHECK_MSG(a.width() == b.width() && a.height() == b.height(),
+                 "image size mismatch: " << a.width() << "x" << a.height() << " vs "
+                                         << b.width() << "x" << b.height());
+  ImageDiff diff;
+  double sum = 0.0;
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    const double dx = std::fabs(static_cast<double>(pa[i].x) - pb[i].x);
+    const double dy = std::fabs(static_cast<double>(pa[i].y) - pb[i].y);
+    const double dz = std::fabs(static_cast<double>(pa[i].z) - pb[i].z);
+    diff.max_abs = std::max({diff.max_abs, dx, dy, dz});
+    sum += (dx + dy + dz) / 3.0;
+  }
+  diff.mean_abs = pa.empty() ? 0.0 : sum / static_cast<double>(pa.size());
+  return diff;
+}
+
+double fraction_differing(const Image& a, const Image& b, double tol) {
+  VRMR_CHECK(a.width() == b.width() && a.height() == b.height());
+  const auto& pa = a.pixels();
+  const auto& pb = b.pixels();
+  std::int64_t bad = 0;
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (std::fabs(static_cast<double>(pa[i].x) - pb[i].x) > tol ||
+        std::fabs(static_cast<double>(pa[i].y) - pb[i].y) > tol ||
+        std::fabs(static_cast<double>(pa[i].z) - pb[i].z) > tol) {
+      ++bad;
+    }
+  }
+  return pa.empty() ? 0.0 : static_cast<double>(bad) / static_cast<double>(pa.size());
+}
+
+}  // namespace vrmr::volren

@@ -1,0 +1,62 @@
+#pragma once
+
+// Float RGB framebuffer + PPM output + comparison metrics used by the
+// correctness property tests (MapReduce render vs single-pass
+// reference).
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/vec.hpp"
+
+namespace vrmr::volren {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, Vec3 fill = {0, 0, 0});
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::int64_t pixel_count() const {
+    return static_cast<std::int64_t>(width_) * height_;
+  }
+
+  Vec3& at(int x, int y) { return pixels_[index(x, y)]; }
+  const Vec3& at(int x, int y) const { return pixels_[index(x, y)]; }
+
+  Vec3& at_index(std::uint32_t i) { return pixels_[i]; }
+  const Vec3& at_index(std::uint32_t i) const { return pixels_[i]; }
+
+  std::vector<Vec3>& pixels() { return pixels_; }
+  const std::vector<Vec3>& pixels() const { return pixels_; }
+
+  /// Binary PPM (P6), sRGB-ish gamma 2.2, 8-bit.
+  void write_ppm(const std::filesystem::path& path) const;
+
+ private:
+  size_t index(int x, int y) const {
+    VRMR_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return static_cast<size_t>(y) * width_ + x;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<Vec3> pixels_;
+};
+
+struct ImageDiff {
+  double max_abs = 0.0;   // max per-channel absolute difference
+  double mean_abs = 0.0;  // mean per-channel absolute difference
+};
+
+/// Channel-wise comparison; images must match in size.
+ImageDiff compare_images(const Image& a, const Image& b);
+
+/// Fraction of pixels with any channel differing by more than `tol`.
+double fraction_differing(const Image& a, const Image& b, double tol);
+
+}  // namespace vrmr::volren

@@ -1,0 +1,128 @@
+#pragma once
+
+// The ray-casting map kernel (§3.2) and its MapReduce adapters.
+//
+// Kernel behaviour mirrors the paper's CUDA implementation:
+//   * volume brick in a 3-D float texture (trilinear, hardware-style);
+//   * 16×16 thread blocks over the brick's projected sub-image;
+//   * every ray intersected against the brick's bounding box,
+//     non-intersecting rays discarded immediately;
+//   * fixed-increment, non-adaptive trilinear sampling;
+//   * early ray termination;
+//   * front-to-back compositing against a 1-D transfer-function
+//     texture with opacity correction;
+//   * every thread emits exactly one key-value pair — a RayFragment or
+//     a later-discarded placeholder (§3.1.1).
+//
+// Sample-ownership rule: ray steps are a global grid anchored at the
+// ray's entry into the *volume* box (t_k = t_vol + (k + 0.5)·dt); a
+// brick owns exactly the steps whose t_k fall inside its half-open
+// [t_enter, t_exit) interval. Because shared brick faces evaluate to
+// bit-identical plane constants (see bricking.cpp), every step belongs
+// to exactly one brick and the composited pipeline reproduces the
+// single-pass reference bit-for-bit (modulo floating-point
+// re-association; see tests/volren/test_pipeline_equivalence.cpp).
+
+#include <cstdint>
+#include <memory>
+
+#include "gpusim/device.hpp"
+#include "gpusim/texture.hpp"
+#include "mr/chunk.hpp"
+#include "mr/mapper.hpp"
+#include "volren/bricking.hpp"
+#include "volren/camera.hpp"
+#include "volren/fragment.hpp"
+#include "volren/transfer_function.hpp"
+#include "volren/volume.hpp"
+
+namespace vrmr::volren {
+
+/// Sampling parameters shared by the map kernel and the reference
+/// renderer (they must agree exactly for equivalence tests).
+struct RaycastSettings {
+  /// Samples per voxel along the ray (1 = one step per voxel edge).
+  float sampling_rate = 1.0f;
+  /// Early-ray-termination opacity threshold; >= 1 disables ERT.
+  float ert_threshold = kOpaqueAlpha;
+  /// Functional step stride: the kernel *takes* every decimation-th
+  /// step but *charges* every step to the simulated GPU, and the brick
+  /// texture stores a correspondingly decimated grid. 1 = exact
+  /// (always used by tests); >1 only for paper-scale bench volumes
+  /// (DESIGN.md §2).
+  int decimation = 1;
+
+  /// World-space step between consecutive logical samples for `volume`.
+  float step_size(const Volume& volume) const {
+    const Vec3 voxel = volume.world_extent() / to_vec3(volume.dims());
+    return std::min({voxel.x, voxel.y, voxel.z}) / sampling_rate;
+  }
+
+  /// Opacity-correction exponent relative to the transfer function's
+  /// per-voxel-step alpha definition.
+  float opacity_correction() const {
+    return static_cast<float>(decimation) / sampling_rate;
+  }
+};
+
+/// One brick of one volume, as a MapReduce chunk. Holds references —
+/// the Volume must outlive the job.
+class BrickChunk final : public mr::Chunk {
+ public:
+  BrickChunk(const Volume& volume, BrickInfo info) : volume_(&volume), info_(info) {}
+
+  std::uint64_t device_bytes() const override { return info_.device_bytes(); }
+  std::string label() const override {
+    return volume_->name() + "/brick" + std::to_string(info_.id);
+  }
+
+  const BrickInfo& info() const { return info_; }
+  const Volume& volume() const { return *volume_; }
+
+ private:
+  const Volume* volume_;
+  BrickInfo info_;
+};
+
+/// Static per-frame state shared by all of a job's mappers.
+struct FrameSetup {
+  Camera camera;
+  TransferFunction transfer = TransferFunction::grayscale_ramp();
+  RaycastSettings cast;
+};
+
+/// Raw kernel output for one brick: parallel slot arrays, one entry per
+/// launched thread (the every-thread-emits layout the paper requires
+/// for efficient device-side output, §3.1.1).
+struct BrickCastOutput {
+  std::vector<std::uint32_t> keys;      // pixel index or kPlaceholderKey
+  std::vector<RayFragment> fragments;   // valid where key != placeholder
+  std::uint64_t samples = 0;            // logical samples charged
+  std::uint64_t threads = 0;
+};
+
+/// Execute the ray-cast kernel for one brick on `device` (functional
+/// path used by both the MapReduce mapper and the binary-swap
+/// compositor ablation).
+BrickCastOutput cast_brick(gpusim::Device& device, const Volume& volume,
+                           const BrickInfo& brick, const FrameSetup& frame,
+                           const gpusim::Texture1D& transfer_tex);
+
+/// mr::Mapper adapter: stages the brick texture, runs cast_brick,
+/// bulk-emits the slots.
+class RayCastMapper final : public mr::Mapper {
+ public:
+  RayCastMapper(const Volume& volume, FrameSetup frame)
+      : volume_(&volume), frame_(std::move(frame)) {}
+
+  void init(gpusim::Device& device) override;
+  mr::MapOutcome map(gpusim::Device& device, const mr::Chunk& chunk,
+                     mr::KvBuffer& out) override;
+
+ private:
+  const Volume* volume_;
+  FrameSetup frame_;
+  std::unique_ptr<gpusim::Texture1D> transfer_tex_;
+};
+
+}  // namespace vrmr::volren

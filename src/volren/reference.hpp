@@ -1,0 +1,32 @@
+#pragma once
+
+// Single-pass reference ray caster: the whole volume in one texture, no
+// bricking, no MapReduce. Serves two roles:
+//
+//   1. Ground truth for the pipeline-equivalence property tests — it
+//      shares march_ray() and the texture sampling rules with the map
+//      kernel, so the bricked MapReduce render must agree to
+//      floating-point re-association noise.
+//   2. The "single GPU renders small volumes in core" end of the
+//      paper's scaling story.
+
+#include <cstdint>
+
+#include "volren/image.hpp"
+#include "volren/raycast.hpp"
+#include "volren/volume.hpp"
+
+namespace vrmr::volren {
+
+struct ReferenceResult {
+  Image image;
+  std::uint64_t samples = 0;  // logical samples taken
+  std::uint64_t rays = 0;     // rays that hit the volume
+};
+
+/// Render `volume` with the frame's camera/transfer/sampling settings,
+/// blending against `background`.
+ReferenceResult render_reference(const Volume& volume, const FrameSetup& frame,
+                                 Vec3 background);
+
+}  // namespace vrmr::volren

@@ -1,0 +1,83 @@
+#include "volren/renderer.hpp"
+
+#include <memory>
+
+#include "util/check.hpp"
+
+namespace vrmr::volren {
+
+Camera make_camera(const Volume& volume, const RenderOptions& options) {
+  if (options.use_explicit_camera) return options.explicit_camera;
+  return Camera::orbit(volume.world_box(), options.azimuth, options.elevation,
+                       options.distance, options.fovy, options.image_width,
+                       options.image_height);
+}
+
+FrameSetup make_frame(const Volume& volume, const RenderOptions& options) {
+  FrameSetup frame;
+  frame.camera = make_camera(volume, options);
+  frame.transfer = options.transfer;
+  frame.cast = options.cast;
+  return frame;
+}
+
+RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
+                              const RenderOptions& options) {
+  VRMR_CHECK(options.image_width > 0 && options.image_height > 0);
+
+  const FrameSetup frame = make_frame(volume, options);
+
+  Int3 brick_dims;
+  if (options.brick_size > 0) {
+    brick_dims = Int3{options.brick_size, options.brick_size, options.brick_size};
+  } else {
+    const int target =
+        options.target_bricks > 0 ? options.target_bricks : cluster.total_gpus();
+    brick_dims = BrickLayout::choose_brick_dims(volume.dims(), target);
+  }
+  const BrickLayout layout(volume.dims(), volume.world_extent(), brick_dims,
+                           options.ghost);
+
+  mr::JobConfig config;
+  config.value_size = sizeof(RayFragment);
+  config.domain.num_keys =
+      static_cast<std::uint32_t>(options.image_width) *
+      static_cast<std::uint32_t>(options.image_height);
+  config.domain.image_width = static_cast<std::uint32_t>(options.image_width);
+  config.partition = options.partition;
+  config.sort = options.sort;
+  config.reduce = options.reduce;
+  config.include_disk_io = options.include_disk_io;
+
+  mr::Job job(cluster, config);
+
+  job.set_mapper_factory([&volume, &frame](int, gpusim::Device&) {
+    return std::make_unique<RayCastMapper>(volume, frame);
+  });
+
+  std::vector<std::vector<FinishedPixel>> pieces(
+      static_cast<size_t>(cluster.total_gpus()));
+  const float ert = options.cast.ert_threshold;
+  const Vec3 background = options.background;
+  job.set_reducer_factory([&pieces, ert, background](int r) {
+    return std::make_unique<CompositeReducer>(ert, background,
+                                              &pieces[static_cast<size_t>(r)]);
+  });
+
+  for (const BrickInfo& info : layout.bricks()) {
+    job.add_chunk(std::make_unique<BrickChunk>(volume, info));
+  }
+
+  RenderResult result;
+  result.stats = job.run();
+  // Stitching is outside the timed pipeline (§5).
+  result.image = stitch_image(options.image_width, options.image_height, background,
+                              pieces);
+  result.camera = frame.camera;
+  result.brick_size = layout.brick_size();
+  result.num_bricks = layout.num_bricks();
+  result.logical_voxels = static_cast<std::uint64_t>(volume.voxel_count());
+  return result;
+}
+
+}  // namespace vrmr::volren

@@ -1,0 +1,80 @@
+#pragma once
+
+// High-level public API: render one frame of a volume on a simulated
+// multi-GPU cluster via the MapReduce pipeline. This is the facade the
+// examples and the figure benches drive; everything it does is also
+// reachable piecewise (BrickLayout + Job + RayCastMapper +
+// CompositeReducer) for custom pipelines (see examples/mip_pipeline).
+
+#include <cstdint>
+
+#include "cluster/cluster.hpp"
+#include "mr/job.hpp"
+#include "volren/composite_reducer.hpp"
+#include "volren/raycast.hpp"
+#include "volren/volume.hpp"
+
+namespace vrmr::volren {
+
+struct RenderOptions {
+  // --- image & camera -----------------------------------------------------
+  int image_width = 512;   // the paper evaluates at 512² (§5)
+  int image_height = 512;
+  float fovy = 0.7f;       // ~40°
+  /// Orbit camera placement (ignored when use_explicit_camera).
+  float azimuth = 0.65f;
+  float elevation = 0.30f;
+  float distance = 1.8f;   // multiples of the volume diagonal
+  bool use_explicit_camera = false;
+  Camera explicit_camera;
+
+  // --- appearance -----------------------------------------------------------
+  TransferFunction transfer = TransferFunction::bone();
+  Vec3 background{0.0f, 0.0f, 0.0f};
+  RaycastSettings cast;
+
+  // --- bricking -------------------------------------------------------------
+  /// Core brick edge in voxels; 0 = choose from target_bricks.
+  int brick_size = 0;
+  /// Desired brick count when brick_size == 0; 0 = the cluster's GPU
+  /// count (the paper's bricks ≈ GPUs sweet spot, §6).
+  int target_bricks = 0;
+  int ghost = 1;
+
+  // --- MapReduce configuration ----------------------------------------------
+  mr::PartitionStrategy partition = mr::PartitionStrategy::PixelRoundRobin;
+  mr::SortPlacement sort = mr::SortPlacement::Auto;
+  mr::ReducePlacement reduce = mr::ReducePlacement::Cpu;
+  /// Charge disk reads for every brick (out-of-core mode).
+  bool include_disk_io = false;
+};
+
+struct RenderResult {
+  Image image;
+  mr::JobStats stats;
+  Camera camera;
+  int brick_size = 0;
+  int num_bricks = 0;
+  std::uint64_t logical_voxels = 0;
+
+  /// The paper's figures of merit (§4.2).
+  double fps() const { return stats.runtime_s > 0.0 ? 1.0 / stats.runtime_s : 0.0; }
+  double voxels_per_second() const {
+    return stats.runtime_s > 0.0 ? static_cast<double>(logical_voxels) / stats.runtime_s
+                                 : 0.0;
+  }
+  double mvps() const { return voxels_per_second() / 1e6; }
+};
+
+/// Build the frame's camera from the options (orbit or explicit).
+Camera make_camera(const Volume& volume, const RenderOptions& options);
+
+/// Bundle camera + transfer + sampling for mapper construction.
+FrameSetup make_frame(const Volume& volume, const RenderOptions& options);
+
+/// Render one frame. The volume must outlive the call; the cluster's
+/// simulated clock advances by the frame's runtime.
+RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
+                              const RenderOptions& options);
+
+}  // namespace vrmr::volren

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sim/engine.hpp"
+
+namespace vrmr::cluster {
+namespace {
+
+TEST(ClusterConfig, ValidateRejectsNonPositive) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 0;
+  EXPECT_THROW(cfg.validate(), vrmr::CheckError);
+  cfg.num_nodes = 1;
+  cfg.gpus_per_node = 0;
+  EXPECT_THROW(cfg.validate(), vrmr::CheckError);
+}
+
+TEST(ClusterConfig, WithTotalGpusPacksFourPerNode) {
+  // The paper's sweep points (§4.1: 4 logical GPUs per node).
+  EXPECT_EQ(ClusterConfig::with_total_gpus(1).num_nodes, 1);
+  EXPECT_EQ(ClusterConfig::with_total_gpus(1).gpus_per_node, 1);
+  EXPECT_EQ(ClusterConfig::with_total_gpus(4).num_nodes, 1);
+  EXPECT_EQ(ClusterConfig::with_total_gpus(8).num_nodes, 2);
+  EXPECT_EQ(ClusterConfig::with_total_gpus(8).gpus_per_node, 4);
+  EXPECT_EQ(ClusterConfig::with_total_gpus(32).num_nodes, 8);
+}
+
+TEST(ClusterConfig, WithTotalGpusHandlesAwkwardCounts) {
+  for (int g = 1; g <= 33; ++g) {
+    const ClusterConfig cfg = ClusterConfig::with_total_gpus(g);
+    EXPECT_EQ(cfg.total_gpus(), g) << g;
+    EXPECT_LE(cfg.gpus_per_node, 4) << g;
+  }
+  // 6 GPUs: 2 nodes x 3 beats 6 nodes x 1.
+  EXPECT_EQ(ClusterConfig::with_total_gpus(6).gpus_per_node, 3);
+}
+
+TEST(Cluster, BuildsTopology) {
+  sim::Engine e;
+  Cluster cluster(e, ClusterConfig::with_total_gpus(8));
+  EXPECT_EQ(cluster.num_nodes(), 2);
+  EXPECT_EQ(cluster.total_gpus(), 8);
+  EXPECT_EQ(cluster.node_of_gpu(0), 0);
+  EXPECT_EQ(cluster.node_of_gpu(3), 0);
+  EXPECT_EQ(cluster.node_of_gpu(4), 1);
+  EXPECT_EQ(cluster.node_of_gpu(7), 1);
+  EXPECT_EQ(cluster.fabric().num_nodes(), 2);
+  EXPECT_EQ(cluster.cpu(0).servers(), 4);
+}
+
+TEST(Cluster, GpusAreDistinctDevices) {
+  sim::Engine e;
+  Cluster cluster(e, ClusterConfig::with_total_gpus(4));
+  for (int g = 0; g < 4; ++g) {
+    EXPECT_EQ(cluster.gpu(g).id(), g);
+    EXPECT_EQ(cluster.gpu(g).vram_used(), 0u);
+  }
+  const auto alloc = cluster.gpu(2).allocate(1024, "x");
+  EXPECT_EQ(cluster.gpu(2).vram_used(), 1024u);
+  EXPECT_EQ(cluster.gpu(1).vram_used(), 0u);
+}
+
+TEST(Cluster, BusyTotalsAggregateResources) {
+  sim::Engine e;
+  Cluster cluster(e, ClusterConfig::with_total_gpus(2));
+  e.schedule_at(0.0, [&] {
+    cluster.gpu_stream(0).acquire(1.0, nullptr);
+    cluster.gpu_stream(1).acquire(2.0, nullptr);
+    cluster.pcie(0).acquire(0.5, nullptr);
+    cluster.disk(0).read(75000000, nullptr);  // 1 s at default 75 MB/s + seek
+  });
+  e.run();
+  EXPECT_DOUBLE_EQ(cluster.total_gpu_busy(), 3.0);
+  EXPECT_DOUBLE_EQ(cluster.total_pcie_busy(), 0.5);
+  EXPECT_NEAR(cluster.total_disk_busy(), 1.005, 1e-9);
+  EXPECT_EQ(cluster.total_nic_busy(), 0.0);
+}
+
+TEST(HardwareModel, NcsaCalibrationAnchors) {
+  const HardwareModel hw = HardwareModel::ncsa_accelerator_cluster();
+  const std::uint64_t brick64 = 64ULL * 64 * 64 * sizeof(float);
+  // §3: 64³ brick from disk ≈ 20 ms.
+  EXPECT_NEAR(hw.disk.read_time(brick64), 0.020, 0.005);
+  // §3: same brick over PCIe < 0.2 ms.
+  EXPECT_LT(hw.pcie.transfer_time(brick64), 0.2e-3);
+  // §3: transfer is <1% of the disk load time.
+  EXPECT_LT(hw.pcie.transfer_time(brick64) / hw.disk.read_time(brick64), 0.01);
+  // Quad-core nodes.
+  EXPECT_EQ(hw.cpu.cores, 4);
+}
+
+}  // namespace
+}  // namespace vrmr::cluster

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gpusim/device.hpp"
+#include "gpusim/texture.hpp"
+#include "util/rng.hpp"
+
+namespace vrmr::gpusim {
+namespace {
+
+Device& test_device() {
+  static DeviceProps props = [] {
+    DeviceProps p;
+    p.vram_bytes = 1ULL << 30;
+    return p;
+  }();
+  static Device dev(0, props);
+  return dev;
+}
+
+std::vector<float> linear_field(Int3 dims, Vec3 g, float c) {
+  // f(x, y, z) = g·(center of voxel) + c — trilinear interpolation must
+  // reproduce a linear field exactly (up to float rounding).
+  std::vector<float> v(static_cast<size_t>(dims.volume()));
+  size_t i = 0;
+  for (int z = 0; z < dims.z; ++z)
+    for (int y = 0; y < dims.y; ++y)
+      for (int x = 0; x < dims.x; ++x)
+        v[i++] = g.x * (static_cast<float>(x) + 0.5f) + g.y * (static_cast<float>(y) + 0.5f) +
+                 g.z * (static_cast<float>(z) + 0.5f) + c;
+  return v;
+}
+
+TEST(Texture3D, AllocatesVram) {
+  Device dev(1, DeviceProps{.vram_bytes = 1 << 20});
+  {
+    Texture3D tex(dev, Int3{16, 16, 16});
+    EXPECT_EQ(dev.vram_used(), 16u * 16 * 16 * 4);
+  }
+  EXPECT_EQ(dev.vram_used(), 0u);
+}
+
+TEST(Texture3D, AccountedBytesOverride) {
+  Device dev(1, DeviceProps{.vram_bytes = 1 << 20});
+  Texture3D tex(dev, Int3{4, 4, 4}, /*accounted_bytes=*/100000);
+  EXPECT_EQ(dev.vram_used(), 100000u);
+}
+
+TEST(Texture3D, UploadValidatesSize) {
+  Texture3D tex(test_device(), Int3{4, 4, 4});
+  std::vector<float> wrong(10);
+  EXPECT_THROW(tex.upload(wrong), vrmr::CheckError);
+  std::vector<float> right(64, 1.0f);
+  tex.upload(right);
+  EXPECT_TRUE(tex.uploaded());
+}
+
+TEST(Texture3D, FetchClampsAddresses) {
+  Texture3D tex(test_device(), Int3{2, 2, 2});
+  tex.upload(std::vector<float>{0, 1, 2, 3, 4, 5, 6, 7});
+  EXPECT_EQ(tex.fetch(-5, 0, 0), tex.fetch(0, 0, 0));
+  EXPECT_EQ(tex.fetch(9, 1, 1), tex.fetch(1, 1, 1));
+  EXPECT_EQ(tex.fetch(0, -1, 9), tex.fetch(0, 0, 1));
+}
+
+TEST(Texture3D, SampleAtVoxelCentersReturnsStoredValues) {
+  const Int3 dims{5, 4, 3};
+  Texture3D tex(test_device(), dims);
+  std::vector<float> v(static_cast<size_t>(dims.volume()));
+  Pcg32 rng(3);
+  for (auto& x : v) x = rng.next_float();
+  tex.upload(v);
+  for (int z = 0; z < dims.z; ++z) {
+    for (int y = 0; y < dims.y; ++y) {
+      for (int x = 0; x < dims.x; ++x) {
+        // Voxel center in unnormalized texture coordinates is i + 0.5.
+        const float got = tex.sample(Vec3{static_cast<float>(x) + 0.5f,
+                                          static_cast<float>(y) + 0.5f,
+                                          static_cast<float>(z) + 0.5f});
+        EXPECT_FLOAT_EQ(got, tex.fetch(x, y, z));
+      }
+    }
+  }
+}
+
+TEST(Texture3D, TrilinearReproducesLinearField) {
+  const Int3 dims{8, 8, 8};
+  Texture3D tex(test_device(), dims);
+  const Vec3 g{0.3f, -0.2f, 0.5f};
+  const float c = 1.0f;
+  tex.upload(linear_field(dims, g, c));
+  Pcg32 rng(9);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Stay a voxel away from the borders so clamping never kicks in.
+    const Vec3 p{rng.uniform(1.0f, 7.0f), rng.uniform(1.0f, 7.0f), rng.uniform(1.0f, 7.0f)};
+    const float expected = g.x * p.x + g.y * p.y + g.z * p.z + c;
+    EXPECT_NEAR(tex.sample(p), expected, 1e-4f);
+  }
+}
+
+TEST(Texture3D, SampleClampsBeyondEdges) {
+  const Int3 dims{4, 4, 4};
+  Texture3D tex(test_device(), dims);
+  std::vector<float> v(64);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<float>(i);
+  tex.upload(v);
+  // Far outside: clamps to the corner texel.
+  EXPECT_FLOAT_EQ(tex.sample(Vec3{-10, -10, -10}), tex.fetch(0, 0, 0));
+  EXPECT_FLOAT_EQ(tex.sample(Vec3{10, 10, 10}), tex.fetch(3, 3, 3));
+}
+
+TEST(Texture3D, MidpointBetweenTexelsAverages) {
+  Texture3D tex(test_device(), Int3{2, 1, 1});
+  // Clamp semantics need at least 2 texels per axis only on x here.
+  tex.upload(std::vector<float>{1.0f, 3.0f});
+  EXPECT_FLOAT_EQ(tex.sample(Vec3{1.0f, 0.5f, 0.5f}), 2.0f);
+}
+
+TEST(Texture1D, LookupAtTexelCenters) {
+  Texture1D tex(test_device(), 4);
+  const std::vector<Vec4> table{{1, 0, 0, 0.1f}, {0, 1, 0, 0.2f}, {0, 0, 1, 0.3f},
+                                {1, 1, 1, 0.4f}};
+  tex.upload(table);
+  for (int i = 0; i < 4; ++i) {
+    const float t = (static_cast<float>(i) + 0.5f) / 4.0f;
+    const Vec4 got = tex.sample(t);
+    EXPECT_EQ(got, table[static_cast<size_t>(i)]) << "texel " << i;
+  }
+}
+
+TEST(Texture1D, InterpolatesBetweenTexels) {
+  Texture1D tex(test_device(), 2);
+  tex.upload(std::vector<Vec4>{{0, 0, 0, 0}, {1, 1, 1, 1}});
+  const Vec4 mid = tex.sample(0.5f);
+  EXPECT_NEAR(mid.w, 0.5f, 1e-6f);
+}
+
+TEST(Texture1D, ClampsOutOfRangeLookups) {
+  Texture1D tex(test_device(), 8);
+  std::vector<Vec4> table(8);
+  table.front() = {1, 2, 3, 4};
+  table.back() = {5, 6, 7, 8};
+  tex.upload(table);
+  EXPECT_EQ(tex.sample(-1.0f), table.front());
+  EXPECT_EQ(tex.sample(2.0f), table.back());
+}
+
+TEST(Texture1D, UploadValidatesSize) {
+  Texture1D tex(test_device(), 8);
+  std::vector<Vec4> wrong(4);
+  EXPECT_THROW(tex.upload(wrong), vrmr::CheckError);
+}
+
+}  // namespace
+}  // namespace vrmr::gpusim

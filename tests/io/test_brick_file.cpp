@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/brick_file.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace vrmr::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+class BrickFileTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / ("vrmr_brickfile_" + std::to_string(::getpid()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path path(const std::string& name) const { return dir_ / name; }
+
+  fs::path dir_;
+};
+
+std::vector<float> random_payload(Int3 dims, std::uint64_t seed) {
+  std::vector<float> v(static_cast<size_t>(dims.volume()));
+  Pcg32 rng(seed);
+  for (auto& x : v) x = rng.next_float();
+  return v;
+}
+
+TEST_F(BrickFileTest, RoundTripsHeaderAndPayloads) {
+  const Int3 volume_dims{32, 32, 16};
+  const Int3 brick_dims{18, 18, 18};  // padded 16+2 ghost
+  std::vector<std::vector<float>> payloads;
+  {
+    BrickFileWriter writer(path("vol.vrbf"), volume_dims, 16, 1, 4);
+    for (int i = 0; i < 4; ++i) {
+      payloads.push_back(random_payload(brick_dims, 100 + i));
+      writer.append_brick(Int3{i % 2, i / 2, 0}, brick_dims, payloads.back());
+    }
+    writer.finalize();
+  }
+
+  BrickFileReader reader(path("vol.vrbf"));
+  EXPECT_EQ(reader.header().volume_dims, volume_dims);
+  EXPECT_EQ(reader.header().brick_size, 16);
+  EXPECT_EQ(reader.header().ghost, 1);
+  ASSERT_EQ(reader.num_bricks(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(reader.record(i).grid_pos, (Int3{i % 2, i / 2, 0}));
+    EXPECT_EQ(reader.record(i).padded_dims, brick_dims);
+    EXPECT_EQ(reader.read_brick(i), payloads[static_cast<size_t>(i)]);
+  }
+}
+
+TEST_F(BrickFileTest, RandomAccessOrderIndependent) {
+  const Int3 dims{4, 4, 4};
+  {
+    BrickFileWriter writer(path("ra.vrbf"), Int3{8, 4, 4}, 4, 0, 2);
+    writer.append_brick(Int3{0, 0, 0}, dims, random_payload(dims, 1));
+    writer.append_brick(Int3{1, 0, 0}, dims, random_payload(dims, 2));
+    writer.finalize();
+  }
+  BrickFileReader reader(path("ra.vrbf"));
+  // Read out of order, repeatedly.
+  const auto second = reader.read_brick(1);
+  const auto first = reader.read_brick(0);
+  EXPECT_EQ(first, random_payload(dims, 1));
+  EXPECT_EQ(second, random_payload(dims, 2));
+  EXPECT_EQ(reader.read_brick(1), second);
+}
+
+TEST_F(BrickFileTest, WriterValidatesPayloadSize) {
+  BrickFileWriter writer(path("bad.vrbf"), Int3{8, 8, 8}, 8, 0, 1);
+  std::vector<float> wrong(10);
+  EXPECT_THROW(writer.append_brick(Int3{0, 0, 0}, Int3{8, 8, 8}, wrong),
+               vrmr::CheckError);
+  writer.append_brick(Int3{0, 0, 0}, Int3{8, 8, 8}, random_payload(Int3{8, 8, 8}, 7));
+  writer.finalize();
+}
+
+TEST_F(BrickFileTest, WriterRejectsExtraBricks) {
+  BrickFileWriter writer(path("extra.vrbf"), Int3{4, 4, 4}, 4, 0, 1);
+  writer.append_brick(Int3{0, 0, 0}, Int3{4, 4, 4}, random_payload(Int3{4, 4, 4}, 1));
+  EXPECT_THROW(
+      writer.append_brick(Int3{1, 0, 0}, Int3{4, 4, 4}, random_payload(Int3{4, 4, 4}, 2)),
+      vrmr::CheckError);
+}
+
+TEST_F(BrickFileTest, FinalizeRequiresAllBricks) {
+  BrickFileWriter writer(path("short.vrbf"), Int3{8, 4, 4}, 4, 0, 2);
+  writer.append_brick(Int3{0, 0, 0}, Int3{4, 4, 4}, random_payload(Int3{4, 4, 4}, 1));
+  EXPECT_THROW(writer.finalize(), vrmr::CheckError);
+}
+
+TEST_F(BrickFileTest, ReaderRejectsBadMagic) {
+  {
+    std::ofstream out(path("junk.vrbf"), std::ios::binary);
+    const std::uint32_t junk = 0xDEADBEEF;
+    out.write(reinterpret_cast<const char*>(&junk), 4);
+    std::vector<char> zeros(64, 0);
+    out.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  }
+  EXPECT_THROW(BrickFileReader reader(path("junk.vrbf")), vrmr::CheckError);
+}
+
+TEST_F(BrickFileTest, ReaderRejectsMissingFile) {
+  EXPECT_THROW(BrickFileReader reader(path("nonexistent.vrbf")), vrmr::CheckError);
+}
+
+TEST_F(BrickFileTest, ReaderRejectsOutOfRangeBrickIndex) {
+  {
+    BrickFileWriter writer(path("one.vrbf"), Int3{4, 4, 4}, 4, 0, 1);
+    writer.append_brick(Int3{0, 0, 0}, Int3{4, 4, 4}, random_payload(Int3{4, 4, 4}, 3));
+    writer.finalize();
+  }
+  BrickFileReader reader(path("one.vrbf"));
+  EXPECT_THROW((void)reader.read_brick(1), vrmr::CheckError);
+  EXPECT_THROW((void)reader.record(-1), vrmr::CheckError);
+}
+
+TEST_F(BrickFileTest, NonUniformPaddedDimsSupported) {
+  // Edge bricks have smaller padded dims; the directory must carry them.
+  {
+    BrickFileWriter writer(path("edge.vrbf"), Int3{10, 4, 4}, 8, 1, 2);
+    writer.append_brick(Int3{0, 0, 0}, Int3{9, 4, 4}, random_payload(Int3{9, 4, 4}, 1));
+    writer.append_brick(Int3{1, 0, 0}, Int3{3, 4, 4}, random_payload(Int3{3, 4, 4}, 2));
+    writer.finalize();
+  }
+  BrickFileReader reader(path("edge.vrbf"));
+  EXPECT_EQ(reader.record(0).padded_dims, (Int3{9, 4, 4}));
+  EXPECT_EQ(reader.record(1).padded_dims, (Int3{3, 4, 4}));
+  EXPECT_EQ(reader.read_brick(1).size(), 3u * 4 * 4);
+}
+
+}  // namespace
+}  // namespace vrmr::io

@@ -1,0 +1,91 @@
+// Direct unit tests of the §6.3 speed-of-light analysis (the job-level
+// integration is covered in test_job.cpp).
+
+#include <gtest/gtest.h>
+
+#include "mr/analysis.hpp"
+
+namespace vrmr::mr {
+namespace {
+
+JobStats stats_with(std::uint64_t samples, std::uint64_t h2d, std::uint64_t d2h,
+                    std::uint64_t net_inter, std::uint64_t fragments, int gpus,
+                    int nodes) {
+  JobStats s;
+  s.total_samples = samples;
+  s.bytes_h2d = h2d;
+  s.bytes_d2h = d2h;
+  s.bytes_net_inter = net_inter;
+  s.fragments = fragments;
+  s.num_gpus = gpus;
+  s.num_nodes = nodes;
+  return s;
+}
+
+cluster::ClusterConfig config_with(int gpus) {
+  return cluster::ClusterConfig::with_total_gpus(gpus);
+}
+
+TEST(SpeedOfLight, MapFloorIsSamplesOverAggregateRate) {
+  const auto cfg = config_with(8);
+  const JobStats s = stats_with(/*samples=*/8'000'000, 0, 0, 0, 0, 8, 2);
+  const SpeedOfLight sol = speed_of_light(s, cfg);
+  EXPECT_DOUBLE_EQ(sol.map_compute_s,
+                   8e6 / (8.0 * cfg.hw.gpu.sample_rate_per_s));
+}
+
+TEST(SpeedOfLight, TransferFloorsUsePerNodeBandwidth) {
+  const auto cfg = config_with(8);  // 2 nodes
+  const JobStats s = stats_with(0, /*h2d=*/1 << 30, /*d2h=*/1 << 20, 0, 0, 8, 2);
+  const SpeedOfLight sol = speed_of_light(s, cfg);
+  EXPECT_DOUBLE_EQ(sol.h2d_s,
+                   static_cast<double>(1 << 30) / (2.0 * cfg.hw.pcie.bandwidth_Bps));
+  EXPECT_GT(sol.h2d_s, sol.d2h_s);
+}
+
+TEST(SpeedOfLight, PipelinedBoundIsTheMaximumActivity) {
+  const auto cfg = config_with(4);
+  const JobStats s = stats_with(100'000'000, 1 << 28, 1 << 22, 1 << 22, 2'000'000, 4, 1);
+  const SpeedOfLight sol = speed_of_light(s, cfg);
+  const double expected_max = std::max(
+      {sol.map_compute_s, sol.h2d_s, sol.d2h_s, sol.net_s, sol.sort_s, sol.reduce_s});
+  EXPECT_DOUBLE_EQ(sol.pipelined_bound_s, expected_max);
+  EXPECT_DOUBLE_EQ(sol.serial_bound_s, sol.map_compute_s + sol.h2d_s + sol.d2h_s +
+                                           sol.net_s + sol.sort_s + sol.reduce_s);
+  EXPECT_GE(sol.serial_bound_s, sol.pipelined_bound_s);
+}
+
+TEST(SpeedOfLight, DiskIsReportedButExcludedFromBounds) {
+  // §6.3 excludes disk; a huge disk volume must not move the bound.
+  const auto cfg = config_with(2);
+  JobStats s = stats_with(1000, 1000, 1000, 0, 100, 2, 1);
+  const SpeedOfLight before = speed_of_light(s, cfg);
+  s.bytes_disk = 100ull << 30;
+  const SpeedOfLight after = speed_of_light(s, cfg);
+  EXPECT_GT(after.disk_s, 100.0);
+  EXPECT_DOUBLE_EQ(after.pipelined_bound_s, before.pipelined_bound_s);
+}
+
+TEST(SpeedOfLight, EfficiencyBehaviour) {
+  const auto cfg = config_with(2);
+  const JobStats s = stats_with(10'000'000, 1 << 20, 1 << 20, 1 << 20, 100'000, 2, 1);
+  const SpeedOfLight sol = speed_of_light(s, cfg);
+  // Achieving exactly the bound is efficiency 1; half the speed is 0.5.
+  EXPECT_DOUBLE_EQ(sol.efficiency(sol.pipelined_bound_s), 1.0);
+  EXPECT_DOUBLE_EQ(sol.efficiency(2.0 * sol.pipelined_bound_s), 0.5);
+  EXPECT_EQ(sol.efficiency(0.0), 0.0);
+}
+
+TEST(SpeedOfLight, MoreGpusLowerTheComputeFloorOnly) {
+  const JobStats s8 = stats_with(100'000'000, 1 << 28, 1 << 24, 1 << 24, 1'000'000, 8, 2);
+  const JobStats s16 =
+      stats_with(100'000'000, 1 << 28, 1 << 24, 1 << 24, 1'000'000, 16, 4);
+  const SpeedOfLight a = speed_of_light(s8, config_with(8));
+  const SpeedOfLight b = speed_of_light(s16, config_with(16));
+  EXPECT_NEAR(a.map_compute_s / b.map_compute_s, 2.0, 1e-9);
+  // Per-node resources double too (2 -> 4 nodes).
+  EXPECT_NEAR(a.h2d_s / b.h2d_s, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vrmr::mr

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "net/fabric.hpp"
+#include "sim/engine.hpp"
+
+namespace vrmr::net {
+namespace {
+
+FabricModel simple_model() {
+  FabricModel m;
+  m.latency_s = 1e-3;                  // 1 ms wire
+  m.bandwidth_Bps = 1e6;               // 1 MB/s => 1 B = 1 us
+  m.intra_node_bandwidth_Bps = 1e7;
+  m.intra_node_latency_s = 1e-4;
+  m.per_message_overhead_s = 0.0;
+  return m;
+}
+
+TEST(Fabric, PointToPointTiming) {
+  sim::Engine e;
+  Fabric fabric(e, simple_model(), 2);
+  double delivered_at = -1.0;
+  e.schedule_at(0.0, [&] {
+    fabric.send(0, 1, 1000000, [&] { delivered_at = e.now(); });
+  });
+  e.run();
+  // 1 MB at 1 MB/s = 1 s serialization + 1 ms latency.
+  EXPECT_NEAR(delivered_at, 1.001, 1e-9);
+}
+
+TEST(Fabric, SenderPortSerializesMessages) {
+  sim::Engine e;
+  Fabric fabric(e, simple_model(), 3);
+  std::vector<double> deliveries;
+  e.schedule_at(0.0, [&] {
+    fabric.send(0, 1, 1000000, [&] { deliveries.push_back(e.now()); });
+    fabric.send(0, 2, 1000000, [&] { deliveries.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  // Second message waits for the sender's tx port.
+  EXPECT_NEAR(deliveries[0], 1.001, 1e-9);
+  EXPECT_NEAR(deliveries[1], 2.001, 1e-9);
+}
+
+TEST(Fabric, ReceiverPortSerializesIncast) {
+  sim::Engine e;
+  Fabric fabric(e, simple_model(), 3);
+  std::vector<double> deliveries;
+  e.schedule_at(0.0, [&] {
+    fabric.send(0, 2, 1000000, [&] { deliveries.push_back(e.now()); });
+    fabric.send(1, 2, 1000000, [&] { deliveries.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  // Different senders, same receiver: rx port is the bottleneck.
+  EXPECT_NEAR(deliveries[0], 1.001, 1e-9);
+  EXPECT_NEAR(deliveries[1], 2.001, 1e-9);
+}
+
+TEST(Fabric, DisjointPairsProceedInParallel) {
+  sim::Engine e;
+  Fabric fabric(e, simple_model(), 4);
+  std::vector<double> deliveries;
+  e.schedule_at(0.0, [&] {
+    fabric.send(0, 1, 1000000, [&] { deliveries.push_back(e.now()); });
+    fabric.send(2, 3, 1000000, [&] { deliveries.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(deliveries.size(), 2u);
+  EXPECT_NEAR(deliveries[0], 1.001, 1e-9);
+  EXPECT_NEAR(deliveries[1], 1.001, 1e-9);  // no shared port => no queueing
+}
+
+TEST(Fabric, IntraNodeBypassesNic) {
+  sim::Engine e;
+  Fabric fabric(e, simple_model(), 2);
+  double delivered_at = -1.0;
+  e.schedule_at(0.0, [&] {
+    fabric.send(0, 0, 1000000, [&] { delivered_at = e.now(); });
+  });
+  e.run();
+  // 1 MB at 10 MB/s = 0.1 s + 0.1 ms latency; NIC untouched.
+  EXPECT_NEAR(delivered_at, 0.1001, 1e-9);
+  EXPECT_EQ(fabric.tx(0).busy_time(), 0.0);
+  EXPECT_EQ(fabric.inter_node_bytes(), 0u);
+  EXPECT_EQ(fabric.total_bytes(), 1000000u);
+}
+
+TEST(Fabric, PerMessageOverheadCharged) {
+  sim::Engine e;
+  FabricModel m = simple_model();
+  m.per_message_overhead_s = 0.5;
+  Fabric fabric(e, m, 2);
+  double delivered_at = -1.0;
+  e.schedule_at(0.0, [&] { fabric.send(0, 1, 1000000, [&] { delivered_at = e.now(); }); });
+  e.run();
+  EXPECT_NEAR(delivered_at, 1.501, 1e-9);
+}
+
+TEST(Fabric, CountsBytesAndMessages) {
+  sim::Engine e;
+  Fabric fabric(e, simple_model(), 3);
+  e.schedule_at(0.0, [&] {
+    fabric.send(0, 1, 100, nullptr);
+    fabric.send(1, 2, 200, nullptr);
+    fabric.send(2, 2, 300, nullptr);  // intra-node
+  });
+  e.run();
+  EXPECT_EQ(fabric.total_bytes(), 600u);
+  EXPECT_EQ(fabric.inter_node_bytes(), 300u);
+  EXPECT_EQ(fabric.messages(), 3u);
+  fabric.reset_accounting();
+  EXPECT_EQ(fabric.total_bytes(), 0u);
+  EXPECT_EQ(fabric.messages(), 0u);
+}
+
+TEST(Fabric, IdealTransferTimeMatchesUncontendedSend) {
+  sim::Engine e;
+  Fabric fabric(e, simple_model(), 2);
+  double delivered_at = -1.0;
+  e.schedule_at(0.0, [&] { fabric.send(0, 1, 12345, [&] { delivered_at = e.now(); }); });
+  e.run();
+  EXPECT_NEAR(delivered_at, fabric.ideal_transfer_time(0, 1, 12345), 1e-12);
+  EXPECT_LT(fabric.ideal_transfer_time(0, 0, 12345),
+            fabric.ideal_transfer_time(0, 1, 12345));
+}
+
+TEST(Fabric, RejectsBadNodeIds) {
+  sim::Engine e;
+  Fabric fabric(e, simple_model(), 2);
+  EXPECT_THROW(fabric.send(0, 5, 10, nullptr), vrmr::CheckError);
+  EXPECT_THROW(fabric.send(-1, 0, 10, nullptr), vrmr::CheckError);
+}
+
+}  // namespace
+}  // namespace vrmr::net

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/check.hpp"
+
+namespace vrmr::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine e;
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(Engine, ProcessesEventsInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, EqualTimesFireInSchedulingOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine e;
+  double fired_at = -1.0;
+  e.schedule_at(5.0, [&] {
+    e.schedule_after(2.5, [&] { fired_at = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, EventsCanScheduleMoreEvents) {
+  Engine e;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) e.schedule_after(1.0, chain);
+  };
+  e.schedule_at(0.0, chain);
+  e.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(e.now(), 99.0);
+  EXPECT_EQ(e.events_processed(), 100u);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine e;
+  e.schedule_at(10.0, [] {});
+  e.run();
+  EXPECT_THROW(e.schedule_at(5.0, [] {}), vrmr::CheckError);
+}
+
+TEST(Engine, RejectsNullCallback) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(1.0, nullptr), vrmr::CheckError);
+}
+
+TEST(Engine, StepProcessesExactlyOneEvent) {
+  Engine e;
+  int count = 0;
+  e.schedule_at(1.0, [&] { ++count; });
+  e.schedule_at(2.0, [&] { ++count; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(e.now(), 1.0);
+  EXPECT_TRUE(e.step());
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, ResetClearsClockAndQueue) {
+  Engine e;
+  e.schedule_at(1.0, [] {});
+  e.run();
+  e.schedule_at(9.0, [] { FAIL() << "must not fire after reset"; });
+  e.reset();
+  EXPECT_EQ(e.now(), 0.0);
+  EXPECT_TRUE(e.empty());
+  e.run();
+  EXPECT_EQ(e.events_processed(), 0u);
+}
+
+TEST(Join, FiresExactlyAtZero) {
+  int fired = 0;
+  Join join(3, [&] { ++fired; });
+  join.arrive();
+  join.arrive();
+  EXPECT_EQ(fired, 0);
+  join.arrive();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(join.remaining(), 0);
+}
+
+TEST(Join, ZeroCountFiresImmediately) {
+  int fired = 0;
+  Join join(0, [&] { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Join, OverArrivalThrows) {
+  Join join(1, [] {});
+  join.arrive();
+  EXPECT_THROW(join.arrive(), vrmr::CheckError);
+}
+
+}  // namespace
+}  // namespace vrmr::sim

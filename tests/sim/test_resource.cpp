@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/resource.hpp"
+
+namespace vrmr::sim {
+namespace {
+
+TEST(Resource, SerializesOverlappingAcquires) {
+  Engine e;
+  Resource r(e, "disk");
+  std::vector<std::pair<double, double>> intervals;
+  auto record = [&](SimTime s, SimTime t) { intervals.emplace_back(s, t); };
+  e.schedule_at(0.0, [&] {
+    r.acquire(2.0, record);
+    r.acquire(3.0, record);  // queued behind the first
+  });
+  e.run();
+  ASSERT_EQ(intervals.size(), 2u);
+  EXPECT_EQ(intervals[0], std::make_pair(0.0, 2.0));
+  EXPECT_EQ(intervals[1], std::make_pair(2.0, 5.0));
+  EXPECT_EQ(e.now(), 5.0);
+}
+
+TEST(Resource, IdleGapsDoNotAccumulateBusy) {
+  Engine e;
+  Resource r(e, "gpu");
+  e.schedule_at(0.0, [&] { r.acquire(1.0, nullptr); });
+  e.schedule_at(10.0, [&] { r.acquire(1.0, nullptr); });
+  e.run();
+  EXPECT_EQ(r.busy_time(), 2.0);
+  EXPECT_EQ(r.jobs(), 2u);
+  // Second job occupies [10, 11): 2 busy seconds over an 11 s horizon.
+  EXPECT_NEAR(r.utilization(11.0), 2.0 / 11.0, 1e-12);
+}
+
+TEST(Resource, WaitAccounting) {
+  Engine e;
+  Resource r(e, "nic");
+  e.schedule_at(0.0, [&] {
+    r.acquire(4.0, nullptr);
+    r.acquire(1.0, nullptr);  // waits 4
+  });
+  e.run();
+  EXPECT_EQ(r.total_wait(), 4.0);
+  EXPECT_EQ(r.wait_stats().max(), 4.0);
+  EXPECT_EQ(r.wait_stats().count(), 2u);
+}
+
+TEST(Resource, ZeroDurationCompletesAtNow) {
+  Engine e;
+  Resource r(e, "x");
+  double completed = -1.0;
+  e.schedule_at(2.0, [&] { r.acquire(0.0, [&](SimTime, SimTime t) { completed = t; }); });
+  e.run();
+  EXPECT_EQ(completed, 2.0);
+}
+
+TEST(Resource, NegativeDurationThrows) {
+  Engine e;
+  Resource r(e, "x");
+  e.schedule_at(0.0, [&] { EXPECT_THROW(r.acquire(-1.0, nullptr), vrmr::CheckError); });
+  e.run();
+}
+
+TEST(Resource, AcquireMultiStartsWhenAllFree) {
+  Engine e;
+  Resource a(e, "pcie");
+  Resource b(e, "gpu");
+  std::vector<std::pair<double, double>> got;
+  e.schedule_at(0.0, [&] {
+    a.acquire(5.0, nullptr);  // pcie busy until 5
+    b.acquire(2.0, nullptr);  // gpu busy until 2
+    const std::array<Resource*, 2> both = {&a, &b};
+    Resource::acquire_multi(both, 1.0,
+                            [&](SimTime s, SimTime t) { got.emplace_back(s, t); });
+  });
+  e.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], std::make_pair(5.0, 6.0));  // waits for the later of the two
+  EXPECT_EQ(a.free_at(), 6.0);
+  EXPECT_EQ(b.free_at(), 6.0);
+}
+
+TEST(Resource, AcquireMultiChargesBothResources) {
+  Engine e;
+  Resource a(e, "a");
+  Resource b(e, "b");
+  e.schedule_at(0.0, [&] {
+    const std::array<Resource*, 2> both = {&a, &b};
+    Resource::acquire_multi(both, 3.0, nullptr);
+  });
+  e.run();
+  EXPECT_EQ(a.busy_time(), 3.0);
+  EXPECT_EQ(b.busy_time(), 3.0);
+  EXPECT_EQ(a.jobs(), 1u);
+  EXPECT_EQ(b.jobs(), 1u);
+}
+
+TEST(Resource, ResetAccountingKeepsSchedule) {
+  Engine e;
+  Resource r(e, "x");
+  e.schedule_at(0.0, [&] { r.acquire(2.0, nullptr); });
+  e.run();
+  r.reset_accounting();
+  EXPECT_EQ(r.busy_time(), 0.0);
+  EXPECT_EQ(r.jobs(), 0u);
+  EXPECT_EQ(r.free_at(), 2.0);  // schedule preserved
+}
+
+TEST(ResourcePool, UsesLeastLoadedServer) {
+  Engine e;
+  ResourcePool pool(e, "cpu", 2);
+  std::vector<std::pair<double, double>> got;
+  auto record = [&](SimTime s, SimTime t) { got.emplace_back(s, t); };
+  e.schedule_at(0.0, [&] {
+    pool.acquire(4.0, record);  // server 0: [0,4)
+    pool.acquire(1.0, record);  // server 1: [0,1)
+    pool.acquire(1.0, record);  // server 1 again: [1,2)
+  });
+  e.run();
+  // Completions arrive in simulated-time order.
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], std::make_pair(0.0, 1.0));  // server 1, first short job
+  EXPECT_EQ(got[1], std::make_pair(1.0, 2.0));  // server 1, second short job
+  EXPECT_EQ(got[2], std::make_pair(0.0, 4.0));  // server 0, long job
+  EXPECT_EQ(pool.busy_time(), 6.0);
+  EXPECT_EQ(pool.jobs(), 3u);
+}
+
+TEST(ResourcePool, SaturationQueues) {
+  Engine e;
+  ResourcePool pool(e, "cpu", 2);
+  double last_end = 0.0;
+  e.schedule_at(0.0, [&] {
+    for (int i = 0; i < 6; ++i) {
+      pool.acquire(1.0, [&](SimTime, SimTime t) { last_end = std::max(last_end, t); });
+    }
+  });
+  e.run();
+  // 6 unit jobs on 2 servers => makespan 3.
+  EXPECT_EQ(last_end, 3.0);
+}
+
+TEST(ResourcePool, RejectsZeroServers) {
+  Engine e;
+  EXPECT_THROW(ResourcePool(e, "bad", 0), vrmr::CheckError);
+}
+
+}  // namespace
+}  // namespace vrmr::sim

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/aabb.hpp"
+
+namespace vrmr {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::max();
+
+TEST(Aabb, EmptyAndExpand) {
+  Aabb box;
+  EXPECT_TRUE(box.empty());
+  box.expand(Vec3{1, 2, 3});
+  EXPECT_FALSE(box.empty());
+  EXPECT_EQ(box.lo, (Vec3{1, 2, 3}));
+  EXPECT_EQ(box.hi, (Vec3{1, 2, 3}));
+  box.expand(Vec3{-1, 5, 0});
+  EXPECT_EQ(box.lo, (Vec3{-1, 2, 0}));
+  EXPECT_EQ(box.hi, (Vec3{1, 5, 3}));
+  EXPECT_EQ(box.extent(), (Vec3{2, 3, 3}));
+}
+
+TEST(Aabb, ContainsAndOverlaps) {
+  const Aabb a({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(a.contains({0.5f, 0.5f, 0.5f}));
+  EXPECT_TRUE(a.contains({0, 0, 0}));     // faces inclusive
+  EXPECT_TRUE(a.contains({1, 1, 1}));
+  EXPECT_FALSE(a.contains({1.001f, 0.5f, 0.5f}));
+  const Aabb b({0.5f, 0.5f, 0.5f}, {2, 2, 2});
+  const Aabb c({1.5f, 1.5f, 1.5f}, {2, 2, 2});
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_TRUE(b.overlaps(c));
+}
+
+TEST(AabbIntersect, AxisRayHits) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  float t0 = 0, t1 = 0;
+  const Ray ray{{-1, 0.5f, 0.5f}, {1, 0, 0}};
+  ASSERT_TRUE(box.intersect(ray, 0.0f, kInf, &t0, &t1));
+  EXPECT_FLOAT_EQ(t0, 1.0f);
+  EXPECT_FLOAT_EQ(t1, 2.0f);
+}
+
+TEST(AabbIntersect, DiagonalRayHits) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  float t0 = 0, t1 = 0;
+  const Ray ray{{-1, -1, -1}, {1, 1, 1}};  // unnormalized on purpose
+  ASSERT_TRUE(box.intersect(ray, 0.0f, kInf, &t0, &t1));
+  EXPECT_FLOAT_EQ(t0, 1.0f);
+  EXPECT_FLOAT_EQ(t1, 2.0f);
+}
+
+TEST(AabbIntersect, MissesBeside) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  const Ray ray{{-1, 2, 0.5f}, {1, 0, 0}};
+  EXPECT_FALSE(box.intersect(ray, 0.0f, kInf, nullptr, nullptr));
+}
+
+TEST(AabbIntersect, MissesBehind) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  // Box is behind the ray origin; t range [0, inf) excludes it.
+  const Ray ray{{2, 0.5f, 0.5f}, {1, 0, 0}};
+  EXPECT_FALSE(box.intersect(ray, 0.0f, kInf, nullptr, nullptr));
+}
+
+TEST(AabbIntersect, OriginInsideClampsToTmin) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  float t0 = -1, t1 = -1;
+  const Ray ray{{0.5f, 0.5f, 0.5f}, {0, 0, 1}};
+  ASSERT_TRUE(box.intersect(ray, 0.0f, kInf, &t0, &t1));
+  EXPECT_FLOAT_EQ(t0, 0.0f);
+  EXPECT_FLOAT_EQ(t1, 0.5f);
+}
+
+TEST(AabbIntersect, ParallelRayInsideSlab) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  float t0 = 0, t1 = 0;
+  const Ray ray{{-1, 0.5f, 0.5f}, {1, 0, 0}};  // parallel to y and z slabs
+  ASSERT_TRUE(box.intersect(ray, 0.0f, kInf, &t0, &t1));
+  // Parallel ray outside a slab misses.
+  const Ray outside{{-1, 1.5f, 0.5f}, {1, 0, 0}};
+  EXPECT_FALSE(box.intersect(outside, 0.0f, kInf, nullptr, nullptr));
+}
+
+TEST(AabbIntersect, RespectsClipRange) {
+  const Aabb box({0, 0, 0}, {1, 1, 1});
+  const Ray ray{{-1, 0.5f, 0.5f}, {1, 0, 0}};
+  float t0 = 0, t1 = 0;
+  // Clip range ends before the box: miss.
+  EXPECT_FALSE(box.intersect(ray, 0.0f, 0.5f, &t0, &t1));
+  // Clip range starts inside the box: entry clamps to t_min.
+  ASSERT_TRUE(box.intersect(ray, 1.5f, kInf, &t0, &t1));
+  EXPECT_FLOAT_EQ(t0, 1.5f);
+  EXPECT_FLOAT_EQ(t1, 2.0f);
+}
+
+// The property the bricked renderer depends on: two boxes sharing a
+// face partition a crossing ray's interval exactly — A's exit equals
+// B's entry bit-for-bit when the shared plane is the same float.
+TEST(AabbIntersect, SharedFacePartitionsRayExactly) {
+  const float mid = 0.3f;
+  const Aabb a({0, 0, 0}, {mid, 1, 1});
+  const Aabb b({mid, 0, 0}, {1, 1, 1});
+  const Ray ray{{-0.2f, 0.41f, 0.77f}, normalize(Vec3{0.9f, 0.1f, -0.05f})};
+  float a0 = 0, a1 = 0, b0 = 0, b1 = 0;
+  ASSERT_TRUE(a.intersect(ray, 0.0f, kInf, &a0, &a1));
+  ASSERT_TRUE(b.intersect(ray, 0.0f, kInf, &b0, &b1));
+  EXPECT_EQ(a1, b0);  // bitwise equal, not just approximately
+}
+
+}  // namespace
+}  // namespace vrmr

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/color.hpp"
+#include "util/rng.hpp"
+
+namespace vrmr {
+namespace {
+
+TEST(Rgba, BasicAlgebra) {
+  const Rgba a{0.1f, 0.2f, 0.3f, 0.4f};
+  const Rgba b{0.5f, 0.6f, 0.7f, 0.8f};
+  EXPECT_EQ(a + b, (Rgba{0.6f, 0.8f, 1.0f, 1.2f}));
+  EXPECT_EQ(a * 2.0f, (Rgba{0.2f, 0.4f, 0.6f, 0.8f}));
+  EXPECT_EQ(Rgba::transparent(), (Rgba{0, 0, 0, 0}));
+}
+
+TEST(CompositeOver, TransparentIsIdentity) {
+  const Rgba c{0.2f, 0.3f, 0.4f, 0.5f};
+  EXPECT_EQ(composite_over(Rgba::transparent(), c), c);
+  EXPECT_EQ(composite_over(c, Rgba::transparent()), c);
+}
+
+TEST(CompositeOver, OpaqueFrontBlocksBack) {
+  const Rgba front{0.9f, 0.1f, 0.2f, 1.0f};
+  const Rgba back{0.0f, 1.0f, 0.0f, 1.0f};
+  EXPECT_EQ(composite_over(front, back), front);
+}
+
+TEST(CompositeOver, FiftyPercentMix) {
+  const Rgba front{0.5f, 0.0f, 0.0f, 0.5f};  // premultiplied 50% red
+  const Rgba back{0.0f, 1.0f, 0.0f, 1.0f};   // opaque green
+  const Rgba out = composite_over(front, back);
+  EXPECT_FLOAT_EQ(out.r, 0.5f);
+  EXPECT_FLOAT_EQ(out.g, 0.5f);
+  EXPECT_FLOAT_EQ(out.a, 1.0f);
+}
+
+// Associativity is what makes partial-ray compositing (per brick, then
+// across bricks in the reducer) equivalent to a single pass. Exact in
+// real arithmetic; verify to float tolerance over random chains.
+TEST(CompositeOver, AssociativeToFloatTolerance) {
+  Pcg32 rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Rgba> frags;
+    const int n = 2 + static_cast<int>(rng.next_below(8));
+    for (int i = 0; i < n; ++i) {
+      const float a = rng.next_float();
+      frags.push_back(Rgba{rng.next_float() * a, rng.next_float() * a,
+                           rng.next_float() * a, a});
+    }
+    // Left fold.
+    Rgba left = Rgba::transparent();
+    for (const Rgba& f : frags) left = composite_over(left, f);
+    // Split at a random point, fold halves, then combine.
+    const size_t split = 1 + rng.next_below(static_cast<std::uint32_t>(n - 1));
+    Rgba lo = Rgba::transparent(), hi = Rgba::transparent();
+    for (size_t i = 0; i < split; ++i) lo = composite_over(lo, frags[i]);
+    for (size_t i = split; i < frags.size(); ++i) hi = composite_over(hi, frags[i]);
+    const Rgba combined = composite_over(lo, hi);
+    EXPECT_NEAR(left.r, combined.r, 1e-5f);
+    EXPECT_NEAR(left.g, combined.g, 1e-5f);
+    EXPECT_NEAR(left.b, combined.b, 1e-5f);
+    EXPECT_NEAR(left.a, combined.a, 1e-5f);
+  }
+}
+
+TEST(BlendBackground, FullyTransparentShowsBackground) {
+  const Vec3 bg{0.1f, 0.2f, 0.3f};
+  EXPECT_EQ(blend_background(Rgba::transparent(), bg), bg);
+}
+
+TEST(BlendBackground, OpaqueHidesBackground) {
+  const Rgba accum{0.6f, 0.5f, 0.4f, 1.0f};
+  EXPECT_EQ(blend_background(accum, Vec3{1, 1, 1}), (Vec3{0.6f, 0.5f, 0.4f}));
+}
+
+TEST(Premultiply, ClampsAlpha) {
+  const Rgba p = premultiply(Vec4{1.0f, 1.0f, 1.0f, 2.0f});
+  EXPECT_FLOAT_EQ(p.a, 1.0f);
+  const Rgba q = premultiply(Vec4{1.0f, 1.0f, 1.0f, -1.0f});
+  EXPECT_FLOAT_EQ(q.a, 0.0f);
+  EXPECT_FLOAT_EQ(q.r, 0.0f);
+}
+
+TEST(PremultiplyCorrected, ExponentOneMatchesPlain) {
+  const Vec4 s{0.4f, 0.5f, 0.6f, 0.3f};
+  const Rgba a = premultiply_corrected(s, 1.0f);
+  const Rgba b = premultiply(s);
+  EXPECT_NEAR(a.a, b.a, 1e-6f);
+  EXPECT_NEAR(a.r, b.r, 1e-6f);
+}
+
+// Opacity correction: two half-steps must compose to one full step.
+// alpha' for exponent 0.5 applied twice == alpha (within tolerance).
+TEST(PremultiplyCorrected, HalfStepsComposeToFullStep) {
+  for (float alpha : {0.1f, 0.3f, 0.5f, 0.8f, 0.95f}) {
+    const Vec4 s{1.0f, 1.0f, 1.0f, alpha};
+    const Rgba half = premultiply_corrected(s, 0.5f);
+    const Rgba two = composite_over(half, half);
+    EXPECT_NEAR(two.a, alpha, 1e-5f) << "alpha=" << alpha;
+  }
+}
+
+TEST(PremultiplyCorrected, LargerExponentIncreasesOpacity) {
+  const Vec4 s{1.0f, 1.0f, 1.0f, 0.3f};
+  EXPECT_GT(premultiply_corrected(s, 2.0f).a, premultiply_corrected(s, 1.0f).a);
+  EXPECT_LT(premultiply_corrected(s, 0.5f).a, premultiply_corrected(s, 1.0f).a);
+}
+
+}  // namespace
+}  // namespace vrmr

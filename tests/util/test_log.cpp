@@ -1,0 +1,71 @@
+#include <gtest/gtest.h>
+
+#include "util/log.hpp"
+
+namespace vrmr {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(Logger::instance().level()) {}
+  ~LogLevelGuard() { Logger::instance().set_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Logger, SingletonIdentity) {
+  EXPECT_EQ(&Logger::instance(), &Logger::instance());
+}
+
+TEST(Logger, DefaultLevelSuppressesInfo) {
+  const LogLevelGuard guard;
+  Logger::instance().set_level(LogLevel::Warn);
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::Info));
+  EXPECT_FALSE(Logger::instance().enabled(LogLevel::Debug));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::Warn));
+  EXPECT_TRUE(Logger::instance().enabled(LogLevel::Error));
+}
+
+TEST(Logger, LevelOrderingIsMonotonic) {
+  const LogLevelGuard guard;
+  Logger::instance().set_level(LogLevel::Trace);
+  for (const LogLevel level : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+                               LogLevel::Warn, LogLevel::Error}) {
+    EXPECT_TRUE(Logger::instance().enabled(level));
+  }
+  Logger::instance().set_level(LogLevel::Off);
+  for (const LogLevel level : {LogLevel::Trace, LogLevel::Debug, LogLevel::Info,
+                               LogLevel::Warn, LogLevel::Error}) {
+    EXPECT_FALSE(Logger::instance().enabled(level));
+  }
+}
+
+TEST(Logger, MacroShortCircuitsWhenDisabled) {
+  const LogLevelGuard guard;
+  Logger::instance().set_level(LogLevel::Off);
+  int evaluations = 0;
+  const auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  VRMR_DEBUG("test") << expensive();
+  EXPECT_EQ(evaluations, 0);  // stream expression never evaluated
+  Logger::instance().set_level(LogLevel::Trace);
+  VRMR_DEBUG("test") << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Logger, WriteIsSafeAtAllLevels) {
+  const LogLevelGuard guard;
+  Logger::instance().set_level(LogLevel::Trace);
+  // Exercise every level's formatting path (output goes to clog/cerr).
+  VRMR_TRACE("t") << "trace " << 1;
+  VRMR_DEBUG("t") << "debug " << 2.5;
+  VRMR_INFO("t") << "info " << "string";
+  VRMR_WARN("t") << "warn";
+  VRMR_ERROR("t") << "error";
+}
+
+}  // namespace
+}  // namespace vrmr

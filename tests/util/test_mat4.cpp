@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/mat4.hpp"
+
+namespace vrmr {
+namespace {
+
+void expect_mat_near(const Mat4& a, const Mat4& b, float tol = 1e-5f) {
+  for (int i = 0; i < 4; ++i)
+    for (int j = 0; j < 4; ++j)
+      EXPECT_NEAR(a.at(i, j), b.at(i, j), tol) << "at (" << i << "," << j << ")";
+}
+
+TEST(Mat4, IdentityIsMultiplicativeNeutral) {
+  const Mat4 id = Mat4::identity();
+  const Mat4 m = Mat4::translate({1, 2, 3}) * Mat4::scale({2, 2, 2});
+  expect_mat_near(m * id, m);
+  expect_mat_near(id * m, m);
+}
+
+TEST(Mat4, TranslateMovesPoints) {
+  const Mat4 t = Mat4::translate({1, -2, 3});
+  EXPECT_EQ(t.transform_point({0, 0, 0}), (Vec3{1, -2, 3}));
+  // Directions are unaffected by translation.
+  EXPECT_EQ(t.transform_vector({1, 1, 1}), (Vec3{1, 1, 1}));
+}
+
+TEST(Mat4, ScaleScalesPointsAndVectors) {
+  const Mat4 s = Mat4::scale({2, 3, 4});
+  EXPECT_EQ(s.transform_point({1, 1, 1}), (Vec3{2, 3, 4}));
+  EXPECT_EQ(s.transform_vector({1, 1, 1}), (Vec3{2, 3, 4}));
+}
+
+TEST(Mat4, RotationPreservesLengthAndAngle) {
+  const Mat4 r = Mat4::rotate({0, 0, 1}, static_cast<float>(M_PI / 2)); // 90° about z
+  const Vec3 rotated = r.transform_vector({1, 0, 0});
+  EXPECT_NEAR(rotated.x, 0.0f, 1e-6f);
+  EXPECT_NEAR(rotated.y, 1.0f, 1e-6f);
+  EXPECT_NEAR(rotated.z, 0.0f, 1e-6f);
+  const Vec3 v{0.3f, -0.7f, 0.9f};
+  EXPECT_NEAR(length(r.transform_vector(v)), length(v), 1e-5f);
+}
+
+TEST(Mat4, InverseRoundTrips) {
+  const Mat4 m = Mat4::translate({1, 2, 3}) *
+                 Mat4::rotate(normalize(Vec3{1, 2, -1}), 0.8f) * Mat4::scale({2, 0.5f, 3});
+  expect_mat_near(m * m.inverse(), Mat4::identity(), 1e-4f);
+  expect_mat_near(m.inverse() * m, Mat4::identity(), 1e-4f);
+}
+
+TEST(Mat4, InverseOfSingularThrows) {
+  EXPECT_THROW((void)Mat4::zero().inverse(), CheckError);
+  EXPECT_THROW((void)Mat4::scale({1, 1, 0}).inverse(), CheckError);
+}
+
+TEST(Mat4, TransposeInvolution) {
+  const Mat4 m = Mat4::rotate({0, 1, 0}, 0.3f) * Mat4::translate({4, 5, 6});
+  expect_mat_near(m.transposed().transposed(), m);
+}
+
+TEST(Mat4, LookAtMapsEyeToOriginAndTargetToMinusZ) {
+  const Vec3 eye{3, 4, 5};
+  const Vec3 target{0, 0, 0};
+  const Mat4 view = Mat4::look_at(eye, target, {0, 1, 0});
+  const Vec3 eye_cam = view.transform_point(eye);
+  EXPECT_NEAR(eye_cam.x, 0.0f, 1e-5f);
+  EXPECT_NEAR(eye_cam.y, 0.0f, 1e-5f);
+  EXPECT_NEAR(eye_cam.z, 0.0f, 1e-5f);
+  const Vec3 target_cam = view.transform_point(target);
+  EXPECT_NEAR(target_cam.x, 0.0f, 1e-4f);
+  EXPECT_NEAR(target_cam.y, 0.0f, 1e-4f);
+  EXPECT_LT(target_cam.z, 0.0f);  // right-handed: forward is -z
+}
+
+TEST(Mat4, PerspectiveMapsFrustumCorners) {
+  const float fovy = static_cast<float>(M_PI / 2);  // tan(fovy/2) = 1
+  const Mat4 proj = Mat4::perspective(fovy, 1.0f, 1.0f, 10.0f);
+  // A point on the near plane's top edge maps to ndc y = +1.
+  const Vec3 top_near = proj.transform_point({0, 1, -1});
+  EXPECT_NEAR(top_near.y, 1.0f, 1e-5f);
+  EXPECT_NEAR(top_near.z, -1.0f, 1e-5f);
+  // A point on the far plane maps to ndc z = +1.
+  const Vec3 far_center = proj.transform_point({0, 0, -10});
+  EXPECT_NEAR(far_center.z, 1.0f, 1e-5f);
+}
+
+TEST(Mat4, PerspectiveRejectsBadArguments) {
+  EXPECT_THROW((void)Mat4::perspective(-1.0f, 1.0f, 0.1f, 10.0f), CheckError);
+  EXPECT_THROW((void)Mat4::perspective(1.0f, 1.0f, 10.0f, 0.1f), CheckError);
+}
+
+}  // namespace
+}  // namespace vrmr

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace vrmr {
+namespace {
+
+TEST(SplitMix64, DeterministicSequence) {
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Pcg32, DeterministicAcrossInstances) {
+  Pcg32 a(99, 7);
+  Pcg32 b(99, 7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(99, 1);
+  Pcg32 b(99, 2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u32() == b.next_u32()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+TEST(Pcg32, FloatInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.next_float();
+    EXPECT_GE(f, 0.0f);
+    EXPECT_LT(f, 1.0f);
+  }
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformRespectsBounds) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const float v = rng.uniform(-3.0f, 5.0f);
+    EXPECT_GE(v, -3.0f);
+    EXPECT_LT(v, 5.0f);
+  }
+}
+
+TEST(Pcg32, NextBelowIsInRangeAndRoughlyUniform) {
+  Pcg32 rng(13);
+  constexpr std::uint32_t bound = 10;
+  std::vector<int> counts(bound, 0);
+  constexpr int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    const std::uint32_t v = rng.next_below(bound);
+    ASSERT_LT(v, bound);
+    ++counts[v];
+  }
+  // Each bin should be within 10% of the expected count.
+  for (std::uint32_t b = 0; b < bound; ++b) {
+    EXPECT_NEAR(counts[b], draws / bound, draws / bound / 10) << "bin " << b;
+  }
+}
+
+TEST(Pcg32, NextBelowZeroBound) {
+  Pcg32 rng(17);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Pcg32, MeanOfUnitDrawsNearHalf) {
+  Pcg32 rng(19);
+  double sum = 0.0;
+  constexpr int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_float();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(LatticeNoise, DeterministicAndUnitRange) {
+  for (int i = 0; i < 100; ++i) {
+    const float a = lattice_noise(i, i * 3, -i, 42);
+    const float b = lattice_noise(i, i * 3, -i, 42);
+    EXPECT_EQ(a, b);
+    EXPECT_GE(a, 0.0f);
+    EXPECT_LT(a, 1.0f);
+  }
+}
+
+TEST(LatticeNoise, SeedChangesField) {
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (lattice_noise(i, 0, 0, 1) == lattice_noise(i, 0, 0, 2)) ++same;
+  }
+  EXPECT_LE(same, 2);
+}
+
+TEST(HashU32, AvalanchesSingleBitFlips) {
+  // Flipping one input bit should flip many output bits on average.
+  int total_flips = 0;
+  for (std::uint32_t x = 1; x < 100; ++x) {
+    const std::uint32_t h0 = hash_u32(x);
+    const std::uint32_t h1 = hash_u32(x ^ 1u);
+    total_flips += __builtin_popcount(h0 ^ h1);
+  }
+  EXPECT_GT(total_flips / 99.0, 10.0);  // expect ~16 of 32 bits
+}
+
+}  // namespace
+}  // namespace vrmr

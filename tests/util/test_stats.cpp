@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace vrmr {
+namespace {
+
+TEST(StatAccumulator, EmptyIsZero) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.sum(), 0.0);
+}
+
+TEST(StatAccumulator, KnownValues) {
+  StatAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(v);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);  // classic population-variance example
+  EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(StatAccumulator, MergeEqualsSequential) {
+  Pcg32 rng(5);
+  StatAccumulator whole, lo, hi;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double() * 100 - 50;
+    whole.add(v);
+    (i < 400 ? lo : hi).add(v);
+  }
+  lo.merge(hi);
+  EXPECT_EQ(lo.count(), whole.count());
+  EXPECT_NEAR(lo.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(lo.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(lo.min(), whole.min());
+  EXPECT_DOUBLE_EQ(lo.max(), whole.max());
+}
+
+TEST(StatAccumulator, MergeWithEmptySides) {
+  StatAccumulator a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);  // empty lhs: copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(StatAccumulator, ResetClears) {
+  StatAccumulator acc;
+  acc.add(5.0);
+  acc.reset();
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.sum(), 0.0);
+}
+
+TEST(Percentile, EndpointsAndMedian) {
+  std::vector<double> v{5, 1, 3, 2, 4};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Percentile, SingleSampleAndErrors) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+  EXPECT_THROW((void)percentile({}, 50), CheckError);
+  EXPECT_THROW((void)percentile({1.0}, 101), CheckError);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);    // bin 0
+  h.add(9.9);    // bin 4
+  h.add(-5.0);   // clamps to bin 0
+  h.add(100.0);  // clamps to bin 4
+  h.add(5.0);    // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(2), 1u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_EQ(h.bin_count(1), 0u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 5), CheckError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), CheckError);
+}
+
+TEST(Histogram, AsciiRendersAllBins) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.6);
+  const std::string art = h.ascii(10);
+  // One line per bin.
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
+}
+
+}  // namespace
+}  // namespace vrmr

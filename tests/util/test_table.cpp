@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+#include "util/units.hpp"
+
+namespace vrmr {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), CheckError);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(1.0, 0), "1");
+  EXPECT_EQ(Table::num(-0.5, 3), "-0.500");
+}
+
+TEST(Table, CsvBasics) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters) {
+  Table t({"a", "b"});
+  t.add_row({"has,comma", "has\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"x"});
+  t.add_row({"short"});
+  t.add_row({"a-much-longer-cell"});
+  const std::string s = t.to_string();
+  // Every data line has the same length.
+  size_t first_len = std::string::npos;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    const size_t eol = s.find('\n', pos);
+    const std::string line = s.substr(pos, eol - pos);
+    if (first_len == std::string::npos) first_len = line.size();
+    EXPECT_EQ(line.size(), first_len);
+    pos = eol + 1;
+  }
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_NE(format_bytes(2048).find("KiB"), std::string::npos);
+  EXPECT_NE(format_bytes(5ULL << 20).find("MiB"), std::string::npos);
+  EXPECT_NE(format_bytes(3ULL << 30).find("GiB"), std::string::npos);
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_NE(format_seconds(2.5).find("s"), std::string::npos);
+  EXPECT_NE(format_seconds(0.002).find("ms"), std::string::npos);
+  EXPECT_NE(format_seconds(2e-6).find("us"), std::string::npos);
+  EXPECT_NE(format_seconds(2e-9).find("ns"), std::string::npos);
+}
+
+TEST(Units, FormatRate) {
+  EXPECT_NE(format_rate(1.5e9, "B").find("GB/s"), std::string::npos);
+  EXPECT_NE(format_rate(2.5e6, "vox").find("Mvox/s"), std::string::npos);
+  EXPECT_NE(format_rate(42.0, "f").find("f/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vrmr

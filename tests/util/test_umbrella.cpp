@@ -1,0 +1,24 @@
+// Compilation check for the public umbrella header: everything the
+// README advertises must be reachable through one include.
+
+#include "vrmr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, PublicApiIsReachable) {
+  vrmr::sim::Engine engine;
+  vrmr::cluster::Cluster cluster(engine,
+                                 vrmr::cluster::ClusterConfig::with_total_gpus(2));
+  const vrmr::volren::Volume volume = vrmr::volren::datasets::skull({16, 16, 16});
+  vrmr::volren::RenderOptions options;
+  options.image_width = 32;
+  options.image_height = 32;
+  const vrmr::volren::RenderResult result =
+      vrmr::volren::render_mapreduce(cluster, volume, options);
+  EXPECT_EQ(result.image.width(), 32);
+  EXPECT_GT(result.stats.runtime_s, 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/vec.hpp"
+
+namespace vrmr {
+namespace {
+
+TEST(Vec3, ComponentwiseArithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Vec3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Vec3{3, 3, 3}));
+  EXPECT_EQ(a * b, (Vec3{4, 10, 18}));
+  EXPECT_EQ(b / a, (Vec3{4, 2.5f, 2}));
+  EXPECT_EQ(a * 2.0f, (Vec3{2, 4, 6}));
+  EXPECT_EQ(2.0f * a, (Vec3{2, 4, 6}));
+  EXPECT_EQ(a / 2.0f, (Vec3{0.5f, 1, 1.5f}));
+  EXPECT_EQ(-a, (Vec3{-1, -2, -3}));
+}
+
+TEST(Vec3, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += Vec3{1, 2, 3};
+  EXPECT_EQ(v, (Vec3{2, 3, 4}));
+  v -= Vec3{1, 1, 1};
+  EXPECT_EQ(v, (Vec3{1, 2, 3}));
+  v *= 3.0f;
+  EXPECT_EQ(v, (Vec3{3, 6, 9}));
+  v /= 3.0f;
+  EXPECT_EQ(v, (Vec3{1, 2, 3}));
+}
+
+TEST(Vec3, DotAndCross) {
+  EXPECT_FLOAT_EQ(dot(Vec3{1, 2, 3}, Vec3{4, 5, 6}), 32.0f);
+  EXPECT_EQ(cross(Vec3{1, 0, 0}, Vec3{0, 1, 0}), (Vec3{0, 0, 1}));
+  EXPECT_EQ(cross(Vec3{0, 1, 0}, Vec3{1, 0, 0}), (Vec3{0, 0, -1}));
+  // Cross product is perpendicular to both inputs.
+  const Vec3 a{1.5f, -2.0f, 0.7f};
+  const Vec3 b{-0.3f, 4.0f, 2.2f};
+  const Vec3 c = cross(a, b);
+  EXPECT_NEAR(dot(a, c), 0.0f, 1e-5f);
+  EXPECT_NEAR(dot(b, c), 0.0f, 1e-5f);
+}
+
+TEST(Vec3, LengthAndNormalize) {
+  EXPECT_FLOAT_EQ(length(Vec3{3, 4, 0}), 5.0f);
+  EXPECT_FLOAT_EQ(length_squared(Vec3{3, 4, 0}), 25.0f);
+  const Vec3 n = normalize(Vec3{3, 4, 0});
+  EXPECT_NEAR(length(n), 1.0f, 1e-6f);
+  // Normalizing the zero vector must not produce NaN.
+  const Vec3 z = normalize(Vec3{0, 0, 0});
+  EXPECT_EQ(z, (Vec3{0, 0, 0}));
+}
+
+TEST(Vec3, MinMaxClampLerp) {
+  const Vec3 a{1, 5, 3};
+  const Vec3 b{2, 4, 3};
+  EXPECT_EQ(min(a, b), (Vec3{1, 4, 3}));
+  EXPECT_EQ(max(a, b), (Vec3{2, 5, 3}));
+  EXPECT_EQ(clamp(Vec3{-1, 10, 2}, Vec3{0, 0, 0}, Vec3{5, 5, 5}), (Vec3{0, 5, 2}));
+  EXPECT_EQ(lerp(Vec3{0, 0, 0}, Vec3{2, 4, 6}, 0.5f), (Vec3{1, 2, 3}));
+  EXPECT_FLOAT_EQ(lerpf(1.0f, 3.0f, 0.25f), 1.5f);
+  EXPECT_FLOAT_EQ(clampf(7.0f, 0.0f, 5.0f), 5.0f);
+  EXPECT_FLOAT_EQ(clampf(-7.0f, 0.0f, 5.0f), 0.0f);
+}
+
+TEST(Vec3, IndexAccess) {
+  Vec3 v{7, 8, 9};
+  EXPECT_FLOAT_EQ(v[0], 7);
+  EXPECT_FLOAT_EQ(v[1], 8);
+  EXPECT_FLOAT_EQ(v[2], 9);
+  v[1] = 42;
+  EXPECT_FLOAT_EQ(v.y, 42);
+}
+
+TEST(Vec4, BasicOps) {
+  const Vec4 a{1, 2, 3, 4};
+  const Vec4 b{5, 6, 7, 8};
+  EXPECT_EQ(a + b, (Vec4{6, 8, 10, 12}));
+  EXPECT_EQ(b - a, (Vec4{4, 4, 4, 4}));
+  EXPECT_EQ(a * 2.0f, (Vec4{2, 4, 6, 8}));
+  EXPECT_FLOAT_EQ(dot(a, b), 70.0f);
+  EXPECT_EQ(a.xyz(), (Vec3{1, 2, 3}));
+  EXPECT_EQ(lerp(a, b, 0.5f), (Vec4{3, 4, 5, 6}));
+}
+
+TEST(Int3, ArithmeticAndVolume) {
+  const Int3 a{1, 2, 3};
+  const Int3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Int3{5, 7, 9}));
+  EXPECT_EQ(b - a, (Int3{3, 3, 3}));
+  EXPECT_EQ(a * 3, (Int3{3, 6, 9}));
+  EXPECT_EQ(a.volume(), 6);
+  // 1024^3 must not overflow 32 bits.
+  EXPECT_EQ((Int3{1024, 1024, 1024}).volume(), 1073741824LL);
+  EXPECT_EQ((Int3{2048, 2048, 2048}).volume(), 8589934592LL);
+}
+
+TEST(Int3, MinMaxAndConversion) {
+  EXPECT_EQ(min(Int3{1, 5, 3}, Int3{2, 4, 3}), (Int3{1, 4, 3}));
+  EXPECT_EQ(max(Int3{1, 5, 3}, Int3{2, 4, 3}), (Int3{2, 5, 3}));
+  EXPECT_EQ(to_vec3(Int3{1, 2, 3}), (Vec3{1.0f, 2.0f, 3.0f}));
+}
+
+TEST(CeilDiv, Cases) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(0, 5), 0);
+  EXPECT_EQ(ceil_div64(1LL << 40, 3), ((1LL << 40) + 2) / 3);
+}
+
+}  // namespace
+}  // namespace vrmr

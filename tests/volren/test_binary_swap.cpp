@@ -1,0 +1,122 @@
+// Binary-swap compositor (the §6 ablation baseline): image correctness
+// against the reference renderer and against the MapReduce direct-send
+// path, plus the structural properties of the exchange rounds.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/cluster.hpp"
+#include "sim/engine.hpp"
+#include "volren/binary_swap.hpp"
+#include "volren/datasets.hpp"
+#include "volren/reference.hpp"
+#include "volren/renderer.hpp"
+
+namespace vrmr::volren {
+namespace {
+
+RenderOptions exact_options() {
+  RenderOptions opt;
+  opt.image_width = 80;
+  opt.image_height = 64;
+  opt.cast.ert_threshold = 2.0f;  // exact compositing
+  opt.transfer = TransferFunction::bone();
+  return opt;
+}
+
+class BinarySwapGpuSweep : public testing::TestWithParam<int> {};
+
+TEST_P(BinarySwapGpuSweep, MatchesReferenceImage) {
+  const int gpus = GetParam();
+  const Volume volume = datasets::skull({48, 48, 48});
+  const RenderOptions opt = exact_options();
+
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterConfig::with_total_gpus(gpus));
+  const BinarySwapResult swap = render_binary_swap(cluster, volume, opt);
+
+  const ReferenceResult reference =
+      render_reference(volume, make_frame(volume, opt), opt.background);
+  const ImageDiff diff = compare_images(swap.image, reference.image);
+  EXPECT_LT(diff.max_abs, 1e-4) << "gpus=" << gpus;
+  EXPECT_EQ(swap.rounds, gpus > 1 ? static_cast<int>(std::log2(gpus)) : 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(PowersOfTwo, BinarySwapGpuSweep, testing::Values(1, 2, 4, 8, 16));
+
+TEST(BinarySwap, MatchesDirectSendImage) {
+  const Volume volume = datasets::supernova({40, 40, 40});
+  const RenderOptions opt = exact_options();
+
+  sim::Engine e1;
+  cluster::Cluster c1(e1, cluster::ClusterConfig::with_total_gpus(8));
+  const BinarySwapResult swap = render_binary_swap(c1, volume, opt);
+
+  sim::Engine e2;
+  cluster::Cluster c2(e2, cluster::ClusterConfig::with_total_gpus(8));
+  const RenderResult direct = render_mapreduce(c2, volume, opt);
+
+  const ImageDiff diff = compare_images(swap.image, direct.image);
+  EXPECT_LT(diff.max_abs, 1e-4);
+}
+
+TEST(BinarySwap, RejectsNonPowerOfTwoGpuCounts) {
+  const Volume volume = datasets::skull({32, 32, 32});
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterConfig::with_total_gpus(6));
+  EXPECT_THROW((void)render_binary_swap(cluster, volume, exact_options()), CheckError);
+}
+
+TEST(BinarySwap, ExchangeBytesFollowClassicFormula) {
+  // Each round, every GPU ships half of its current region; with G GPUs
+  // and P pixels the total is G * P * 16 * (1/2 + 1/4 + ...) bytes.
+  const Volume volume = datasets::skull({32, 32, 32});
+  const RenderOptions opt = exact_options();
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterConfig::with_total_gpus(4));
+  const BinarySwapResult swap = render_binary_swap(cluster, volume, opt);
+  const std::uint64_t pixels = 80 * 64;
+  const std::uint64_t expected =
+      4ULL * pixels * sizeof(Rgba) / 2 + 4ULL * pixels * sizeof(Rgba) / 4;
+  EXPECT_EQ(swap.bytes_net, expected);
+}
+
+TEST(BinarySwap, TimingPhasesAreAccounted) {
+  const Volume volume = datasets::skull({32, 32, 32});
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterConfig::with_total_gpus(8));
+  const BinarySwapResult swap = render_binary_swap(cluster, volume, exact_options());
+  EXPECT_GT(swap.map_s, 0.0);
+  EXPECT_GT(swap.swap_s, 0.0);
+  EXPECT_NEAR(swap.map_s + swap.swap_s, swap.runtime_s, 1e-9);
+  EXPECT_GT(swap.fragments, 0u);
+  EXPECT_GT(swap.total_samples, 0u);
+  EXPECT_NEAR(swap.fps() * swap.runtime_s, 1.0, 1e-9);
+}
+
+TEST(BinarySwap, SingleGpuHasNoExchange) {
+  const Volume volume = datasets::skull({32, 32, 32});
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterConfig::with_total_gpus(1));
+  const BinarySwapResult swap = render_binary_swap(cluster, volume, exact_options());
+  EXPECT_EQ(swap.rounds, 0);
+  EXPECT_EQ(swap.bytes_net, 0u);
+  EXPECT_EQ(swap.swap_s, 0.0);
+}
+
+TEST(BinarySwap, ErtStaysWithinBoundOfReference) {
+  const Volume volume = datasets::skull({48, 48, 48});
+  RenderOptions opt = exact_options();
+  opt.cast.ert_threshold = 0.98f;
+  opt.transfer = TransferFunction::grayscale_ramp(0.95f);
+  sim::Engine engine;
+  cluster::Cluster cluster(engine, cluster::ClusterConfig::with_total_gpus(4));
+  const BinarySwapResult swap = render_binary_swap(cluster, volume, opt);
+  const ReferenceResult reference =
+      render_reference(volume, make_frame(volume, opt), opt.background);
+  EXPECT_LT(compare_images(swap.image, reference.image).max_abs, 3.0 * 0.02 + 1e-4);
+}
+
+}  // namespace
+}  // namespace vrmr::volren

@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "volren/bricking.hpp"
+
+namespace vrmr::volren {
+namespace {
+
+struct LayoutCase {
+  Int3 dims;
+  int brick_size;
+};
+
+class BrickLayoutProperties : public testing::TestWithParam<LayoutCase> {};
+
+// Core regions must tile the volume exactly: every voxel in exactly one
+// brick's core.
+TEST_P(BrickLayoutProperties, CoresTileVolumeExactly) {
+  const auto& [dims, brick_size] = GetParam();
+  const BrickLayout layout(dims, Vec3{1, 1, 1}, brick_size, 1);
+  std::int64_t covered = 0;
+  for (const BrickInfo& b : layout.bricks()) {
+    covered += b.core_voxels();
+    // Core within the volume.
+    EXPECT_GE(b.core_origin.x, 0);
+    EXPECT_LE(b.core_origin.x + b.core_dims.x, dims.x);
+    EXPECT_LE(b.core_origin.y + b.core_dims.y, dims.y);
+    EXPECT_LE(b.core_origin.z + b.core_dims.z, dims.z);
+  }
+  EXPECT_EQ(covered, dims.volume());
+}
+
+TEST_P(BrickLayoutProperties, PaddedRegionsContainCorePlusGhost) {
+  const auto& [dims, brick_size] = GetParam();
+  const int ghost = 1;
+  const BrickLayout layout(dims, Vec3{1, 1, 1}, brick_size, ghost);
+  for (const BrickInfo& b : layout.bricks()) {
+    for (int axis = 0; axis < 3; ++axis) {
+      // Padded covers the core.
+      EXPECT_LE(b.padded_origin[axis], b.core_origin[axis]);
+      EXPECT_GE(b.padded_origin[axis] + b.padded_dims[axis],
+                b.core_origin[axis] + b.core_dims[axis]);
+      // Ghost extends by exactly `ghost` voxels except at volume faces.
+      if (b.core_origin[axis] > 0) {
+        EXPECT_EQ(b.padded_origin[axis], b.core_origin[axis] - ghost);
+      } else {
+        EXPECT_EQ(b.padded_origin[axis], 0);
+      }
+      const int core_end = b.core_origin[axis] + b.core_dims[axis];
+      const int padded_end = b.padded_origin[axis] + b.padded_dims[axis];
+      if (core_end < dims[axis]) {
+        EXPECT_EQ(padded_end, core_end + ghost);
+      } else {
+        EXPECT_EQ(padded_end, dims[axis]);
+      }
+    }
+  }
+}
+
+TEST_P(BrickLayoutProperties, IdsMatchGridOrder) {
+  const auto& [dims, brick_size] = GetParam();
+  const BrickLayout layout(dims, Vec3{1, 1, 1}, brick_size, 1);
+  for (int id = 0; id < layout.num_bricks(); ++id) {
+    EXPECT_EQ(layout.brick(id).id, id);
+    EXPECT_EQ(layout.brick_id(layout.brick(id).grid_pos), id);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BrickLayoutProperties,
+                         testing::Values(LayoutCase{{32, 32, 32}, 32},   // single brick
+                                         LayoutCase{{32, 32, 32}, 16},   // 2x2x2
+                                         LayoutCase{{48, 48, 48}, 20},   // uneven edges
+                                         LayoutCase{{33, 17, 9}, 8},     // ragged
+                                         LayoutCase{{16, 16, 64}, 16},   // plume-like
+                                         LayoutCase{{100, 10, 10}, 7}));
+
+// Neighboring bricks must share world-face coordinates bit-exactly —
+// the foundation of the half-open sample-ownership rule (see
+// bricking.cpp).
+TEST(BrickLayout, NeighborFacesAreBitIdentical) {
+  const Int3 dims{48, 40, 56};
+  const Vec3 extent{1.0f, 40.0f / 56.0f, 48.0f / 56.0f};  // arbitrary aspect
+  const BrickLayout layout(dims, extent, 16, 1);
+  const Int3 grid = layout.grid_dims();
+  for (int z = 0; z < grid.z; ++z) {
+    for (int y = 0; y < grid.y; ++y) {
+      for (int x = 0; x + 1 < grid.x; ++x) {
+        const BrickInfo& a = layout.brick(layout.brick_id({x, y, z}));
+        const BrickInfo& b = layout.brick(layout.brick_id({x + 1, y, z}));
+        EXPECT_EQ(a.world_box.hi.x, b.world_box.lo.x);  // bitwise
+      }
+    }
+  }
+}
+
+TEST(BrickLayout, OuterFacesMatchVolumeBoxExactly) {
+  const Int3 dims{24, 48, 36};
+  const Vec3 extent{0.5f, 1.0f, 0.75f};
+  const BrickLayout layout(dims, extent, 16, 1);
+  Aabb bounds;
+  for (const BrickInfo& b : layout.bricks()) bounds.expand(b.world_box);
+  EXPECT_EQ(bounds.lo, (Vec3{0, 0, 0}));
+  EXPECT_EQ(bounds.hi, extent);  // bitwise: (d/d)*e == e
+}
+
+TEST(BrickLayout, GridDimsMatchCeilDiv) {
+  const BrickLayout layout(Int3{100, 50, 25}, Vec3{1, 0.5f, 0.25f}, 16, 1);
+  EXPECT_EQ(layout.grid_dims(), (Int3{7, 4, 2}));
+  EXPECT_EQ(layout.num_bricks(), 56);
+}
+
+TEST(BrickLayout, DeviceBytesIncludeGhost) {
+  const BrickLayout layout(Int3{32, 32, 32}, Vec3{1, 1, 1}, 16, 1);
+  // Interior-corner brick at grid (0,0,0): padded 17^3 (+1 ghost on the
+  // high side only, clamped at the low volume faces).
+  EXPECT_EQ(layout.brick(0).device_bytes(), 17ULL * 17 * 17 * 4);
+  // Center brick of a 3x3x3 layout has ghost on all sides.
+  const BrickLayout layout3(Int3{48, 48, 48}, Vec3{1, 1, 1}, 16, 1);
+  const BrickInfo& center = layout3.brick(layout3.brick_id({1, 1, 1}));
+  EXPECT_EQ(center.padded_dims, (Int3{18, 18, 18}));
+}
+
+TEST(BrickLayout, RejectsBadArguments) {
+  EXPECT_THROW(BrickLayout(Int3{0, 4, 4}, Vec3{1, 1, 1}, 2, 1), CheckError);
+  EXPECT_THROW(BrickLayout(Int3{4, 4, 4}, Vec3{1, 1, 1}, 1, 1), CheckError);
+  EXPECT_THROW(BrickLayout(Int3{4, 4, 4}, Vec3{1, 1, 1}, 4, -1), CheckError);
+}
+
+TEST(ChooseBrickSize, HitsTargetWithinFactorOfFour) {
+  // §6: configurations work best when bricks ≈ GPUs (within ~4x).
+  for (int target : {1, 2, 4, 8, 16, 32}) {
+    const int size = BrickLayout::choose_brick_size(Int3{256, 256, 256}, target);
+    const BrickLayout layout(Int3{256, 256, 256}, Vec3{1, 1, 1}, size, 1);
+    EXPECT_GE(layout.num_bricks(), target) << "target " << target;
+    EXPECT_LE(layout.num_bricks(), target * 8) << "target " << target;
+  }
+}
+
+TEST(ChooseBrickSize, SingleBrickForTargetOne) {
+  EXPECT_EQ(BrickLayout::choose_brick_size(Int3{64, 64, 64}, 1), 64);
+  // Non-cubic: single brick needs the max dimension.
+  const int size = BrickLayout::choose_brick_size(Int3{32, 32, 128}, 1);
+  EXPECT_EQ(size, 128);
+}
+
+}  // namespace
+}  // namespace vrmr::volren

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "volren/datasets.hpp"
+
+namespace vrmr::volren {
+namespace {
+
+struct DatasetCase {
+  std::string name;
+  Int3 dims;
+};
+
+class DatasetProperties : public testing::TestWithParam<DatasetCase> {};
+
+TEST_P(DatasetProperties, ValuesInUnitRange) {
+  const auto& [name, dims] = GetParam();
+  const Volume v = datasets::by_name(name, dims);
+  // Sample a lattice of voxels across the whole extent.
+  for (int z = 0; z < dims.z; z += std::max(1, dims.z / 7)) {
+    for (int y = 0; y < dims.y; y += std::max(1, dims.y / 7)) {
+      for (int x = 0; x < dims.x; x += std::max(1, dims.x / 7)) {
+        const float val = v.voxel_clamped({x, y, z});
+        ASSERT_GE(val, 0.0f) << name << " at " << Int3{x, y, z};
+        ASSERT_LE(val, 1.0f) << name << " at " << Int3{x, y, z};
+      }
+    }
+  }
+}
+
+TEST_P(DatasetProperties, HasStructure) {
+  // The proxies must be neither empty nor solid: some occupancy, some
+  // empty space (what drives early-ray termination and fragment
+  // discard rates in the evaluation).
+  const auto& [name, dims] = GetParam();
+  const Volume v = datasets::by_name(name, dims);
+  int occupied = 0, total = 0;
+  for (int z = 0; z < dims.z; z += 2) {
+    for (int y = 0; y < dims.y; y += 2) {
+      for (int x = 0; x < dims.x; x += 2) {
+        ++total;
+        if (v.voxel_clamped({x, y, z}) > 0.05f) ++occupied;
+      }
+    }
+  }
+  const double fraction = static_cast<double>(occupied) / total;
+  EXPECT_GT(fraction, 0.02) << name;
+  EXPECT_LT(fraction, 0.95) << name;
+}
+
+TEST_P(DatasetProperties, DeterministicAcrossInstances) {
+  const auto& [name, dims] = GetParam();
+  const Volume a = datasets::by_name(name, dims);
+  const Volume b = datasets::by_name(name, dims);
+  for (int i = 0; i < dims.x; ++i) {
+    const Int3 p{i, (i * 7) % dims.y, (i * 3) % dims.z};
+    EXPECT_EQ(a.voxel_clamped(p), b.voxel_clamped(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, DatasetProperties,
+    testing::Values(DatasetCase{"skull", {32, 32, 32}},
+                    DatasetCase{"skull", {48, 40, 44}},
+                    DatasetCase{"supernova", {32, 32, 32}},
+                    DatasetCase{"plume", {16, 16, 64}}),
+    [](const testing::TestParamInfo<DatasetCase>& param_info) {
+      return param_info.param.name + "_" + std::to_string(param_info.param.dims.x) +
+             "x" + std::to_string(param_info.param.dims.y) + "x" +
+             std::to_string(param_info.param.dims.z);
+    });
+
+TEST(Datasets, ResolutionIndependentField) {
+  // The same dataset at two resolutions describes the same normalized
+  // field: a voxel and its scaled counterpart should be close.
+  const Volume lo = datasets::skull({16, 16, 16});
+  const Volume hi = datasets::skull({32, 32, 32});
+  int close = 0, total = 0;
+  for (int z = 0; z < 16; ++z) {
+    for (int x = 0; x < 16; ++x) {
+      const float a = lo.voxel_clamped({x, 8, z});
+      const float b = hi.voxel_clamped({2 * x, 16, 2 * z});
+      ++total;
+      if (std::abs(a - b) < 0.25f) ++close;
+    }
+  }
+  EXPECT_GT(static_cast<double>(close) / total, 0.7);
+}
+
+TEST(Datasets, PlumeDefaultsToPaperAspect) {
+  const Volume p = datasets::plume();
+  EXPECT_EQ(p.dims(), (Int3{512, 512, 2048}));
+  EXPECT_EQ(p.name(), "plume");
+}
+
+TEST(Datasets, ByNameRejectsUnknown) {
+  EXPECT_THROW((void)datasets::by_name("galaxy", {8, 8, 8}), CheckError);
+}
+
+TEST(Datasets, SkullHasDenseBoneShell) {
+  // A ray through the middle must encounter the high-density shell.
+  const Volume v = datasets::skull({64, 64, 64});
+  float peak = 0.0f;
+  for (int x = 0; x < 64; ++x) peak = std::max(peak, v.voxel_clamped({x, 32, 32}));
+  EXPECT_GT(peak, 0.5f);
+}
+
+TEST(Datasets, PlumeRisesAlongZ) {
+  // Plume density near the base center should exceed far-field corners.
+  const Volume v = datasets::plume({32, 32, 128});
+  const float base_center = v.voxel_clamped({16, 16, 8});
+  const float corner = v.voxel_clamped({2, 2, 120});
+  EXPECT_GT(base_center, corner);
+}
+
+}  // namespace
+}  // namespace vrmr::volren

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "volren/composite_reducer.hpp"
+#include "volren/image.hpp"
+
+namespace vrmr::volren {
+namespace {
+
+namespace fs = std::filesystem;
+
+TEST(Image, ConstructsWithFill) {
+  const Image img(8, 4, Vec3{0.5f, 0.25f, 0.125f});
+  EXPECT_EQ(img.width(), 8);
+  EXPECT_EQ(img.height(), 4);
+  EXPECT_EQ(img.pixel_count(), 32);
+  EXPECT_EQ(img.at(7, 3), (Vec3{0.5f, 0.25f, 0.125f}));
+}
+
+TEST(Image, RejectsBadDims) {
+  EXPECT_THROW(Image(0, 4), CheckError);
+  EXPECT_THROW(Image(4, -1), CheckError);
+}
+
+TEST(Image, IndexedAccessMatchesXy) {
+  Image img(4, 4);
+  img.at(1, 2) = Vec3{1, 2, 3};
+  EXPECT_EQ(img.at_index(2 * 4 + 1), (Vec3{1, 2, 3}));
+}
+
+TEST(Image, WritePpmProducesValidHeaderAndSize) {
+  const fs::path path = fs::temp_directory_path() / "vrmr_test_image.ppm";
+  Image img(16, 8, Vec3{1, 0, 0});
+  img.write_ppm(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 16);
+  EXPECT_EQ(h, 8);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::vector<char> payload(16 * 8 * 3);
+  in.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  EXPECT_EQ(in.gcount(), static_cast<std::streamsize>(payload.size()));
+  // Red channel saturated, green/blue zero.
+  EXPECT_EQ(static_cast<unsigned char>(payload[0]), 255);
+  EXPECT_EQ(static_cast<unsigned char>(payload[1]), 0);
+  fs::remove(path);
+}
+
+TEST(CompareImages, IdenticalImagesHaveZeroDiff) {
+  Image a(8, 8, Vec3{0.3f, 0.3f, 0.3f});
+  const ImageDiff diff = compare_images(a, a);
+  EXPECT_EQ(diff.max_abs, 0.0);
+  EXPECT_EQ(diff.mean_abs, 0.0);
+}
+
+TEST(CompareImages, DetectsSinglePixelChange) {
+  Image a(10, 10);
+  Image b(10, 10);
+  b.at(3, 7) = Vec3{0.0f, 0.5f, 0.0f};
+  const ImageDiff diff = compare_images(a, b);
+  EXPECT_DOUBLE_EQ(diff.max_abs, 0.5);
+  EXPECT_NEAR(diff.mean_abs, 0.5 / 3.0 / 100.0, 1e-12);
+  EXPECT_DOUBLE_EQ(fraction_differing(a, b, 0.1), 0.01);
+  EXPECT_DOUBLE_EQ(fraction_differing(a, b, 0.6), 0.0);
+}
+
+TEST(CompareImages, RejectsSizeMismatch) {
+  Image a(4, 4);
+  Image b(4, 5);
+  EXPECT_THROW((void)compare_images(a, b), CheckError);
+}
+
+TEST(StitchImage, FillsBackgroundAndScattersPieces) {
+  std::vector<std::vector<FinishedPixel>> pieces(2);
+  pieces[0].push_back({0, Vec3{1, 0, 0}});
+  pieces[1].push_back({5, Vec3{0, 1, 0}});
+  const Image img = stitch_image(3, 2, Vec3{0.1f, 0.1f, 0.1f}, pieces);
+  EXPECT_EQ(img.at_index(0), (Vec3{1, 0, 0}));
+  EXPECT_EQ(img.at_index(5), (Vec3{0, 1, 0}));
+  EXPECT_EQ(img.at_index(3), (Vec3{0.1f, 0.1f, 0.1f}));  // untouched => background
+}
+
+TEST(StitchImage, RejectsOutOfRangeKeys) {
+  std::vector<std::vector<FinishedPixel>> pieces(1);
+  pieces[0].push_back({100, Vec3{1, 1, 1}});
+  EXPECT_THROW((void)stitch_image(4, 4, Vec3{}, pieces), CheckError);
+}
+
+}  // namespace
+}  // namespace vrmr::volren

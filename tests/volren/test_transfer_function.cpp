@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "volren/transfer_function.hpp"
+
+namespace vrmr::volren {
+namespace {
+
+TEST(TransferFunction, EvaluatesControlPointsExactly) {
+  const TransferFunction tf({{0.0f, {0, 0, 0, 0}}, {0.5f, {1, 0, 0, 0.5f}},
+                             {1.0f, {1, 1, 1, 1}}});
+  EXPECT_EQ(tf.evaluate(0.0f), (Vec4{0, 0, 0, 0}));
+  EXPECT_EQ(tf.evaluate(0.5f), (Vec4{1, 0, 0, 0.5f}));
+  EXPECT_EQ(tf.evaluate(1.0f), (Vec4{1, 1, 1, 1}));
+}
+
+TEST(TransferFunction, InterpolatesLinearlyBetweenPoints) {
+  const TransferFunction tf({{0.0f, {0, 0, 0, 0}}, {1.0f, {1, 0.5f, 0, 0.8f}}});
+  const Vec4 mid = tf.evaluate(0.5f);
+  EXPECT_FLOAT_EQ(mid.x, 0.5f);
+  EXPECT_FLOAT_EQ(mid.y, 0.25f);
+  EXPECT_FLOAT_EQ(mid.w, 0.4f);
+  const Vec4 quarter = tf.evaluate(0.25f);
+  EXPECT_FLOAT_EQ(quarter.w, 0.2f);
+}
+
+TEST(TransferFunction, ClampsOutsideUnitRange) {
+  const TransferFunction tf({{0.2f, {1, 0, 0, 0.1f}}, {0.8f, {0, 1, 0, 0.9f}}});
+  EXPECT_EQ(tf.evaluate(-5.0f), tf.evaluate(0.0f));
+  EXPECT_EQ(tf.evaluate(0.1f), (Vec4{1, 0, 0, 0.1f}));   // before first point
+  EXPECT_EQ(tf.evaluate(0.95f), (Vec4{0, 1, 0, 0.9f}));  // after last point
+}
+
+TEST(TransferFunction, RejectsBadControlPoints) {
+  const std::vector<TransferPoint> too_few{{0.5f, Vec4{}}};
+  EXPECT_THROW(TransferFunction tf(too_few), CheckError);
+  const std::vector<TransferPoint> unsorted{{0.8f, Vec4{}}, {0.2f, Vec4{}}};
+  EXPECT_THROW(TransferFunction tf(unsorted), CheckError);
+}
+
+TEST(TransferFunction, BakeMatchesEvaluateAtTexelCenters) {
+  const TransferFunction tf = TransferFunction::fire();
+  const auto table = tf.bake(128);
+  ASSERT_EQ(table.size(), 128u);
+  for (int i = 0; i < 128; i += 13) {
+    const float s = (static_cast<float>(i) + 0.5f) / 128.0f;
+    EXPECT_EQ(table[static_cast<size_t>(i)], tf.evaluate(s));
+  }
+}
+
+TEST(TransferFunction, BakeRejectsTinyTables) {
+  EXPECT_THROW((void)TransferFunction::bone().bake(1), CheckError);
+}
+
+TEST(TransferFunctionPresets, AlphaWithinUnitRange) {
+  for (const auto& tf : {TransferFunction::grayscale_ramp(), TransferFunction::bone(),
+                         TransferFunction::fire(), TransferFunction::mist()}) {
+    for (int i = 0; i <= 100; ++i) {
+      const Vec4 v = tf.evaluate(static_cast<float>(i) / 100.0f);
+      EXPECT_GE(v.w, 0.0f);
+      EXPECT_LE(v.w, 1.0f);
+      EXPECT_GE(v.x, 0.0f);
+      EXPECT_LE(v.x, 1.0f);
+    }
+  }
+}
+
+TEST(TransferFunctionPresets, RampIsMonotonic) {
+  const TransferFunction tf = TransferFunction::grayscale_ramp(0.8f);
+  float prev = -1.0f;
+  for (int i = 0; i <= 20; ++i) {
+    const float a = tf.evaluate(static_cast<float>(i) / 20.0f).w;
+    EXPECT_GE(a, prev);
+    prev = a;
+  }
+  EXPECT_FLOAT_EQ(tf.evaluate(1.0f).w, 0.8f);
+}
+
+TEST(TransferFunctionPresets, BoneMakesAirInvisible) {
+  const TransferFunction tf = TransferFunction::bone();
+  EXPECT_EQ(tf.evaluate(0.0f).w, 0.0f);
+  EXPECT_EQ(tf.evaluate(0.05f).w, 0.0f);
+  EXPECT_GT(tf.evaluate(0.7f).w, 0.3f);  // bone is dense
+}
+
+}  // namespace
+}  // namespace vrmr::volren
