@@ -10,6 +10,7 @@
 // header lines record whichever scale was used.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -27,15 +28,31 @@ inline bool fast_mode() {
   return env != nullptr && env[0] == '1';
 }
 
+/// VRMR_CSV_PATH=<file>: CSV blocks append to this file instead of
+/// interleaving with the stdout tables (setting it implies CSV mode).
+inline const char* csv_path() {
+  const char* env = std::getenv("VRMR_CSV_PATH");
+  return (env != nullptr && env[0] != '\0') ? env : nullptr;
+}
+
 /// VRMR_CSV=1: figure benches also emit machine-readable CSV blocks
 /// (for regenerating the plots).
 inline bool csv_mode() {
   const char* env = std::getenv("VRMR_CSV");
-  return env != nullptr && env[0] == '1';
+  return (env != nullptr && env[0] == '1') || csv_path() != nullptr;
 }
 
 inline void maybe_print_csv(const std::string& name, const Table& table) {
   if (!csv_mode()) return;
+  if (const char* path = csv_path()) {
+    std::ofstream out(path, std::ios::app);
+    if (!out) {
+      std::cerr << "VRMR_CSV_PATH: cannot open " << path << " for append\n";
+      return;
+    }
+    out << "--- csv: " << name << " ---\n" << table.to_csv() << "--- end csv ---\n";
+    return;
+  }
   std::cout << "--- csv: " << name << " ---\n" << table.to_csv() << "--- end csv ---\n";
 }
 

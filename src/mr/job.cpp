@@ -163,6 +163,17 @@ void Job::process_next_chunk(int g) {
     return;
   }
   const int ci = gs.chunk_indices[gs.cursor++];
+  const Chunk& chunk = *chunks_[static_cast<std::size_t>(ci)];
+  if (config_.staging_hook && config_.staging_hook(g, chunk)) {
+    // Already resident on this GPU (brick cache hit): skip the disk
+    // read and the H2D copy entirely — the map kernel can launch as
+    // soon as the GPU stream is free.
+    stats_.chunks_resident += 1;
+    stats_.bytes_h2d_saved += chunk.device_bytes();
+    if (config_.include_disk_io) stats_.bytes_disk_saved += chunk.disk_bytes();
+    after_h2d(g, ci);
+    return;
+  }
   if (config_.include_disk_io) {
     const std::uint64_t bytes = chunks_[static_cast<std::size_t>(ci)]->disk_bytes();
     stats_.bytes_disk += bytes;

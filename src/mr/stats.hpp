@@ -59,6 +59,12 @@ struct JobStats {
   std::uint64_t total_samples = 0; // volume samples charged to GPUs
   std::uint64_t combine_input_pairs = 0;   // pairs entering combiners
   std::uint64_t combine_output_pairs = 0;  // pairs surviving combiners
+  // Residency-cache effect (JobConfig::staging_hook): chunks whose
+  // staging was skipped because they were already GPU-resident, and the
+  // transfer bytes that skipping avoided.
+  std::uint64_t chunks_resident = 0;
+  std::uint64_t bytes_h2d_saved = 0;
+  std::uint64_t bytes_disk_saved = 0;
   std::uint64_t bytes_disk = 0;
   std::uint64_t bytes_h2d = 0;
   std::uint64_t bytes_d2h = 0;

@@ -1,0 +1,93 @@
+#include "service/brick_cache.hpp"
+
+#include "util/check.hpp"
+
+namespace vrmr::service {
+
+BrickCache::BrickCache(int num_gpus, std::uint64_t capacity_per_gpu)
+    : capacity_(capacity_per_gpu) {
+  VRMR_CHECK_MSG(num_gpus >= 1, "BrickCache needs at least one GPU shard");
+  shards_.resize(static_cast<std::size_t>(num_gpus));
+}
+
+std::uint64_t BrickCache::capacity_for(const gpusim::DeviceProps& props,
+                                       std::uint64_t reserve_bytes) {
+  if (reserve_bytes >= props.vram_bytes) return 0;
+  return props.vram_bytes - reserve_bytes;
+}
+
+bool BrickCache::lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t bytes) {
+  VRMR_CHECK_MSG(gpu >= 0 && gpu < num_gpus(), "gpu " << gpu << " out of range");
+  Shard& shard = shards_[static_cast<std::size_t>(gpu)];
+
+  if (auto it = shard.index.find(key); it != shard.index.end()) {
+    // Hit: refresh recency. The brick's size is immutable per key.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    ++stats_.hits;
+    stats_.bytes_saved += it->second->bytes;
+    return true;
+  }
+
+  ++stats_.misses;
+  if (bytes > capacity_) {
+    // Would displace the whole shard for a single brick; not worth it.
+    ++stats_.rejected_oversized;
+    return false;
+  }
+  while (shard.bytes + bytes > capacity_) evict_lru(shard);
+  shard.lru.push_front(Entry{key, bytes});
+  shard.index.emplace(key, shard.lru.begin());
+  shard.bytes += bytes;
+  ++stats_.insertions;
+  return false;
+}
+
+bool BrickCache::resident(int gpu, const BrickKey& key) const {
+  VRMR_CHECK_MSG(gpu >= 0 && gpu < num_gpus(), "gpu " << gpu << " out of range");
+  const Shard& shard = shards_[static_cast<std::size_t>(gpu)];
+  return shard.index.find(key) != shard.index.end();
+}
+
+void BrickCache::invalidate_volume(std::uint64_t volume_id) {
+  for (Shard& shard : shards_) {
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      if (it->key.volume_id == volume_id) {
+        shard.bytes -= it->bytes;
+        shard.index.erase(it->key);
+        it = shard.lru.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void BrickCache::clear() {
+  for (Shard& shard : shards_) {
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+std::uint64_t BrickCache::resident_bytes(int gpu) const {
+  VRMR_CHECK_MSG(gpu >= 0 && gpu < num_gpus(), "gpu " << gpu << " out of range");
+  return shards_[static_cast<std::size_t>(gpu)].bytes;
+}
+
+std::size_t BrickCache::resident_bricks(int gpu) const {
+  VRMR_CHECK_MSG(gpu >= 0 && gpu < num_gpus(), "gpu " << gpu << " out of range");
+  return shards_[static_cast<std::size_t>(gpu)].lru.size();
+}
+
+void BrickCache::evict_lru(Shard& shard) {
+  VRMR_CHECK_MSG(!shard.lru.empty(), "evicting from an empty cache shard");
+  const Entry& victim = shard.lru.back();
+  shard.bytes -= victim.bytes;
+  stats_.bytes_evicted += victim.bytes;
+  ++stats_.evictions;
+  shard.index.erase(victim.key);
+  shard.lru.pop_back();
+}
+
+}  // namespace vrmr::service

@@ -1,0 +1,126 @@
+#pragma once
+
+// Per-GPU brick residency cache for the render service.
+//
+// The paper stages every brick onto its GPU anew each frame; real
+// serving workloads (turntable orbits, interactive sessions) re-render
+// the same volume dozens of times in a row, so most of a frame's H2D
+// traffic restages bytes the device already holds. Following the
+// paging/residency designs of Zellmann et al. (VDB paging) and Hassan
+// et al. (session-oriented distributed rendering), this cache tracks
+// which (volume, brick) payloads are resident per GPU under an LRU
+// policy with a byte budget derived from gpusim::DeviceProps VRAM, and
+// lets mr::Job skip disk + H2D staging for hits (JobConfig::staging_hook).
+//
+// Residency is *physical*: keys are (volume id, brick id), so two
+// sessions orbiting the same volume legitimately share warm bricks,
+// while distinct volumes never alias even when their brick ids
+// coincide (cross-session isolation).
+//
+// The cache is a pure bookkeeping structure on the simulated timeline:
+// deterministic, no wall-clock dependence.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "gpusim/device_props.hpp"
+
+namespace vrmr::service {
+
+struct BrickKey {
+  std::uint64_t volume_id = 0;
+  int brick_id = 0;
+  /// Brick-decomposition signature (brick dims + ghost). Brick ids are
+  /// only meaningful within one layout: the same volume re-bricked with
+  /// different RenderOptions reuses ids 0..N for different extents, and
+  /// without this field those would falsely hit stale payloads.
+  std::uint64_t layout_id = 0;
+
+  bool operator==(const BrickKey& other) const {
+    return volume_id == other.volume_id && brick_id == other.brick_id &&
+           layout_id == other.layout_id;
+  }
+};
+
+struct BrickKeyHash {
+  std::size_t operator()(const BrickKey& k) const {
+    // Splitmix-style mix of the fields.
+    std::uint64_t x = k.volume_id * 0x9e3779b97f4a7c15ULL +
+                      k.layout_id * 0xd6e8feb86659fd93ULL +
+                      static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.brick_id));
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+struct BrickCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t rejected_oversized = 0;  // bricks larger than the whole budget
+  std::uint64_t bytes_saved = 0;         // H2D bytes skipped by hits
+  std::uint64_t bytes_evicted = 0;
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class BrickCache {
+ public:
+  /// One LRU shard per GPU, each with `capacity_per_gpu` bytes.
+  BrickCache(int num_gpus, std::uint64_t capacity_per_gpu);
+
+  /// The serving budget for a device: VRAM minus a reserve for the
+  /// working frame (staged brick being mapped, kernel output, textures).
+  static std::uint64_t capacity_for(const gpusim::DeviceProps& props,
+                                    std::uint64_t reserve_bytes);
+
+  /// The staging-time query: returns true when (key) is already
+  /// resident on `gpu` (LRU touch + hit), otherwise admits it —
+  /// evicting least-recently-used bricks until it fits — and returns
+  /// false (miss). Bricks larger than the whole per-GPU budget are
+  /// never admitted and never evict anything.
+  bool lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t bytes);
+
+  /// Non-mutating residency probe (no LRU touch, no accounting).
+  bool resident(int gpu, const BrickKey& key) const;
+
+  /// Drop every brick of `volume_id` on every GPU (volume updated or
+  /// session closed with volume eviction requested).
+  void invalidate_volume(std::uint64_t volume_id);
+
+  void clear();
+
+  int num_gpus() const { return static_cast<int>(shards_.size()); }
+  std::uint64_t capacity_per_gpu() const { return capacity_; }
+  std::uint64_t resident_bytes(int gpu) const;
+  std::size_t resident_bricks(int gpu) const;
+  const BrickCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = BrickCacheStats{}; }
+
+ private:
+  struct Entry {
+    BrickKey key;
+    std::uint64_t bytes = 0;
+  };
+  struct Shard {
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<BrickKey, std::list<Entry>::iterator, BrickKeyHash> index;
+    std::uint64_t bytes = 0;
+  };
+
+  void evict_lru(Shard& shard);
+
+  std::vector<Shard> shards_;
+  std::uint64_t capacity_;
+  BrickCacheStats stats_;
+};
+
+}  // namespace vrmr::service

@@ -1,0 +1,374 @@
+#include "service/render_service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "mr/analysis.hpp"
+#include "util/log.hpp"
+#include "util/stats.hpp"
+#include "volren/fragment.hpp"
+#include "volren/raycast.hpp"
+
+namespace vrmr::service {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Serve-order tie-break: smaller key wins, then earlier submission.
+struct PickKey {
+  double primary = 0.0;
+  std::uint64_t frame_id = 0;
+
+  bool operator<(const PickKey& other) const {
+    if (primary != other.primary) return primary < other.primary;
+    return frame_id < other.frame_id;
+  }
+};
+
+/// Decomposition signature for BrickKey::layout_id: brick dims + ghost
+/// pin the brick extents for a given volume (axes are < 2^20 voxels).
+std::uint64_t layout_signature(const volren::BrickLayout& layout) {
+  const Int3 d = layout.brick_dims();
+  const std::uint64_t packed = (static_cast<std::uint64_t>(d.x) << 42) |
+                               (static_cast<std::uint64_t>(d.y) << 21) |
+                               static_cast<std::uint64_t>(d.z);
+  return packed * 31u + static_cast<std::uint64_t>(layout.ghost());
+}
+
+BrickCacheStats stats_delta(const BrickCacheStats& now, const BrickCacheStats& then) {
+  BrickCacheStats d;
+  d.hits = now.hits - then.hits;
+  d.misses = now.misses - then.misses;
+  d.insertions = now.insertions - then.insertions;
+  d.evictions = now.evictions - then.evictions;
+  d.rejected_oversized = now.rejected_oversized - then.rejected_oversized;
+  d.bytes_saved = now.bytes_saved - then.bytes_saved;
+  d.bytes_evicted = now.bytes_evicted - then.bytes_evicted;
+  return d;
+}
+
+}  // namespace
+
+const char* to_string(SchedulingPolicy policy) {
+  switch (policy) {
+    case SchedulingPolicy::Fifo: return "fifo";
+    case SchedulingPolicy::RoundRobin: return "round-robin";
+    case SchedulingPolicy::ShortestJobFirst: return "sjf";
+  }
+  return "?";
+}
+
+RenderService::RenderService(cluster::Cluster& cluster, ServiceConfig config)
+    : cluster_(cluster), config_(config) {
+  if (config_.enable_brick_cache) {
+    const std::uint64_t capacity =
+        config_.cache_capacity_override > 0
+            ? config_.cache_capacity_override
+            : BrickCache::capacity_for(cluster_.config().hw.gpu,
+                                       config_.cache_reserve_bytes);
+    cache_.emplace(cluster_.total_gpus(), capacity);
+  }
+}
+
+SessionId RenderService::open_session(std::string name) {
+  sessions_.push_back(Session{std::move(name), {}, 0});
+  return static_cast<SessionId>(sessions_.size()) - 1;
+}
+
+std::uint64_t RenderService::submit(SessionId session, RenderRequest request) {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "unknown session " << session);
+  VRMR_CHECK_MSG(request.volume != nullptr, "RenderRequest.volume must be set");
+  VRMR_CHECK_MSG(std::isfinite(request.arrival_s) && request.arrival_s >= 0.0,
+                 "arrival time must be finite and non-negative, got "
+                     << request.arrival_s);
+  (void)volume_id(request.volume);  // register before any cost-model probe
+  const std::uint64_t id = next_frame_id_++;
+  sessions_[static_cast<std::size_t>(session)].queue.push_back(
+      Pending{std::move(request), id});
+  return id;
+}
+
+void RenderService::submit_orbit(SessionId session, const volren::Volume& volume,
+                                 volren::RenderOptions options, int frames,
+                                 double first_arrival_s, double frame_interval_s) {
+  VRMR_CHECK(frames >= 1);
+  for (int f = 0; f < frames; ++f) {
+    options.azimuth =
+        6.2831853f * static_cast<float>(f) / static_cast<float>(frames);
+    RenderRequest request;
+    request.volume = &volume;
+    request.options = options;
+    request.arrival_s = first_arrival_s + frame_interval_s * f;
+    submit(session, request);
+  }
+}
+
+std::uint64_t RenderService::volume_id(const volren::Volume* volume) {
+  // Ids are never reused (next_volume_id_ only grows), so an
+  // invalidated address re-registers cold.
+  const auto [it, inserted] = volume_ids_.emplace(volume, next_volume_id_);
+  if (inserted) ++next_volume_id_;
+  return it->second;
+}
+
+void RenderService::invalidate_volume(const volren::Volume* volume) {
+  const auto it = volume_ids_.find(volume);
+  if (it == volume_ids_.end()) return;
+  if (cache_) cache_->invalidate_volume(it->second);
+  volume_ids_.erase(it);
+}
+
+double RenderService::earliest_head_arrival() const {
+  double earliest = kInf;
+  for (const Session& session : sessions_) {
+    if (session.queue.empty()) continue;
+    earliest = std::min(earliest, session.queue.front().request.arrival_s);
+  }
+  return earliest;
+}
+
+int RenderService::pick_next(double now, double* predicted_cost_s) const {
+  int best = -1;
+  PickKey best_key{};
+  *predicted_cost_s = -1.0;
+  for (int s = 0; s < num_sessions(); ++s) {
+    const Session& session = sessions_[static_cast<std::size_t>(s)];
+    if (session.queue.empty()) continue;
+    const Pending& head = session.queue.front();
+    if (head.request.arrival_s > now) continue;  // not arrived yet
+
+    PickKey key;
+    key.frame_id = head.frame_id;
+    switch (config_.policy) {
+      case SchedulingPolicy::Fifo:
+        key.primary = head.request.arrival_s;
+        break;
+      case SchedulingPolicy::RoundRobin:
+        // Least recently served session first; never-served sessions
+        // (seq 0) go ahead in open order.
+        key.primary = static_cast<double>(session.last_served_seq);
+        break;
+      case SchedulingPolicy::ShortestJobFirst:
+        key.primary = estimate_cost_s(head);
+        break;
+    }
+    if (best < 0 || key < best_key) {
+      best = s;
+      best_key = key;
+      if (config_.policy == SchedulingPolicy::ShortestJobFirst)
+        *predicted_cost_s = key.primary;
+    }
+  }
+  return best;
+}
+
+void RenderService::advance_clock_to(double t) {
+  auto& engine = cluster_.engine();
+  if (t <= engine.now()) return;
+  engine.schedule_at(t, [] {});
+  engine.run();
+}
+
+double RenderService::estimate_cost_s(const Pending& pending) const {
+  const RenderRequest& req = pending.request;
+  const volren::Volume& volume = *req.volume;
+  const int gpus = cluster_.total_gpus();
+  const volren::BrickLayout layout = volren::choose_layout(volume, req.options, gpus);
+
+  // A-priori counters for mr::speed_of_light. These are coarse — a
+  // centered orbit framing covers roughly half the image, each covered
+  // ray samples about one mean volume axis — but SJF only needs the
+  // relative ordering, which volume size, image size and residency
+  // dominate.
+  mr::JobStats pred;
+  pred.num_gpus = gpus;
+  pred.num_nodes = cluster_.num_nodes();
+
+  const double rays = 0.5 * static_cast<double>(req.options.image_width) *
+                      static_cast<double>(req.options.image_height);
+  const Int3 dims = volume.dims();
+  const double mean_axis = static_cast<double>(dims.x + dims.y + dims.z) / 3.0;
+  pred.total_samples = static_cast<std::uint64_t>(
+      rays * mean_axis * static_cast<double>(req.options.cast.sampling_rate));
+
+  const Int3 grid = layout.grid_dims();
+  const double layers =
+      std::cbrt(static_cast<double>(grid.x) * grid.y * grid.z);  // bricks per ray
+  const double fragments = rays * layers;
+  const double pair_bytes = 4.0 + static_cast<double>(sizeof(volren::RayFragment));
+  pred.fragments = static_cast<std::uint64_t>(fragments);
+  pred.bytes_d2h = static_cast<std::uint64_t>(fragments * pair_bytes);
+  pred.bytes_net = pred.bytes_d2h;
+  pred.bytes_net_inter = static_cast<std::uint64_t>(
+      static_cast<double>(pred.bytes_net) *
+      static_cast<double>(pred.num_nodes - 1) / static_cast<double>(pred.num_nodes));
+
+  // H2D: only bricks that are NOT already resident on the GPU they will
+  // be dealt to (mr::Job deals unpinned chunks round-robin in add
+  // order, so brick i lands on GPU i % gpus).
+  std::uint64_t vid = 0;
+  bool cache_aware = false;
+  if (cache_.has_value()) {
+    if (const auto it = volume_ids_.find(req.volume); it != volume_ids_.end()) {
+      vid = it->second;
+      cache_aware = true;
+    }
+  }
+  const std::uint64_t lid = layout_signature(layout);
+  std::uint64_t h2d = 0;
+  int deal = 0;
+  for (const volren::BrickInfo& brick : layout.bricks()) {
+    const int gpu = deal++ % gpus;
+    const bool warm =
+        cache_aware && cache_->resident(gpu, BrickKey{vid, brick.id, lid});
+    if (!warm) h2d += brick.device_bytes();
+  }
+  pred.bytes_h2d = h2d;
+  if (req.options.include_disk_io) pred.bytes_disk = h2d;
+
+  const mr::SpeedOfLight sol = mr::speed_of_light(pred, cluster_.config());
+  // Serial bound + disk (analysis excludes disk from its bounds; a
+  // served frame still pays it).
+  return sol.serial_bound_s + sol.disk_s;
+}
+
+FrameRecord RenderService::render_one(Session& session, SessionId sid,
+                                      double arrival_floor_s,
+                                      double predicted_cost_s) {
+  Pending pending = std::move(session.queue.front());
+  session.queue.pop_front();
+  session.last_served_seq = ++serve_seq_;
+
+  auto& engine = cluster_.engine();
+  FrameRecord record;
+  record.session = sid;
+  record.frame_id = pending.frame_id;
+  record.arrival_s = std::max(pending.request.arrival_s, arrival_floor_s);
+  // SJF scored this frame against the same cache state when it picked
+  // it; other policies never run the model.
+  if (predicted_cost_s >= 0.0) record.predicted_cost_s = predicted_cost_s;
+  record.start_s = engine.now();
+
+  mr::StagingHook hook;
+  if (cache_) {
+    const std::uint64_t vid = volume_id(pending.request.volume);
+    const std::uint64_t lid = layout_signature(volren::choose_layout(
+        *pending.request.volume, pending.request.options, cluster_.total_gpus()));
+    BrickCache* cache = &*cache_;
+    hook = [cache, vid, lid](int gpu, const mr::Chunk& chunk) {
+      const auto* brick = dynamic_cast<const volren::BrickChunk*>(&chunk);
+      if (brick == nullptr) return false;  // non-brick chunks are never cached
+      return cache->lookup_or_admit(gpu, BrickKey{vid, brick->info().id, lid},
+                                    chunk.device_bytes());
+    };
+  }
+
+  volren::RenderResult result = volren::render_mapreduce(
+      cluster_, *pending.request.volume, pending.request.options, std::move(hook));
+
+  // The job itself counts skipped stagings, so hit accounting is
+  // uniform whether or not a cache is wired in.
+  record.cache_hits = result.stats.chunks_resident;
+  record.cache_misses =
+      static_cast<std::uint64_t>(result.stats.num_chunks) - record.cache_hits;
+  record.finish_s = engine.now();
+  record.stats = std::move(result.stats);
+  if (config_.keep_images) record.image = std::move(result.image);
+
+  VRMR_DEBUG("service") << "session " << sid << " frame " << record.frame_id
+                        << " latency=" << record.latency_s()
+                        << "s (wait=" << record.queue_wait_s()
+                        << "s) hits=" << record.cache_hits << "/"
+                        << (record.cache_hits + record.cache_misses);
+  return record;
+}
+
+ServiceStats RenderService::run() {
+  const double gpu_busy_start = cluster_.total_gpu_busy();
+  const BrickCacheStats cache_start = cache_ ? cache_->stats() : BrickCacheStats{};
+  // Serving window opens at the first serveable arrival — or at the
+  // current clock when arrivals are backdated (reused timeline). The
+  // same clock floors per-frame effective arrivals.
+  const double arrival_floor = cluster_.engine().now();
+  const double first_arrival = earliest_head_arrival();
+  const double run_start =
+      first_arrival == kInf ? arrival_floor
+                            : std::max(arrival_floor, first_arrival);
+
+  std::vector<FrameRecord> records;
+  while (true) {
+    const double earliest = earliest_head_arrival();
+    if (earliest == kInf) break;  // every queue drained
+    double predicted_cost_s = -1.0;
+    const int pick = pick_next(cluster_.engine().now(), &predicted_cost_s);
+    if (pick < 0) {
+      // Nothing has arrived yet: idle the cluster until the next frame.
+      advance_clock_to(earliest);
+      continue;
+    }
+    records.push_back(render_one(sessions_[static_cast<std::size_t>(pick)], pick,
+                                 arrival_floor, predicted_cost_s));
+  }
+  return finalize(std::move(records), run_start, gpu_busy_start, cache_start);
+}
+
+ServiceStats RenderService::finalize(std::vector<FrameRecord> frames,
+                                     double run_start_s, double gpu_busy_start_s,
+                                     const BrickCacheStats& cache_start) {
+  ServiceStats out;
+  out.frames_total = static_cast<int>(frames.size());
+  if (cache_) out.cache = stats_delta(cache_->stats(), cache_start);
+  out.cache_hit_rate = out.cache.hit_rate();
+
+  if (frames.empty()) {
+    out.frames = std::move(frames);
+    return out;
+  }
+
+  double last_finish = 0.0;
+  for (const FrameRecord& f : frames) {
+    last_finish = std::max(last_finish, f.finish_s);
+    out.bytes_h2d_saved += f.stats.bytes_h2d_saved;
+  }
+  out.makespan_s = last_finish - run_start_s;
+  out.fps = out.makespan_s > 0.0 ? out.frames_total / out.makespan_s : 0.0;
+  const double gpu_busy = cluster_.total_gpu_busy() - gpu_busy_start_s;
+  const double capacity = out.makespan_s * cluster_.total_gpus();
+  out.cluster_utilization = capacity > 0.0 ? gpu_busy / capacity : 0.0;
+
+  for (int s = 0; s < num_sessions(); ++s) {
+    SessionSummary summary;
+    summary.id = s;
+    summary.name = sessions_[static_cast<std::size_t>(s)].name;
+    std::vector<double> latencies;
+    double session_first_arrival = kInf;
+    double session_last_finish = 0.0;
+    for (const FrameRecord& f : frames) {
+      if (f.session != s) continue;
+      ++summary.frames;
+      latencies.push_back(f.latency_s());
+      summary.mean_latency_s += f.latency_s();
+      summary.max_latency_s = std::max(summary.max_latency_s, f.latency_s());
+      summary.cache_hits += f.cache_hits;
+      summary.cache_misses += f.cache_misses;
+      session_first_arrival = std::min(session_first_arrival, f.arrival_s);
+      session_last_finish = std::max(session_last_finish, f.finish_s);
+    }
+    if (summary.frames == 0) continue;  // session had no frames this run
+    summary.mean_latency_s /= summary.frames;
+    summary.p50_latency_s = percentile(latencies, 50.0);
+    summary.p95_latency_s = percentile(latencies, 95.0);
+    summary.p99_latency_s = percentile(latencies, 99.0);
+    const double span = session_last_finish - session_first_arrival;
+    summary.fps = span > 0.0 ? summary.frames / span : 0.0;
+    out.sessions.push_back(std::move(summary));
+  }
+
+  out.frames = std::move(frames);
+  return out;
+}
+
+}  // namespace vrmr::service

@@ -1,0 +1,210 @@
+#pragma once
+
+// Render service: a multi-session frame scheduler over one simulated
+// cluster.
+//
+// The paper renders one frame per MapReduce job on a dedicated cluster;
+// this layer multiplexes many concurrent *sessions* (a scientist
+// orbiting a dataset, a batch animation export) onto a shared cluster
+// timeline. Each submitted RenderRequest becomes one mr::Job; jobs run
+// non-preemptively back to back (a frame job already spans every GPU,
+// mirroring the paper's whole-cluster deployment), so scheduling is the
+// choice of *which queued frame goes next*:
+//
+//   Fifo             — global arrival order (baseline).
+//   RoundRobin       — cycle through sessions with arrived work, so one
+//                      heavy batch session cannot starve interactive
+//                      orbiting sessions.
+//   ShortestJobFirst — a-priori cost model (mr::speed_of_light over
+//                      predicted counters, residency-aware) picks the
+//                      cheapest arrived frame; minimizes mean latency.
+//
+// Between frames of the same session most bricks are already resident
+// on their GPUs; the service wires a per-GPU BrickCache into the job's
+// chunk-staging path (JobConfig::staging_hook) so those bricks skip the
+// disk read and H2D upload entirely.
+//
+// Everything runs on the DES clock: arrivals are simulated timestamps,
+// queue waits advance the clock, and the whole schedule is
+// deterministic and replayable.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mr/stats.hpp"
+#include "service/brick_cache.hpp"
+#include "volren/renderer.hpp"
+#include "volren/volume.hpp"
+
+namespace vrmr::service {
+
+enum class SchedulingPolicy { Fifo, RoundRobin, ShortestJobFirst };
+
+const char* to_string(SchedulingPolicy policy);
+
+struct ServiceConfig {
+  SchedulingPolicy policy = SchedulingPolicy::Fifo;
+
+  /// Per-GPU brick residency cache (disable to reproduce the paper's
+  /// stage-everything-every-frame behaviour).
+  bool enable_brick_cache = true;
+
+  /// VRAM held back from the cache budget for the working frame
+  /// (brick being staged, kernel output slots, transfer texture).
+  std::uint64_t cache_reserve_bytes = 512ull << 20;
+
+  /// Non-zero overrides the DeviceProps-derived cache budget (tests).
+  std::uint64_t cache_capacity_override = 0;
+
+  /// Keep rendered images in the FrameRecords (memory-proportional;
+  /// off for throughput benches).
+  bool keep_images = false;
+};
+
+using SessionId = int;
+
+struct RenderRequest {
+  const volren::Volume* volume = nullptr;
+  volren::RenderOptions options;
+  /// Simulated arrival time. Frames of one session are served in
+  /// submission order regardless of arrival jitter. Arrivals earlier
+  /// than the DES clock when run() starts (e.g. 0.0 on a reused
+  /// service) are treated as arriving at run start, so latency and
+  /// queue-wait telemetry never absorb a previous run's duration.
+  double arrival_s = 0.0;
+};
+
+struct FrameRecord {
+  SessionId session = -1;
+  std::uint64_t frame_id = 0;  // global submission order
+  double arrival_s = 0.0;  // effective arrival (clamped to run start)
+  double start_s = 0.0;   // job admitted to the cluster
+  double finish_s = 0.0;  // job completed
+  /// SJF cost-model estimate for this frame; 0 when another policy
+  /// scheduled it (the model only runs when it decides).
+  double predicted_cost_s = 0.0;
+  std::uint64_t cache_hits = 0;    // resident bricks this frame
+  std::uint64_t cache_misses = 0;  // staged bricks this frame
+  mr::JobStats stats;
+  volren::Image image;  // only populated when ServiceConfig::keep_images
+
+  double latency_s() const { return finish_s - arrival_s; }
+  double queue_wait_s() const { return start_s - arrival_s; }
+  double service_s() const { return finish_s - start_s; }
+};
+
+struct SessionSummary {
+  SessionId id = -1;
+  std::string name;
+  int frames = 0;
+  double p50_latency_s = 0.0;
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
+  double mean_latency_s = 0.0;
+  double max_latency_s = 0.0;
+  double fps = 0.0;  // frames / (last finish - first arrival)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+
+  double cache_hit_rate() const {
+    const std::uint64_t total = cache_hits + cache_misses;
+    return total > 0 ? static_cast<double>(cache_hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+struct ServiceStats {
+  int frames_total = 0;
+  /// Serving window: first serveable arrival (or the clock at run()
+  /// when arrivals are backdated) .. last frame completion.
+  double makespan_s = 0.0;
+  double fps = 0.0;         // frames_total / makespan
+  /// GPU busy share of makespan x GPU count (how hot the cluster ran).
+  double cluster_utilization = 0.0;
+  double cache_hit_rate = 0.0;
+  std::uint64_t bytes_h2d_saved = 0;
+  BrickCacheStats cache;
+  std::vector<SessionSummary> sessions;
+  std::vector<FrameRecord> frames;  // completion order
+};
+
+class RenderService {
+ public:
+  RenderService(cluster::Cluster& cluster, ServiceConfig config = {});
+
+  RenderService(const RenderService&) = delete;
+  RenderService& operator=(const RenderService&) = delete;
+
+  /// Register a session; the id keys all of its frames.
+  SessionId open_session(std::string name);
+
+  /// Queue one frame; returns its global frame id. The volume must
+  /// outlive run(). Volumes are identified by address, so re-submitting
+  /// the same Volume object shares brick residency — and a *different*
+  /// volume allocated at a reused address would inherit it; call
+  /// invalidate_volume before destroying a volume the service has seen.
+  std::uint64_t submit(SessionId session, RenderRequest request);
+
+  /// Drop the volume's bricks from every GPU shard and forget its
+  /// registration (a future volume at the same address starts cold).
+  /// Call when a volume is destroyed or its voxels change.
+  void invalidate_volume(const volren::Volume* volume);
+
+  /// Convenience: queue `frames` turntable frames (full orbit) spaced
+  /// `frame_interval_s` apart starting at `first_arrival_s`.
+  void submit_orbit(SessionId session, const volren::Volume& volume,
+                    volren::RenderOptions options, int frames,
+                    double first_arrival_s, double frame_interval_s);
+
+  /// Drain every queued frame on the cluster's DES timeline and report.
+  /// Reusable: submit more frames afterwards and run() again (brick
+  /// residency persists across runs; statistics cover one run).
+  ServiceStats run();
+
+  const BrickCache* cache() const { return cache_ ? &*cache_ : nullptr; }
+  const ServiceConfig& config() const { return config_; }
+  int num_sessions() const { return static_cast<int>(sessions_.size()); }
+
+ private:
+  struct Pending {
+    RenderRequest request;
+    std::uint64_t frame_id = 0;
+  };
+  struct Session {
+    std::string name;
+    std::deque<Pending> queue;
+    std::uint64_t last_served_seq = 0;  // RoundRobin recency
+  };
+
+  /// Session index of the next frame to serve (-1 = none arrived).
+  /// Fills `predicted_cost_s` with the chosen head's cost estimate when
+  /// the policy already computed it (SJF); leaves it negative otherwise.
+  int pick_next(double now, double* predicted_cost_s) const;
+  double earliest_head_arrival() const;   // +inf when all queues empty
+  void advance_clock_to(double t);
+  double estimate_cost_s(const Pending& pending) const;
+  std::uint64_t volume_id(const volren::Volume* volume);
+  /// `arrival_floor_s` = the clock at run() start (backdated-arrival
+  /// clamp); `predicted_cost_s` < 0 means the policy did not score the
+  /// frame (non-SJF) and the record keeps 0.
+  FrameRecord render_one(Session& session, SessionId sid, double arrival_floor_s,
+                         double predicted_cost_s);
+  ServiceStats finalize(std::vector<FrameRecord> frames, double run_start_s,
+                        double gpu_busy_start_s, const BrickCacheStats& cache_start);
+
+  cluster::Cluster& cluster_;
+  ServiceConfig config_;
+  std::optional<BrickCache> cache_;
+  std::vector<Session> sessions_;
+  std::unordered_map<const volren::Volume*, std::uint64_t> volume_ids_;
+  std::uint64_t next_volume_id_ = 0;
+  std::uint64_t next_frame_id_ = 0;
+  std::uint64_t serve_seq_ = 0;
+};
+
+}  // namespace vrmr::service

@@ -21,22 +21,30 @@ FrameSetup make_frame(const Volume& volume, const RenderOptions& options) {
   return frame;
 }
 
-RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
-                              const RenderOptions& options) {
-  VRMR_CHECK(options.image_width > 0 && options.image_height > 0);
-
-  const FrameSetup frame = make_frame(volume, options);
-
+BrickLayout choose_layout(const Volume& volume, const RenderOptions& options,
+                          int total_gpus) {
   Int3 brick_dims;
   if (options.brick_size > 0) {
     brick_dims = Int3{options.brick_size, options.brick_size, options.brick_size};
   } else {
-    const int target =
-        options.target_bricks > 0 ? options.target_bricks : cluster.total_gpus();
+    const int target = options.target_bricks > 0 ? options.target_bricks : total_gpus;
     brick_dims = BrickLayout::choose_brick_dims(volume.dims(), target);
   }
-  const BrickLayout layout(volume.dims(), volume.world_extent(), brick_dims,
-                           options.ghost);
+  return BrickLayout(volume.dims(), volume.world_extent(), brick_dims, options.ghost);
+}
+
+RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
+                              const RenderOptions& options) {
+  return render_mapreduce(cluster, volume, options, mr::StagingHook{});
+}
+
+RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
+                              const RenderOptions& options,
+                              mr::StagingHook staging_hook) {
+  VRMR_CHECK(options.image_width > 0 && options.image_height > 0);
+
+  const FrameSetup frame = make_frame(volume, options);
+  const BrickLayout layout = choose_layout(volume, options, cluster.total_gpus());
 
   mr::JobConfig config;
   config.value_size = sizeof(RayFragment);
@@ -48,6 +56,7 @@ RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
   config.sort = options.sort;
   config.reduce = options.reduce;
   config.include_disk_io = options.include_disk_io;
+  config.staging_hook = std::move(staging_hook);
 
   mr::Job job(cluster, config);
 

@@ -72,9 +72,23 @@ Camera make_camera(const Volume& volume, const RenderOptions& options);
 /// Bundle camera + transfer + sampling for mapper construction.
 FrameSetup make_frame(const Volume& volume, const RenderOptions& options);
 
+/// The brick decomposition the renderer will use for (volume, options)
+/// on a cluster with `total_gpus` GPUs. Exposed so serving layers
+/// (src/service) can key residency caches and cost models off the very
+/// same decomposition the frame job stages.
+BrickLayout choose_layout(const Volume& volume, const RenderOptions& options,
+                          int total_gpus);
+
 /// Render one frame. The volume must outlive the call; the cluster's
 /// simulated clock advances by the frame's runtime.
 RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
                               const RenderOptions& options);
+
+/// As above, with a chunk-residency hook (see mr::StagingHook): bricks
+/// the hook reports GPU-resident skip disk + H2D staging. Used by the
+/// render service's per-GPU brick cache.
+RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
+                              const RenderOptions& options,
+                              mr::StagingHook staging_hook);
 
 }  // namespace vrmr::volren

@@ -21,6 +21,7 @@
 //   cluster  — node topology + calibrated hardware model
 //   mr       — the MapReduce library (Job, Mapper, Reducer, Combiner)
 //   volren   — the volume renderer built on mr
+//   service  — multi-session frame scheduler + per-GPU brick cache
 
 // Substrates.
 #include "cluster/cluster.hpp"
@@ -44,3 +45,7 @@
 #include "volren/datasets.hpp"
 #include "volren/reference.hpp"
 #include "volren/renderer.hpp"
+
+// Render service (multi-session serving on one cluster).
+#include "service/brick_cache.hpp"
+#include "service/render_service.hpp"

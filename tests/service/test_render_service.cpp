@@ -1,0 +1,361 @@
+// RenderService tests: scheduling-policy ordering (FIFO vs round-robin
+// vs SJF), deterministic replay on the DES clock, brick-cache effect on
+// staging traffic and runtime, and the serving telemetry.
+
+#include "service/render_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sim/engine.hpp"
+#include "volren/datasets.hpp"
+#include "volren/image.hpp"
+
+namespace vrmr::service {
+namespace {
+
+volren::RenderOptions tiny_options() {
+  volren::RenderOptions options;
+  options.image_width = 32;
+  options.image_height = 32;
+  return options;
+}
+
+/// Fresh engine + cluster + service per scenario.
+struct Harness {
+  sim::Engine engine;
+  std::unique_ptr<cluster::Cluster> cluster;
+  std::unique_ptr<RenderService> service;
+
+  explicit Harness(int gpus, ServiceConfig config = {}) {
+    cluster = std::make_unique<cluster::Cluster>(
+        engine, cluster::ClusterConfig::with_total_gpus(gpus));
+    service = std::make_unique<RenderService>(*cluster, config);
+  }
+};
+
+/// Session ids of the completed frames, in completion order.
+std::vector<SessionId> completion_order(const ServiceStats& stats) {
+  std::vector<SessionId> order;
+  for (const FrameRecord& f : stats.frames) order.push_back(f.session);
+  return order;
+}
+
+RenderRequest request_for(const volren::Volume& volume, double arrival,
+                          volren::RenderOptions options = tiny_options()) {
+  RenderRequest r;
+  r.volume = &volume;
+  r.options = options;
+  r.arrival_s = arrival;
+  return r;
+}
+
+TEST(RenderService, FifoServesInArrivalOrderAcrossSessions) {
+  const volren::Volume volume = volren::datasets::skull({16, 16, 16});
+  ServiceConfig config;
+  config.policy = SchedulingPolicy::Fifo;
+  Harness h(2, config);
+  const SessionId a = h.service->open_session("a");
+  const SessionId b = h.service->open_session("b");
+  // B's frames arrive strictly earlier than A's even though A submitted
+  // first; FIFO must serve by arrival, not submission.
+  for (int f = 0; f < 2; ++f)
+    h.service->submit(a, request_for(volume, 10.0 + f));
+  for (int f = 0; f < 2; ++f)
+    h.service->submit(b, request_for(volume, 0.001 * f));
+  const ServiceStats stats = h.service->run();
+  EXPECT_EQ(completion_order(stats), (std::vector<SessionId>{b, b, a, a}));
+  EXPECT_EQ(stats.frames_total, 4);
+}
+
+TEST(RenderService, FifoBreaksArrivalTiesBySubmissionOrder) {
+  const volren::Volume volume = volren::datasets::skull({16, 16, 16});
+  ServiceConfig config;
+  config.policy = SchedulingPolicy::Fifo;
+  Harness h(2, config);
+  const SessionId a = h.service->open_session("a");
+  const SessionId b = h.service->open_session("b");
+  for (int f = 0; f < 3; ++f) h.service->submit(a, request_for(volume, 0.0));
+  for (int f = 0; f < 3; ++f) h.service->submit(b, request_for(volume, 0.0));
+  const ServiceStats stats = h.service->run();
+  EXPECT_EQ(completion_order(stats), (std::vector<SessionId>{a, a, a, b, b, b}));
+}
+
+TEST(RenderService, RoundRobinAlternatesSessions) {
+  const volren::Volume volume = volren::datasets::skull({16, 16, 16});
+  ServiceConfig config;
+  config.policy = SchedulingPolicy::RoundRobin;
+  Harness h(2, config);
+  const SessionId a = h.service->open_session("a");
+  const SessionId b = h.service->open_session("b");
+  // Identical workload to the FIFO tie test — but fairness interleaves.
+  for (int f = 0; f < 3; ++f) h.service->submit(a, request_for(volume, 0.0));
+  for (int f = 0; f < 3; ++f) h.service->submit(b, request_for(volume, 0.0));
+  const ServiceStats stats = h.service->run();
+  EXPECT_EQ(completion_order(stats), (std::vector<SessionId>{a, b, a, b, a, b}));
+}
+
+TEST(RenderService, ShortestJobFirstPrefersCheaperFrames) {
+  const volren::Volume big = volren::datasets::skull({48, 48, 48});
+  const volren::Volume small = volren::datasets::skull({16, 16, 16});
+  ServiceConfig config;
+  config.policy = SchedulingPolicy::ShortestJobFirst;
+  Harness h(2, config);
+  // The expensive session submits first; SJF must still serve the cheap
+  // session's frames ahead of it.
+  const SessionId heavy = h.service->open_session("heavy");
+  const SessionId light = h.service->open_session("light");
+  for (int f = 0; f < 2; ++f) h.service->submit(heavy, request_for(big, 0.0));
+  for (int f = 0; f < 2; ++f) h.service->submit(light, request_for(small, 0.0));
+  const ServiceStats stats = h.service->run();
+  EXPECT_EQ(completion_order(stats),
+            (std::vector<SessionId>{light, light, heavy, heavy}));
+  // The model's prediction must agree with the ordering it induced.
+  EXPECT_LT(stats.frames[0].predicted_cost_s, stats.frames[2].predicted_cost_s);
+}
+
+TEST(RenderService, DeterministicReplayOnTheDesClock) {
+  auto run_once = [] {
+    const volren::Volume volume = volren::datasets::supernova({24, 24, 24});
+    ServiceConfig config;
+    config.policy = SchedulingPolicy::RoundRobin;
+    Harness h(4, config);
+    const SessionId a = h.service->open_session("a");
+    const SessionId b = h.service->open_session("b");
+    h.service->submit_orbit(a, volume, tiny_options(), 4, 0.0, 0.05);
+    h.service->submit_orbit(b, volume, tiny_options(), 4, 0.02, 0.05);
+    return h.service->run();
+  };
+  const ServiceStats first = run_once();
+  const ServiceStats second = run_once();
+  ASSERT_EQ(first.frames.size(), second.frames.size());
+  for (std::size_t i = 0; i < first.frames.size(); ++i) {
+    EXPECT_EQ(first.frames[i].session, second.frames[i].session);
+    EXPECT_EQ(first.frames[i].frame_id, second.frames[i].frame_id);
+    // Bit-identical timing: the DES replays exactly.
+    EXPECT_EQ(first.frames[i].start_s, second.frames[i].start_s);
+    EXPECT_EQ(first.frames[i].finish_s, second.frames[i].finish_s);
+    EXPECT_EQ(first.frames[i].cache_hits, second.frames[i].cache_hits);
+  }
+  EXPECT_EQ(first.makespan_s, second.makespan_s);
+}
+
+TEST(RenderService, BrickCacheSkipsRestagingWithinASession) {
+  const volren::Volume volume = volren::datasets::skull({24, 24, 24});
+  auto run_with_cache = [&volume](bool enabled) {
+    ServiceConfig config;
+    config.enable_brick_cache = enabled;
+    Harness h(2, config);
+    const SessionId s = h.service->open_session("orbit");
+    h.service->submit_orbit(s, volume, tiny_options(), 4, 0.0, 0.0);
+    return h.service->run();
+  };
+
+  const ServiceStats cold = run_with_cache(false);
+  const ServiceStats warm = run_with_cache(true);
+
+  // Frame 0 stages everything; frames 1..3 hit every brick.
+  const auto bricks = warm.frames[0].cache_misses;
+  EXPECT_GT(bricks, 0u);
+  for (std::size_t f = 1; f < warm.frames.size(); ++f) {
+    EXPECT_EQ(warm.frames[f].cache_hits, bricks);
+    EXPECT_EQ(warm.frames[f].cache_misses, 0u);
+    EXPECT_EQ(warm.frames[f].stats.bytes_h2d, 0u);
+    EXPECT_GT(warm.frames[f].stats.bytes_h2d_saved, 0u);
+  }
+  EXPECT_DOUBLE_EQ(warm.cache_hit_rate, 0.75);
+  EXPECT_GT(warm.bytes_h2d_saved, 0u);
+
+  // Without the cache every frame restages; with it the session is
+  // strictly faster on the simulated clock.
+  EXPECT_EQ(cold.cache_hit_rate, 0.0);
+  EXPECT_EQ(cold.bytes_h2d_saved, 0u);
+  EXPECT_LT(warm.makespan_s, cold.makespan_s);
+}
+
+TEST(RenderService, CacheDoesNotChangeRenderedPixels) {
+  const volren::Volume volume = volren::datasets::skull({24, 24, 24});
+  auto frames_with_cache = [&volume](bool enabled) {
+    ServiceConfig config;
+    config.enable_brick_cache = enabled;
+    config.keep_images = true;
+    Harness h(2, config);
+    const SessionId s = h.service->open_session("orbit");
+    h.service->submit_orbit(s, volume, tiny_options(), 3, 0.0, 0.0);
+    return h.service->run();
+  };
+  const ServiceStats cold = frames_with_cache(false);
+  const ServiceStats warm = frames_with_cache(true);
+  ASSERT_EQ(cold.frames.size(), warm.frames.size());
+  for (std::size_t f = 0; f < cold.frames.size(); ++f) {
+    const volren::ImageDiff diff =
+        volren::compare_images(cold.frames[f].image, warm.frames[f].image);
+    EXPECT_EQ(diff.max_abs, 0.0) << "frame " << f;
+  }
+}
+
+TEST(RenderService, DistinctVolumesDoNotShareResidency) {
+  const volren::Volume va = volren::datasets::skull({24, 24, 24});
+  const volren::Volume vb = volren::datasets::supernova({24, 24, 24});
+  ServiceConfig config;
+  config.policy = SchedulingPolicy::RoundRobin;
+  Harness h(2, config);
+  const SessionId a = h.service->open_session("a");
+  const SessionId b = h.service->open_session("b");
+  h.service->submit_orbit(a, va, tiny_options(), 2, 0.0, 0.0);
+  h.service->submit_orbit(b, vb, tiny_options(), 2, 0.0, 0.0);
+  const ServiceStats stats = h.service->run();
+  // Order: a0 b0 a1 b1 — each session's first frame misses everything
+  // (the other session's bricks are a different volume), second frame
+  // hits everything (both working sets fit the default budget).
+  ASSERT_EQ(stats.frames.size(), 4u);
+  EXPECT_EQ(stats.frames[0].cache_hits, 0u);
+  EXPECT_EQ(stats.frames[1].cache_hits, 0u);
+  EXPECT_GT(stats.frames[2].cache_hits, 0u);
+  EXPECT_EQ(stats.frames[2].cache_misses, 0u);
+  EXPECT_GT(stats.frames[3].cache_hits, 0u);
+  EXPECT_EQ(stats.frames[3].cache_misses, 0u);
+}
+
+TEST(RenderService, TinyCacheBudgetNeverServesStaleHits) {
+  // A budget smaller than one brick disables caching in effect; every
+  // frame restages and correctness is unaffected.
+  const volren::Volume volume = volren::datasets::skull({24, 24, 24});
+  ServiceConfig config;
+  config.cache_capacity_override = 1;  // 1 byte
+  Harness h(2, config);
+  const SessionId s = h.service->open_session("orbit");
+  h.service->submit_orbit(s, volume, tiny_options(), 3, 0.0, 0.0);
+  const ServiceStats stats = h.service->run();
+  EXPECT_EQ(stats.cache.hits, 0u);
+  EXPECT_GT(stats.cache.rejected_oversized, 0u);
+  for (const FrameRecord& f : stats.frames) EXPECT_GT(f.stats.bytes_h2d, 0u);
+}
+
+TEST(RenderService, QueueWaitAndIdleGapsAccounted) {
+  const volren::Volume volume = volren::datasets::skull({16, 16, 16});
+  Harness h(2);
+  const SessionId s = h.service->open_session("sparse");
+  h.service->submit(s, request_for(volume, 0.0));
+  h.service->submit(s, request_for(volume, 1000.0));  // long idle gap
+  const ServiceStats stats = h.service->run();
+  ASSERT_EQ(stats.frames.size(), 2u);
+  // The second frame starts exactly at its arrival (idle cluster).
+  EXPECT_DOUBLE_EQ(stats.frames[1].start_s, 1000.0);
+  EXPECT_DOUBLE_EQ(stats.frames[1].queue_wait_s(), 0.0);
+  EXPECT_GT(stats.makespan_s, 1000.0);
+  // Utilization reflects the idle gap.
+  EXPECT_LT(stats.cluster_utilization, 0.01);
+}
+
+TEST(RenderService, TelemetryIsConsistent) {
+  const volren::Volume volume = volren::datasets::skull({24, 24, 24});
+  ServiceConfig config;
+  config.policy = SchedulingPolicy::RoundRobin;
+  Harness h(2, config);
+  const SessionId a = h.service->open_session("a");
+  const SessionId b = h.service->open_session("b");
+  h.service->submit_orbit(a, volume, tiny_options(), 5, 0.0, 0.01);
+  h.service->submit_orbit(b, volume, tiny_options(), 5, 0.0, 0.01);
+  const ServiceStats stats = h.service->run();
+
+  EXPECT_EQ(stats.frames_total, 10);
+  EXPECT_GT(stats.fps, 0.0);
+  EXPECT_GT(stats.cluster_utilization, 0.0);
+  EXPECT_LE(stats.cluster_utilization, 1.0 + 1e-9);
+  ASSERT_EQ(stats.sessions.size(), 2u);
+  for (const SessionSummary& session : stats.sessions) {
+    EXPECT_EQ(session.frames, 5);
+    EXPECT_GT(session.fps, 0.0);
+    EXPECT_LE(session.p50_latency_s, session.p95_latency_s);
+    EXPECT_LE(session.p95_latency_s, session.p99_latency_s);
+    EXPECT_LE(session.p99_latency_s, session.max_latency_s + 1e-12);
+    EXPECT_GT(session.mean_latency_s, 0.0);
+  }
+}
+
+TEST(RenderService, SubmitValidation) {
+  const volren::Volume volume = volren::datasets::skull({16, 16, 16});
+  Harness h(1);
+  EXPECT_THROW(h.service->submit(0, request_for(volume, 0.0)), vrmr::CheckError);
+  const SessionId s = h.service->open_session("s");
+  RenderRequest no_volume;
+  no_volume.options = tiny_options();
+  EXPECT_THROW(h.service->submit(s, no_volume), vrmr::CheckError);
+  RenderRequest negative = request_for(volume, -1.0);
+  EXPECT_THROW(h.service->submit(s, negative), vrmr::CheckError);
+  // A non-finite arrival would make run() silently drop the frame.
+  RenderRequest infinite =
+      request_for(volume, std::numeric_limits<double>::infinity());
+  EXPECT_THROW(h.service->submit(s, infinite), vrmr::CheckError);
+  RenderRequest nan = request_for(volume, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_THROW(h.service->submit(s, nan), vrmr::CheckError);
+}
+
+TEST(RenderService, RebrickedVolumeDoesNotAliasWarmBricks) {
+  // The same volume rendered under a different brick decomposition
+  // reuses brick ids 0..N for different extents; those must miss, not
+  // falsely hit the old layout's payloads.
+  const volren::Volume volume = volren::datasets::skull({32, 32, 32});
+  Harness h(2);
+  const SessionId s = h.service->open_session("rebrick");
+  volren::RenderOptions coarse = tiny_options();
+  coarse.brick_size = 16;  // 2x2x2 bricks
+  h.service->submit(s, request_for(volume, 0.0, coarse));
+  volren::RenderOptions fine = tiny_options();
+  fine.brick_size = 8;  // 4x4x4 bricks, ids overlap 0..7
+  h.service->submit(s, request_for(volume, 0.0, fine));
+  const ServiceStats stats = h.service->run();
+  ASSERT_EQ(stats.frames.size(), 2u);
+  EXPECT_EQ(stats.frames[1].cache_hits, 0u);
+  EXPECT_GT(stats.frames[1].cache_misses, 0u);
+  EXPECT_GT(stats.frames[1].stats.bytes_h2d, 0u);  // really restaged
+}
+
+TEST(RenderService, InvalidateVolumeRestagesCold) {
+  const volren::Volume volume = volren::datasets::skull({24, 24, 24});
+  Harness h(2);
+  const SessionId s = h.service->open_session("orbit");
+  h.service->submit(s, request_for(volume, 0.0));
+  h.service->submit(s, request_for(volume, 0.0));
+  const ServiceStats warm = h.service->run();
+  EXPECT_GT(warm.cache.hits, 0u);  // second frame hit
+
+  // After invalidation the same Volume address starts cold — the
+  // guard against a new volume reusing a destroyed volume's address.
+  h.service->invalidate_volume(&volume);
+  h.service->submit(s, request_for(volume, 0.0));
+  const ServiceStats cold = h.service->run();
+  EXPECT_EQ(cold.cache.hits, 0u);
+  EXPECT_GT(cold.cache.misses, 0u);
+}
+
+TEST(RenderService, RunIsReusableAndResidencyPersists) {
+  const volren::Volume volume = volren::datasets::skull({24, 24, 24});
+  Harness h(2);
+  const SessionId s = h.service->open_session("orbit");
+  h.service->submit(s, request_for(volume, 0.0));
+  const ServiceStats first = h.service->run();
+  EXPECT_EQ(first.frames_total, 1);
+  EXPECT_EQ(first.cache.hits, 0u);
+
+  // A later burst on the same service: bricks are still warm, and the
+  // backdated arrival_s=0.0 is clamped to the current clock so latency
+  // does not absorb the first run's duration.
+  const double clock_before_second_run = h.engine.now();
+  EXPECT_GT(clock_before_second_run, 0.0);
+  h.service->submit(s, request_for(volume, 0.0));
+  const ServiceStats second = h.service->run();
+  EXPECT_EQ(second.frames_total, 1);
+  EXPECT_GT(second.cache.hits, 0u);
+  EXPECT_EQ(second.cache.misses, 0u);
+  EXPECT_DOUBLE_EQ(second.frames[0].arrival_s, clock_before_second_run);
+  EXPECT_LT(second.frames[0].latency_s(), first.frames[0].latency_s());
+}
+
+}  // namespace
+}  // namespace vrmr::service
