@@ -67,13 +67,14 @@ WorkloadResult run_saturated(int gpus, int sessions, bool cache, bool disk_io,
   volren::RenderOptions options = service_options(dims);
   options.include_disk_io = disk_io;
   for (int s = 0; s < sessions; ++s) {
-    const service::SessionId id = svc.open_session("orbit" + std::to_string(s));
-    svc.submit_orbit(id, volumes[static_cast<std::size_t>(s)], options,
-                     frames_per_session(), 0.0, 0.0);
+    service::Session session = svc.open_session("orbit" + std::to_string(s));
+    session.submit_orbit(volumes[static_cast<std::size_t>(s)], options,
+                         frames_per_session(), 0.0, 0.0);
   }
 
   WorkloadResult result;
-  result.stats = svc.run();
+  svc.drain();
+  result.stats = svc.stats();
   std::vector<double> latencies;
   for (const service::FrameRecord& f : result.stats.frames)
     latencies.push_back(f.latency_s());
@@ -141,9 +142,10 @@ int main() {
 
   // --- part 3: scheduling policies on a mixed workload --------------------
   // One interactive orbit session (frames trickle in) vs one batch
-  // animation session (all frames at t=0): fairness and SJF keep the
-  // interactive session's tail latency low where FIFO lets the batch
-  // monopolize the cluster.
+  // animation session (all frames at t=0). Priority admission serves
+  // the Interactive class first under every policy, so the interactive
+  // tail stays bounded by one batch frame; the policies still differ in
+  // how they order the batch backlog and the interactive bursts.
   Table policies({"policy", "session", "frames", "p50", "p95", "p99", "fps"});
   for (const service::SchedulingPolicy policy :
        {service::SchedulingPolicy::Fifo, service::SchedulingPolicy::RoundRobin,
@@ -162,15 +164,18 @@ int main() {
     service::RenderService svc(cluster, config);
 
     volren::RenderOptions options = service_options(dims);
-    const service::SessionId batch = svc.open_session("batch");
-    svc.submit_orbit(batch, batch_volume, options, 2 * frames_per_session(), 0.0,
-                     0.0);
-    const service::SessionId interactive = svc.open_session("interactive");
-    svc.submit_orbit(interactive, interactive_volume, options,
-                     frames_per_session(), 0.0, 0.05);
+    service::Session batch =
+        svc.open_session("batch", service::Priority::Batch);
+    batch.submit_orbit(batch_volume, options, 2 * frames_per_session(), 0.0,
+                       0.0);
+    service::Session interactive =
+        svc.open_session("interactive", service::Priority::Interactive);
+    interactive.submit_orbit(interactive_volume, options, frames_per_session(),
+                             0.0, 0.05);
 
-    const service::ServiceStats stats = svc.run();
-    for (const service::SessionSummary& session : stats.sessions) {
+    svc.drain();
+    const service::ServiceStats stats = svc.stats();
+    for (const service::SessionStats& session : stats.sessions) {
       policies.add_row({service::to_string(policy), session.name,
                         std::to_string(session.frames),
                         format_seconds(session.p50_latency_s),

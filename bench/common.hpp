@@ -13,6 +13,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.hpp"
 #include "sim/engine.hpp"
@@ -54,6 +55,21 @@ inline void maybe_print_csv(const std::string& name, const Table& table) {
     return;
   }
   std::cout << "--- csv: " << name << " ---\n" << table.to_csv() << "--- end csv ---\n";
+}
+
+// Sharding sweeps: every row carries a leading "shards" column so the
+// VRMR_CSV_PATH output stays machine-parseable alongside the
+// single-cluster benches (parsers key on the column name, and rows
+// from different shard counts land in one CSV block).
+inline std::vector<std::string> shards_headers(std::vector<std::string> rest) {
+  rest.insert(rest.begin(), "shards");
+  return rest;
+}
+
+inline std::vector<std::string> shards_row(int shards,
+                                           std::vector<std::string> rest) {
+  rest.insert(rest.begin(), std::to_string(shards));
+  return rest;
 }
 
 inline int image_size() { return fast_mode() ? 256 : 512; }

@@ -1,9 +1,11 @@
 // Serving scenario: one simulated cluster multiplexing a mixed
 // population of render sessions — two scientists interactively orbiting
 // their datasets (frames trickle in at interactive rates) while a batch
-// animation export queues a full turntable at once. The round-robin
-// scheduler keeps the interactive sessions responsive and the per-GPU
-// brick cache keeps every session's bricks warm between frames.
+// animation export queues a full turntable at once. Sessions are
+// first-class handles: frames are delivered through on_frame callbacks
+// as they complete on the simulated timeline, interactive sessions are
+// admitted ahead of the batch class, and the per-GPU brick cache keeps
+// every session's bricks warm between frames.
 //
 //   $ ./examples/example_render_service [gpus]
 
@@ -36,24 +38,48 @@ int main(int argc, char** argv) {
   options.cast.decimation = 2;
 
   // Two interactive orbit sessions: 30 ms between frames (~33 Hz hand
-  // motion), starting staggered.
+  // motion), starting staggered. The orbit hint is how a later prefetch
+  // stage will know which bricks the next frame needs.
+  service::SessionProfile alice_profile;
+  alice_profile.name = "alice/skull";
+  alice_profile.priority = service::Priority::Interactive;
+  alice_profile.orbit = service::OrbitHint{24, 0.03};
+  service::Session alice = svc.open_session(alice_profile);
   options.transfer = volren::TransferFunction::bone();
-  const auto alice = svc.open_session("alice/skull");
-  svc.submit_orbit(alice, skull, options, 24, 0.0, 0.03);
+  alice.submit_orbit(skull, options, 24, 0.0, 0.03);
 
+  service::SessionProfile bob_profile;
+  bob_profile.name = "bob/supernova";
+  bob_profile.priority = service::Priority::Interactive;
+  bob_profile.orbit = service::OrbitHint{24, 0.03};
+  service::Session bob = svc.open_session(bob_profile);
   options.transfer = volren::TransferFunction::fire();
-  const auto bob = svc.open_session("bob/supernova");
-  svc.submit_orbit(bob, supernova, options, 24, 0.1, 0.03);
+  bob.submit_orbit(supernova, options, 24, 0.1, 0.03);
 
   // One batch animation export: the whole turntable queued at t=0.
-  const auto batch = svc.open_session("batch/plume");
-  svc.submit_orbit(batch, plume, options, 32, 0.0, 0.0);
+  // Priority admission keeps it from head-of-line-blocking the
+  // scientists; it soaks up whatever the cluster has left.
+  service::Session batch =
+      svc.open_session("batch/plume", service::Priority::Batch);
+  batch.submit_orbit(plume, options, 32, 0.0, 0.0);
 
-  const service::ServiceStats stats = svc.run();
+  // Event-driven delivery: alice's frames stream back as they finish on
+  // the simulated timeline (a real client would encode/display here).
+  int alice_delivered = 0;
+  double alice_last_finish = 0.0;
+  alice.on_frame([&](const service::FrameRecord& frame) {
+    ++alice_delivered;
+    alice_last_finish = frame.finish_s;
+  });
 
-  Table sessions({"session", "frames", "p50", "p95", "p99", "mean", "fps", "hit%"});
-  for (const service::SessionSummary& s : stats.sessions) {
-    sessions.add_row({s.name, std::to_string(s.frames),
+  svc.drain();
+  const service::ServiceStats stats = svc.stats();
+
+  Table sessions(
+      {"session", "class", "frames", "p50", "p95", "p99", "mean", "fps", "hit%"});
+  for (const service::SessionStats& s : stats.sessions) {
+    sessions.add_row({s.name, service::to_string(s.priority),
+                      std::to_string(s.frames),
                       format_seconds(s.p50_latency_s),
                       format_seconds(s.p95_latency_s),
                       format_seconds(s.p99_latency_s),
@@ -65,6 +91,8 @@ int main(int argc, char** argv) {
             << service::to_string(config.policy) << ", brick cache "
             << (config.enable_brick_cache ? "on" : "off") << "\n\n"
             << sessions.to_string() << "\n"
+            << alice_delivered << " frames streamed to alice's callback, last at "
+            << format_seconds(alice_last_finish) << "\n"
             << stats.frames_total << " frames in "
             << format_seconds(stats.makespan_s) << " simulated ("
             << Table::num(stats.fps, 2) << " fps aggregate), cluster "

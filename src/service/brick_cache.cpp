@@ -62,6 +62,16 @@ void BrickCache::invalidate_volume(std::uint64_t volume_id) {
   }
 }
 
+std::uint64_t BrickCache::resident_bytes_for_volume(std::uint64_t volume_id) const {
+  std::uint64_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    for (const Entry& entry : shard.lru) {
+      if (entry.key.volume_id == volume_id) bytes += entry.bytes;
+    }
+  }
+  return bytes;
+}
+
 void BrickCache::clear() {
   for (Shard& shard : shards_) {
     shard.lru.clear();

@@ -96,6 +96,11 @@ class BrickCache {
   /// session closed with volume eviction requested).
   void invalidate_volume(std::uint64_t volume_id);
 
+  /// Bytes of `volume_id` resident across all GPUs (no LRU touch). The
+  /// frontend's brick-affinity placement reads this to route a session
+  /// toward the shard where its volume is already warm.
+  std::uint64_t resident_bytes_for_volume(std::uint64_t volume_id) const;
+
   void clear();
 
   int num_gpus() const { return static_cast<int>(shards_.size()); }

@@ -1,0 +1,195 @@
+#include "service/frontend.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace vrmr::service {
+
+ServiceFrontend::ServiceFrontend(FrontendConfig config)
+    : config_(std::move(config)) {
+  VRMR_CHECK_MSG(config_.shards >= 1, "frontend needs at least one shard");
+  VRMR_CHECK_MSG(config_.gpus_per_shard >= 1,
+                 "frontend shards need at least one GPU");
+  shards_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int s = 0; s < config_.shards; ++s) {
+    Shard shard;
+    shard.engine = std::make_unique<sim::Engine>();
+    shard.cluster = std::make_unique<cluster::Cluster>(
+        *shard.engine,
+        cluster::ClusterConfig::with_total_gpus(
+            config_.gpus_per_shard, config_.hw, config_.max_gpus_per_node));
+    shard.service =
+        std::make_unique<RenderService>(*shard.cluster, config_.service);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ServiceFrontend::~ServiceFrontend() = default;
+
+Session ServiceFrontend::open_session(SessionProfile profile) {
+  auto state = std::make_unique<FrontendSession>();
+  state->profile = std::move(profile);
+  sessions_.push_back(std::move(state));
+  return Session(this, num_sessions() - 1);
+}
+
+RenderService& ServiceFrontend::shard(int index) {
+  VRMR_CHECK_MSG(index >= 0 && index < num_shards(),
+                 "shard " << index << " out of range");
+  return *shards_[static_cast<std::size_t>(index)].service;
+}
+
+int ServiceFrontend::shard_of(const Session& session) const {
+  VRMR_CHECK_MSG(session.valid(), "shard_of on an invalid Session");
+  VRMR_CHECK_MSG(static_cast<const SessionBackend*>(this) == session.backend_,
+                 "Session belongs to a different backend");
+  return sessions_[static_cast<std::size_t>(session.index_)]->shard;
+}
+
+int ServiceFrontend::place(const volren::Volume* volume) const {
+  // Brick affinity first: restrict to shards where the volume is warm,
+  // when any. Then least outstanding predicted cost; ties break on the
+  // lowest shard index (determinism). The warm probe scans the shard's
+  // cache, so run it once per shard.
+  std::vector<bool> warm(static_cast<std::size_t>(num_shards()));
+  bool any_warm = false;
+  for (int s = 0; s < num_shards(); ++s) {
+    warm[static_cast<std::size_t>(s)] =
+        shards_[static_cast<std::size_t>(s)].service->volume_warm(volume);
+    any_warm = any_warm || warm[static_cast<std::size_t>(s)];
+  }
+  int best = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int s = 0; s < num_shards(); ++s) {
+    if (any_warm && !warm[static_cast<std::size_t>(s)]) continue;
+    const double cost =
+        shards_[static_cast<std::size_t>(s)].service->outstanding_cost_s();
+    if (cost < best_cost) {
+      best = s;
+      best_cost = cost;
+    }
+  }
+  VRMR_CHECK(best >= 0);
+  return best;
+}
+
+std::uint64_t ServiceFrontend::session_submit(int session, RenderRequest request) {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "unknown session " << session);
+  // Validate before placing: a rejected first submit must not pin the
+  // session to a shard chosen from the invalid request.
+  VRMR_CHECK_MSG(request.volume != nullptr, "RenderRequest.volume must be set");
+  VRMR_CHECK_MSG(std::isfinite(request.arrival_s) && request.arrival_s >= 0.0,
+                 "arrival time must be finite and non-negative, got "
+                     << request.arrival_s);
+  FrontendSession& state = *sessions_[static_cast<std::size_t>(session)];
+  if (state.shard < 0) {
+    // Probe every shard's registration guard before pinning: a volume
+    // reshaped without invalidation must reject the submit no matter
+    // which shard placement would pick (its stale registration may
+    // live on a shard that has since gone cold), and the session stays
+    // free to place elsewhere on retry after invalidate_volume.
+    for (const Shard& shard : shards_)
+      shard.service->check_volume_compatible(request.volume);
+    state.shard = place(request.volume);
+    Shard& shard = shards_[static_cast<std::size_t>(state.shard)];
+    state.inner = shard.service->open_session(state.profile);
+    ++shard.sessions_placed;
+    if (state.pending_callback)
+      state.inner.on_frame(translate(session, std::move(state.pending_callback)));
+    VRMR_DEBUG("frontend") << "session '" << state.profile.name
+                           << "' placed on shard " << state.shard;
+  }
+  return state.inner.submit(std::move(request));
+}
+
+FrameCallback ServiceFrontend::translate(int session, FrameCallback callback) {
+  // Shard-local session indices collide across shards; deliver records
+  // carrying the frontend-wide session index instead.
+  return [session, callback = std::move(callback)](const FrameRecord& frame) {
+    FrameRecord translated = frame;
+    translated.session = session;
+    callback(translated);
+  };
+}
+
+void ServiceFrontend::session_on_frame(int session, FrameCallback callback) {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "unknown session " << session);
+  FrontendSession& state = *sessions_[static_cast<std::size_t>(session)];
+  if (state.shard < 0) {
+    state.pending_callback = std::move(callback);
+    return;
+  }
+  state.inner.on_frame(translate(session, std::move(callback)));
+}
+
+SessionStats ServiceFrontend::session_stats(int session) const {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "unknown session " << session);
+  const FrontendSession& state = *sessions_[static_cast<std::size_t>(session)];
+  if (state.shard < 0) {
+    SessionStats empty;
+    empty.name = state.profile.name;
+    empty.priority = state.profile.priority;
+    return empty;
+  }
+  return state.inner.stats();
+}
+
+const SessionProfile& ServiceFrontend::session_profile(int session) const {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "unknown session " << session);
+  return sessions_[static_cast<std::size_t>(session)]->profile;
+}
+
+void ServiceFrontend::drain() {
+  // A callback running on one shard may submit frames that place onto
+  // an already-drained shard (brick affinity), so loop until every
+  // shard's queue is empty.
+  bool any_served = true;
+  while (any_served) {
+    any_served = false;
+    for (Shard& shard : shards_) {
+      if (shard.service->queued_frames() == 0) continue;
+      shard.service->drain();
+      any_served = true;
+    }
+  }
+}
+
+void ServiceFrontend::invalidate_volume(const volren::Volume* volume) {
+  for (Shard& shard : shards_) shard.service->invalidate_volume(volume);
+}
+
+FrontendStats ServiceFrontend::stats() const {
+  FrontendStats out;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (int s = 0; s < num_shards(); ++s) {
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    ShardStats detail;
+    detail.shard = s;
+    detail.sessions = shard.sessions_placed;
+    detail.service = shard.service->stats();
+    out.frames_total += detail.service.frames_total;
+    out.makespan_s = std::max(out.makespan_s, detail.service.makespan_s);
+    out.bytes_h2d_saved += detail.service.bytes_h2d_saved;
+    hits += detail.service.cache.hits;
+    misses += detail.service.cache.misses;
+    out.shards.push_back(std::move(detail));
+  }
+  out.fps = out.makespan_s > 0.0 ? out.frames_total / out.makespan_s : 0.0;
+  out.cache_hit_rate =
+      hits + misses > 0
+          ? static_cast<double>(hits) / static_cast<double>(hits + misses)
+          : 0.0;
+  return out;
+}
+
+}  // namespace vrmr::service

@@ -1,0 +1,128 @@
+#pragma once
+
+// ServiceFrontend: a sharded serving tier over N independent clusters.
+//
+// The paper dedicates one cluster to one frame; RenderService
+// multiplexes sessions onto one cluster; this frontend owns N
+// (engine, cluster, RenderService) shards and places each session onto
+// one of them, behind the same Session-handle API — clients cannot tell
+// a sharded deployment from a single backend.
+//
+// Placement happens lazily on the session's FIRST submit (only then is
+// the volume known):
+//
+//   1. brick affinity — shards where the volume already has warm bricks
+//      are preferred (a returning user's dataset is still resident);
+//   2. least outstanding cost — among candidates, the shard whose
+//      queued frames sum to the smallest predicted cost
+//      (RenderService::outstanding_cost_s) wins; ties go to the lowest
+//      shard index.
+//
+// Every frame of a session stays on its shard (brick residency is per
+// cluster). Shards simulate independent timelines: drain() drains them
+// back to back on the host, but the simulated farm runs them in
+// parallel, so aggregate makespan is the max over shards and aggregate
+// fps is frames / that max. Placement and per-shard scheduling are both
+// deterministic, so identical workloads replay byte-identical schedules.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "service/render_service.hpp"
+#include "service/session.hpp"
+#include "sim/engine.hpp"
+
+namespace vrmr::service {
+
+struct FrontendConfig {
+  int shards = 2;
+  int gpus_per_shard = 4;
+  /// Hardware model + node packing for every shard's cluster.
+  cluster::HardwareModel hw = cluster::HardwareModel::ncsa_accelerator_cluster();
+  int max_gpus_per_node = 4;
+  /// Per-shard RenderService configuration (policy, cache, ...).
+  ServiceConfig service;
+};
+
+struct ShardStats {
+  int shard = 0;
+  int sessions = 0;  // sessions placed on this shard
+  ServiceStats service;
+};
+
+/// Cross-shard aggregate; per-shard detail in `shards`.
+struct FrontendStats {
+  int frames_total = 0;
+  /// Shards run in parallel in the simulated farm: the farm's makespan
+  /// is the slowest shard's serving window.
+  double makespan_s = 0.0;
+  double fps = 0.0;  // frames_total / makespan
+  double cache_hit_rate = 0.0;  // hits / (hits+misses) across shards
+  std::uint64_t bytes_h2d_saved = 0;
+  std::vector<ShardStats> shards;
+};
+
+class ServiceFrontend final : public SessionBackend {
+ public:
+  explicit ServiceFrontend(FrontendConfig config = {});
+  ~ServiceFrontend() override;
+
+  ServiceFrontend(const ServiceFrontend&) = delete;
+  ServiceFrontend& operator=(const ServiceFrontend&) = delete;
+
+  /// Admit a session. Shard placement is deferred to its first submit.
+  Session open_session(SessionProfile profile);
+  Session open_session(std::string name, Priority priority = Priority::Batch) {
+    return open_session(SessionProfile{std::move(name), priority, std::nullopt});
+  }
+
+  /// Drain every shard's queue (each on its own simulated timeline).
+  void drain();
+
+  /// Cross-shard aggregate statistics, queryable at any time.
+  FrontendStats stats() const;
+
+  /// Forward to every shard (the volume may be warm on any of them).
+  void invalidate_volume(const volren::Volume* volume);
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_sessions() const { return static_cast<int>(sessions_.size()); }
+  RenderService& shard(int index);
+  /// Shard a frontend session landed on; -1 while still unplaced.
+  int shard_of(const Session& session) const;
+  const FrontendConfig& config() const { return config_; }
+
+  // --- SessionBackend (prefer the Session handle) ------------------------
+  std::uint64_t session_submit(int session, RenderRequest request) override;
+  void session_on_frame(int session, FrameCallback callback) override;
+  SessionStats session_stats(int session) const override;
+  const SessionProfile& session_profile(int session) const override;
+
+ private:
+  struct Shard {
+    std::unique_ptr<sim::Engine> engine;
+    std::unique_ptr<cluster::Cluster> cluster;
+    std::unique_ptr<RenderService> service;
+    int sessions_placed = 0;
+  };
+  struct FrontendSession {
+    SessionProfile profile;
+    FrameCallback pending_callback;  // held until placement
+    int shard = -1;
+    Session inner;  // valid once placed
+  };
+
+  int place(const volren::Volume* volume) const;  // deterministic choice
+  /// Wrap a client callback so delivered records carry the
+  /// frontend-wide session index, not the shard-local one.
+  static FrameCallback translate(int session, FrameCallback callback);
+
+  FrontendConfig config_;
+  std::vector<Shard> shards_;
+  std::vector<std::unique_ptr<FrontendSession>> sessions_;
+};
+
+}  // namespace vrmr::service

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "mr/analysis.hpp"
 #include "util/log.hpp"
@@ -37,18 +38,6 @@ std::uint64_t layout_signature(const volren::BrickLayout& layout) {
   return packed * 31u + static_cast<std::uint64_t>(layout.ghost());
 }
 
-BrickCacheStats stats_delta(const BrickCacheStats& now, const BrickCacheStats& then) {
-  BrickCacheStats d;
-  d.hits = now.hits - then.hits;
-  d.misses = now.misses - then.misses;
-  d.insertions = now.insertions - then.insertions;
-  d.evictions = now.evictions - then.evictions;
-  d.rejected_oversized = now.rejected_oversized - then.rejected_oversized;
-  d.bytes_saved = now.bytes_saved - then.bytes_saved;
-  d.bytes_evicted = now.bytes_evicted - then.bytes_evicted;
-  return d;
-}
-
 }  // namespace
 
 const char* to_string(SchedulingPolicy policy) {
@@ -72,79 +61,149 @@ RenderService::RenderService(cluster::Cluster& cluster, ServiceConfig config)
   }
 }
 
-SessionId RenderService::open_session(std::string name) {
-  sessions_.push_back(Session{std::move(name), {}, 0});
-  return static_cast<SessionId>(sessions_.size()) - 1;
+Session RenderService::open_session(SessionProfile profile) {
+  auto state = std::make_unique<SessionState>();
+  state->profile = std::move(profile);
+  sessions_.push_back(std::move(state));
+  return Session(this, num_sessions() - 1);
 }
 
-std::uint64_t RenderService::submit(SessionId session, RenderRequest request) {
+void RenderService::check_volume_compatible(const volren::Volume* volume) const {
+  const auto it = volumes_.find(volume);
+  if (it == volumes_.end()) return;  // unregistered: anything goes
+  // The footgun this closes: destroying a volume and allocating a
+  // different-shaped one at the same address without telling the
+  // service. Same-shaped reuse is indistinguishable from legitimate
+  // re-submission and stays the caller's responsibility
+  // (invalidate_volume re-keys the address).
+  VRMR_CHECK_MSG(it->second.dims == volume->dims(),
+                 "volume @" << volume << " registered with dims "
+                            << it->second.dims << " but now has "
+                            << volume->dims()
+                            << "; call invalidate_volume before reusing "
+                               "the address with different voxels");
+}
+
+const RenderService::VolumeRegistration& RenderService::register_volume(
+    const volren::Volume* volume) {
+  check_volume_compatible(volume);
+  const auto [it, inserted] = volumes_.try_emplace(
+      volume, VolumeRegistration{next_volume_id_, generation_, volume->dims()});
+  if (inserted) ++next_volume_id_;
+  return it->second;
+}
+
+std::uint64_t RenderService::session_submit(int session, RenderRequest request) {
   VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
                  "unknown session " << session);
   VRMR_CHECK_MSG(request.volume != nullptr, "RenderRequest.volume must be set");
   VRMR_CHECK_MSG(std::isfinite(request.arrival_s) && request.arrival_s >= 0.0,
                  "arrival time must be finite and non-negative, got "
                      << request.arrival_s);
-  (void)volume_id(request.volume);  // register before any cost-model probe
-  const std::uint64_t id = next_frame_id_++;
-  sessions_[static_cast<std::size_t>(session)].queue.push_back(
-      Pending{std::move(request), id});
+  (void)register_volume(request.volume);  // register + dims guard
+
+  Pending pending;
+  pending.frame_id = next_frame_id_++;
+  // Memoize the decomposition once: every scheduling probe and the
+  // render itself reuse it (previously rebuilt per decision + per frame).
+  pending.layout = std::make_shared<const volren::BrickLayout>(
+      volren::choose_layout(*request.volume, request.options,
+                            cluster_.total_gpus()));
+  ++layouts_built_;
+  pending.layout_sig = layout_signature(*pending.layout);
+  pending.submit_dims = request.volume->dims();
+  pending.submit_floor_s = cluster_.engine().now();
+  pending.request = std::move(request);
+  pending.submit_cost_s = estimate_cost_s(pending);
+  outstanding_cost_s_ += pending.submit_cost_s;
+
+  const std::uint64_t id = pending.frame_id;
+  sessions_[static_cast<std::size_t>(session)]->queue.push_back(
+      std::move(pending));
   return id;
 }
 
-void RenderService::submit_orbit(SessionId session, const volren::Volume& volume,
-                                 volren::RenderOptions options, int frames,
-                                 double first_arrival_s, double frame_interval_s) {
-  VRMR_CHECK(frames >= 1);
-  for (int f = 0; f < frames; ++f) {
-    options.azimuth =
-        6.2831853f * static_cast<float>(f) / static_cast<float>(frames);
-    RenderRequest request;
-    request.volume = &volume;
-    request.options = options;
-    request.arrival_s = first_arrival_s + frame_interval_s * f;
-    submit(session, request);
-  }
+void RenderService::session_on_frame(int session, FrameCallback callback) {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "unknown session " << session);
+  sessions_[static_cast<std::size_t>(session)]->callback = std::move(callback);
 }
 
-std::uint64_t RenderService::volume_id(const volren::Volume* volume) {
-  // Ids are never reused (next_volume_id_ only grows), so an
-  // invalidated address re-registers cold.
-  const auto [it, inserted] = volume_ids_.emplace(volume, next_volume_id_);
-  if (inserted) ++next_volume_id_;
-  return it->second;
+SessionStats RenderService::session_stats(int session) const {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "unknown session " << session);
+  return stats_for(session);
+}
+
+const SessionProfile& RenderService::session_profile(int session) const {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "unknown session " << session);
+  return sessions_[static_cast<std::size_t>(session)]->profile;
 }
 
 void RenderService::invalidate_volume(const volren::Volume* volume) {
-  const auto it = volume_ids_.find(volume);
-  if (it == volume_ids_.end()) return;
-  if (cache_) cache_->invalidate_volume(it->second);
-  volume_ids_.erase(it);
+  // The erase below is what re-keys the address (volume ids are never
+  // reused); the generation bump records the new registration epoch,
+  // which the dims guard in register_volume is scoped to.
+  ++generation_;
+  const auto it = volumes_.find(volume);
+  if (it == volumes_.end()) return;
+  if (cache_) cache_->invalidate_volume(it->second.id);
+  volumes_.erase(it);
+}
+
+int RenderService::queued_frames() const {
+  int queued = 0;
+  for (const auto& session : sessions_)
+    queued += static_cast<int>(session->queue.size());
+  return queued;
+}
+
+bool RenderService::volume_warm(const volren::Volume* volume) const {
+  if (!cache_) return false;
+  const auto it = volumes_.find(volume);
+  if (it == volumes_.end()) return false;
+  return cache_->resident_bytes_for_volume(it->second.id) > 0;
 }
 
 double RenderService::earliest_head_arrival() const {
   double earliest = kInf;
-  for (const Session& session : sessions_) {
-    if (session.queue.empty()) continue;
-    earliest = std::min(earliest, session.queue.front().request.arrival_s);
+  for (const auto& session : sessions_) {
+    if (session->queue.empty()) continue;
+    earliest = std::min(earliest, session->queue.front().effective_arrival_s());
   }
   return earliest;
 }
 
 int RenderService::pick_next(double now, double* predicted_cost_s) const {
+  // Priority admission: when any Interactive head has arrived, Batch
+  // heads do not compete this round (the policy orders within a class).
+  bool interactive_arrived = false;
+  for (const auto& session : sessions_) {
+    if (session->profile.priority != Priority::Interactive) continue;
+    if (session->queue.empty()) continue;
+    if (session->queue.front().effective_arrival_s() <= now) {
+      interactive_arrived = true;
+      break;
+    }
+  }
+
   int best = -1;
   PickKey best_key{};
   *predicted_cost_s = -1.0;
   for (int s = 0; s < num_sessions(); ++s) {
-    const Session& session = sessions_[static_cast<std::size_t>(s)];
+    const SessionState& session = *sessions_[static_cast<std::size_t>(s)];
     if (session.queue.empty()) continue;
     const Pending& head = session.queue.front();
-    if (head.request.arrival_s > now) continue;  // not arrived yet
+    if (head.effective_arrival_s() > now) continue;  // not arrived yet
+    if (interactive_arrived && session.profile.priority != Priority::Interactive)
+      continue;
 
     PickKey key;
     key.frame_id = head.frame_id;
     switch (config_.policy) {
       case SchedulingPolicy::Fifo:
-        key.primary = head.request.arrival_s;
+        key.primary = head.effective_arrival_s();
         break;
       case SchedulingPolicy::RoundRobin:
         // Least recently served session first; never-served sessions
@@ -176,7 +235,7 @@ double RenderService::estimate_cost_s(const Pending& pending) const {
   const RenderRequest& req = pending.request;
   const volren::Volume& volume = *req.volume;
   const int gpus = cluster_.total_gpus();
-  const volren::BrickLayout layout = volren::choose_layout(volume, req.options, gpus);
+  const volren::BrickLayout& layout = *pending.layout;
 
   // A-priori counters for mr::speed_of_light. These are coarse — a
   // centered orbit framing covers roughly half the image, each covered
@@ -212,18 +271,18 @@ double RenderService::estimate_cost_s(const Pending& pending) const {
   std::uint64_t vid = 0;
   bool cache_aware = false;
   if (cache_.has_value()) {
-    if (const auto it = volume_ids_.find(req.volume); it != volume_ids_.end()) {
-      vid = it->second;
+    if (const auto it = volumes_.find(req.volume); it != volumes_.end()) {
+      vid = it->second.id;
       cache_aware = true;
     }
   }
-  const std::uint64_t lid = layout_signature(layout);
   std::uint64_t h2d = 0;
   int deal = 0;
   for (const volren::BrickInfo& brick : layout.bricks()) {
     const int gpu = deal++ % gpus;
-    const bool warm =
-        cache_aware && cache_->resident(gpu, BrickKey{vid, brick.id, lid});
+    const bool warm = cache_aware &&
+                      cache_->resident(gpu, BrickKey{vid, brick.id,
+                                                     pending.layout_sig});
     if (!warm) h2d += brick.device_bytes();
   }
   pred.bytes_h2d = h2d;
@@ -235,18 +294,47 @@ double RenderService::estimate_cost_s(const Pending& pending) const {
   return sol.serial_bound_s + sol.disk_s;
 }
 
-FrameRecord RenderService::render_one(Session& session, SessionId sid,
-                                      double arrival_floor_s,
-                                      double predicted_cost_s) {
+void RenderService::serve_one(int session_index, double arrival_floor_s,
+                              double predicted_cost_s) {
+  SessionState& session = *sessions_[static_cast<std::size_t>(session_index)];
+  {
+    // The memoized layout describes the volume as it was at submit; a
+    // queued frame must not render a reshaped volume with it (an
+    // invalidate_volume + same-address reallocation re-registers
+    // cleanly, so the register_volume guard below cannot catch this
+    // case). Checked before any state mutation.
+    const Pending& head = session.queue.front();
+    VRMR_CHECK_MSG(head.request.volume->dims() == head.submit_dims,
+                   "volume @" << head.request.volume << " had dims "
+                              << head.submit_dims << " when frame "
+                              << head.frame_id
+                              << " was submitted but now has "
+                              << head.request.volume->dims()
+                              << "; queued frames cannot outlive their "
+                                 "volume's shape");
+  }
   Pending pending = std::move(session.queue.front());
   session.queue.pop_front();
   session.last_served_seq = ++serve_seq_;
+  outstanding_cost_s_ -= pending.submit_cost_s;
 
   auto& engine = cluster_.engine();
   FrameRecord record;
-  record.session = sid;
+  record.session = session_index;
   record.frame_id = pending.frame_id;
-  record.arrival_s = std::max(pending.request.arrival_s, arrival_floor_s);
+  record.arrival_s = std::max(pending.effective_arrival_s(), arrival_floor_s);
+
+  // Open (or widen) the serving window before rendering, and snapshot
+  // GPU busy at the first-ever serve: the shared cluster may have run
+  // foreign work before this service's window, which utilization must
+  // not charge.
+  if (!window_open_) {
+    gpu_busy_at_window_open_ = cluster_.total_gpu_busy();
+    window_start_s_ = record.arrival_s;
+    window_open_ = true;
+  } else if (record.arrival_s < window_start_s_) {
+    window_start_s_ = record.arrival_s;
+  }
   // SJF scored this frame against the same cache state when it picked
   // it; other policies never run the model.
   if (predicted_cost_s >= 0.0) record.predicted_cost_s = predicted_cost_s;
@@ -254,9 +342,10 @@ FrameRecord RenderService::render_one(Session& session, SessionId sid,
 
   mr::StagingHook hook;
   if (cache_) {
-    const std::uint64_t vid = volume_id(pending.request.volume);
-    const std::uint64_t lid = layout_signature(volren::choose_layout(
-        *pending.request.volume, pending.request.options, cluster_.total_gpus()));
+    // Re-resolve the registration at render time: an invalidation
+    // between submit and serve re-keys the address (and re-checks dims).
+    const std::uint64_t vid = register_volume(pending.request.volume).id;
+    const std::uint64_t lid = pending.layout_sig;
     BrickCache* cache = &*cache_;
     hook = [cache, vid, lid](int gpu, const mr::Chunk& chunk) {
       const auto* brick = dynamic_cast<const volren::BrickChunk*>(&chunk);
@@ -267,7 +356,8 @@ FrameRecord RenderService::render_one(Session& session, SessionId sid,
   }
 
   volren::RenderResult result = volren::render_mapreduce(
-      cluster_, *pending.request.volume, pending.request.options, std::move(hook));
+      cluster_, *pending.request.volume, pending.request.options, std::move(hook),
+      *pending.layout);
 
   // The job itself counts skipped stagings, so hit accounting is
   // uniform whether or not a cache is wired in.
@@ -278,27 +368,37 @@ FrameRecord RenderService::render_one(Session& session, SessionId sid,
   record.stats = std::move(result.stats);
   if (config_.keep_images) record.image = std::move(result.image);
 
-  VRMR_DEBUG("service") << "session " << sid << " frame " << record.frame_id
-                        << " latency=" << record.latency_s()
+  VRMR_DEBUG("service") << "session " << session_index << " frame "
+                        << record.frame_id << " latency=" << record.latency_s()
                         << "s (wait=" << record.queue_wait_s()
                         << "s) hits=" << record.cache_hits << "/"
                         << (record.cache_hits + record.cache_misses);
-  return record;
+
+  completed_.push_back(std::move(record));
+  // Event-driven delivery: the engine clock equals finish_s here, and
+  // no later frame has started. The callback may submit more frames
+  // (session states are pointer-stable, and the drain loop re-scans).
+  // Invoke a copy so the callback can re-register itself (assigning
+  // session.callback mid-invocation would destroy the running lambda).
+  if (session.callback) {
+    const FrameCallback deliver = session.callback;
+    deliver(completed_.back());
+  }
 }
 
-ServiceStats RenderService::run() {
-  const double gpu_busy_start = cluster_.total_gpu_busy();
-  const BrickCacheStats cache_start = cache_ ? cache_->stats() : BrickCacheStats{};
-  // Serving window opens at the first serveable arrival — or at the
-  // current clock when arrivals are backdated (reused timeline). The
-  // same clock floors per-frame effective arrivals.
+void RenderService::drain() {
+  // Reentrant drain (a callback forcing synchronous completion) is a
+  // no-op: the outer drain loop is already serving everything queued,
+  // and nesting would reallocate completed_ under the caller's record.
+  if (draining_) return;
+  draining_ = true;
+  struct DrainGuard {  // also resets when a serve throws
+    bool* flag;
+    ~DrainGuard() { *flag = false; }
+  } guard{&draining_};
+  // Serving floor: arrivals backdated before the clock at drain start
+  // (reused timeline) are treated as arriving now.
   const double arrival_floor = cluster_.engine().now();
-  const double first_arrival = earliest_head_arrival();
-  const double run_start =
-      first_arrival == kInf ? arrival_floor
-                            : std::max(arrival_floor, first_arrival);
-
-  std::vector<FrameRecord> records;
   while (true) {
     const double earliest = earliest_head_arrival();
     if (earliest == kInf) break;  // every queue drained
@@ -309,65 +409,67 @@ ServiceStats RenderService::run() {
       advance_clock_to(earliest);
       continue;
     }
-    records.push_back(render_one(sessions_[static_cast<std::size_t>(pick)], pick,
-                                 arrival_floor, predicted_cost_s));
+    serve_one(pick, arrival_floor, predicted_cost_s);
   }
-  return finalize(std::move(records), run_start, gpu_busy_start, cache_start);
 }
 
-ServiceStats RenderService::finalize(std::vector<FrameRecord> frames,
-                                     double run_start_s, double gpu_busy_start_s,
-                                     const BrickCacheStats& cache_start) {
+SessionStats RenderService::stats_for(int session_index) const {
+  const SessionState& state = *sessions_[static_cast<std::size_t>(session_index)];
+  SessionStats out;
+  out.name = state.profile.name;
+  out.priority = state.profile.priority;
+  out.queued_frames = static_cast<int>(state.queue.size());
+
+  std::vector<double> latencies;
+  double first_arrival = kInf;
+  double last_finish = 0.0;
+  for (const FrameRecord& f : completed_) {
+    if (f.session != session_index) continue;
+    ++out.frames;
+    latencies.push_back(f.latency_s());
+    out.mean_latency_s += f.latency_s();
+    out.max_latency_s = std::max(out.max_latency_s, f.latency_s());
+    out.cache_hits += f.cache_hits;
+    out.cache_misses += f.cache_misses;
+    first_arrival = std::min(first_arrival, f.arrival_s);
+    last_finish = std::max(last_finish, f.finish_s);
+  }
+  if (out.frames == 0) return out;
+  out.mean_latency_s /= out.frames;
+  out.p50_latency_s = percentile(latencies, 50.0);
+  out.p95_latency_s = percentile(latencies, 95.0);
+  out.p99_latency_s = percentile(latencies, 99.0);
+  const double span = last_finish - first_arrival;
+  out.fps = span > 0.0 ? out.frames / span : 0.0;
+  return out;
+}
+
+ServiceStats RenderService::stats() const {
   ServiceStats out;
-  out.frames_total = static_cast<int>(frames.size());
-  if (cache_) out.cache = stats_delta(cache_->stats(), cache_start);
+  out.frames_total = static_cast<int>(completed_.size());
+  if (cache_) out.cache = cache_->stats();
   out.cache_hit_rate = out.cache.hit_rate();
 
-  if (frames.empty()) {
-    out.frames = std::move(frames);
-    return out;
-  }
-
-  double last_finish = 0.0;
-  for (const FrameRecord& f : frames) {
-    last_finish = std::max(last_finish, f.finish_s);
-    out.bytes_h2d_saved += f.stats.bytes_h2d_saved;
-  }
-  out.makespan_s = last_finish - run_start_s;
-  out.fps = out.makespan_s > 0.0 ? out.frames_total / out.makespan_s : 0.0;
-  const double gpu_busy = cluster_.total_gpu_busy() - gpu_busy_start_s;
-  const double capacity = out.makespan_s * cluster_.total_gpus();
-  out.cluster_utilization = capacity > 0.0 ? gpu_busy / capacity : 0.0;
-
   for (int s = 0; s < num_sessions(); ++s) {
-    SessionSummary summary;
-    summary.id = s;
-    summary.name = sessions_[static_cast<std::size_t>(s)].name;
-    std::vector<double> latencies;
-    double session_first_arrival = kInf;
-    double session_last_finish = 0.0;
-    for (const FrameRecord& f : frames) {
-      if (f.session != s) continue;
-      ++summary.frames;
-      latencies.push_back(f.latency_s());
-      summary.mean_latency_s += f.latency_s();
-      summary.max_latency_s = std::max(summary.max_latency_s, f.latency_s());
-      summary.cache_hits += f.cache_hits;
-      summary.cache_misses += f.cache_misses;
-      session_first_arrival = std::min(session_first_arrival, f.arrival_s);
-      session_last_finish = std::max(session_last_finish, f.finish_s);
-    }
-    if (summary.frames == 0) continue;  // session had no frames this run
-    summary.mean_latency_s /= summary.frames;
-    summary.p50_latency_s = percentile(latencies, 50.0);
-    summary.p95_latency_s = percentile(latencies, 95.0);
-    summary.p99_latency_s = percentile(latencies, 99.0);
-    const double span = session_last_finish - session_first_arrival;
-    summary.fps = span > 0.0 ? summary.frames / span : 0.0;
+    SessionStats summary = stats_for(s);
+    if (summary.frames == 0) continue;  // nothing completed yet
     out.sessions.push_back(std::move(summary));
   }
 
-  out.frames = std::move(frames);
+  if (completed_.empty()) return out;
+
+  double last_finish = 0.0;
+  for (const FrameRecord& f : completed_) {
+    last_finish = std::max(last_finish, f.finish_s);
+    out.bytes_h2d_saved += f.stats.bytes_h2d_saved;
+  }
+  out.makespan_s = last_finish - window_start_s_;
+  out.fps = out.makespan_s > 0.0 ? out.frames_total / out.makespan_s : 0.0;
+  const double gpu_busy = cluster_.total_gpu_busy() - gpu_busy_at_window_open_;
+  const double capacity = out.makespan_s * cluster_.total_gpus();
+  out.cluster_utilization = capacity > 0.0 ? gpu_busy / capacity : 0.0;
+
+  out.frames = completed_;
   return out;
 }
 

@@ -1,12 +1,12 @@
 #pragma once
 
 // Render service: a multi-session frame scheduler over one simulated
-// cluster.
+// cluster, serving first-class Session handles (session.hpp).
 //
 // The paper renders one frame per MapReduce job on a dedicated cluster;
-// this layer multiplexes many concurrent *sessions* (a scientist
-// orbiting a dataset, a batch animation export) onto a shared cluster
-// timeline. Each submitted RenderRequest becomes one mr::Job; jobs run
+// this layer multiplexes many concurrent sessions (a scientist orbiting
+// a dataset, a batch animation export) onto a shared cluster timeline.
+// Each submitted RenderRequest becomes one mr::Job; jobs run
 // non-preemptively back to back (a frame job already spans every GPU,
 // mirroring the paper's whole-cluster deployment), so scheduling is the
 // choice of *which queued frame goes next*:
@@ -19,10 +19,21 @@
 //                      predicted counters, residency-aware) picks the
 //                      cheapest arrived frame; minimizes mean latency.
 //
+// Admission is priority-aware: all three policies schedule within the
+// Interactive class before considering Batch, so a queued export delays
+// an interactive frame by at most the one batch frame already running.
+//
+// Frames are delivered as events: each session's on_frame callback
+// fires at the frame's finish_s on the DES timeline, and per-session
+// statistics are queryable at any time. drain() just pumps the clock
+// until every queued frame has been served.
+//
 // Between frames of the same session most bricks are already resident
 // on their GPUs; the service wires a per-GPU BrickCache into the job's
 // chunk-staging path (JobConfig::staging_hook) so those bricks skip the
-// disk read and H2D upload entirely.
+// disk read and H2D upload entirely. The frame's BrickLayout and cache
+// signature are memoized once at submit; scheduling probes and the
+// render itself reuse them.
 //
 // Everything runs on the DES clock: arrivals are simulated timestamps,
 // queue waits advance the clock, and the whole schedule is
@@ -30,6 +41,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -38,6 +50,8 @@
 #include "cluster/cluster.hpp"
 #include "mr/stats.hpp"
 #include "service/brick_cache.hpp"
+#include "service/session.hpp"
+#include "volren/bricking.hpp"
 #include "volren/renderer.hpp"
 #include "volren/volume.hpp"
 
@@ -66,62 +80,10 @@ struct ServiceConfig {
   bool keep_images = false;
 };
 
-using SessionId = int;
-
-struct RenderRequest {
-  const volren::Volume* volume = nullptr;
-  volren::RenderOptions options;
-  /// Simulated arrival time. Frames of one session are served in
-  /// submission order regardless of arrival jitter. Arrivals earlier
-  /// than the DES clock when run() starts (e.g. 0.0 on a reused
-  /// service) are treated as arriving at run start, so latency and
-  /// queue-wait telemetry never absorb a previous run's duration.
-  double arrival_s = 0.0;
-};
-
-struct FrameRecord {
-  SessionId session = -1;
-  std::uint64_t frame_id = 0;  // global submission order
-  double arrival_s = 0.0;  // effective arrival (clamped to run start)
-  double start_s = 0.0;   // job admitted to the cluster
-  double finish_s = 0.0;  // job completed
-  /// SJF cost-model estimate for this frame; 0 when another policy
-  /// scheduled it (the model only runs when it decides).
-  double predicted_cost_s = 0.0;
-  std::uint64_t cache_hits = 0;    // resident bricks this frame
-  std::uint64_t cache_misses = 0;  // staged bricks this frame
-  mr::JobStats stats;
-  volren::Image image;  // only populated when ServiceConfig::keep_images
-
-  double latency_s() const { return finish_s - arrival_s; }
-  double queue_wait_s() const { return start_s - arrival_s; }
-  double service_s() const { return finish_s - start_s; }
-};
-
-struct SessionSummary {
-  SessionId id = -1;
-  std::string name;
-  int frames = 0;
-  double p50_latency_s = 0.0;
-  double p95_latency_s = 0.0;
-  double p99_latency_s = 0.0;
-  double mean_latency_s = 0.0;
-  double max_latency_s = 0.0;
-  double fps = 0.0;  // frames / (last finish - first arrival)
-  std::uint64_t cache_hits = 0;
-  std::uint64_t cache_misses = 0;
-
-  double cache_hit_rate() const {
-    const std::uint64_t total = cache_hits + cache_misses;
-    return total > 0 ? static_cast<double>(cache_hits) / static_cast<double>(total)
-                     : 0.0;
-  }
-};
-
+/// Service-wide statistics over every frame completed so far.
 struct ServiceStats {
   int frames_total = 0;
-  /// Serving window: first serveable arrival (or the clock at run()
-  /// when arrivals are backdated) .. last frame completion.
+  /// Serving window: first effective arrival served .. last completion.
   double makespan_s = 0.0;
   double fps = 0.0;         // frames_total / makespan
   /// GPU busy share of makespan x GPU count (how hot the cluster ran).
@@ -129,82 +91,148 @@ struct ServiceStats {
   double cache_hit_rate = 0.0;
   std::uint64_t bytes_h2d_saved = 0;
   BrickCacheStats cache;
-  std::vector<SessionSummary> sessions;
-  std::vector<FrameRecord> frames;  // completion order
+  std::vector<SessionStats> sessions;  // open order, completed-only
+  std::vector<FrameRecord> frames;     // completion order
 };
 
-class RenderService {
+class RenderService final : public SessionBackend {
  public:
   RenderService(cluster::Cluster& cluster, ServiceConfig config = {});
 
   RenderService(const RenderService&) = delete;
   RenderService& operator=(const RenderService&) = delete;
 
-  /// Register a session; the id keys all of its frames.
-  SessionId open_session(std::string name);
+  /// Admit a session; the handle is the API for submit/on_frame/stats.
+  Session open_session(SessionProfile profile);
+  Session open_session(std::string name, Priority priority = Priority::Batch) {
+    return open_session(SessionProfile{std::move(name), priority, std::nullopt});
+  }
 
-  /// Queue one frame; returns its global frame id. The volume must
-  /// outlive run(). Volumes are identified by address, so re-submitting
-  /// the same Volume object shares brick residency — and a *different*
-  /// volume allocated at a reused address would inherit it; call
-  /// invalidate_volume before destroying a volume the service has seen.
-  std::uint64_t submit(SessionId session, RenderRequest request);
-
-  /// Drop the volume's bricks from every GPU shard and forget its
-  /// registration (a future volume at the same address starts cold).
-  /// Call when a volume is destroyed or its voxels change.
+  /// Drop the volume's bricks from every GPU shard, forget its
+  /// registration and bump the registration generation (a future
+  /// volume at the same address re-registers cold, and may change
+  /// voxel dimensions). Call when a volume is destroyed or its voxels
+  /// change.
   void invalidate_volume(const volren::Volume* volume);
 
-  /// Convenience: queue `frames` turntable frames (full orbit) spaced
-  /// `frame_interval_s` apart starting at `first_arrival_s`.
-  void submit_orbit(SessionId session, const volren::Volume& volume,
-                    volren::RenderOptions options, int frames,
-                    double first_arrival_s, double frame_interval_s);
+  /// Pump the DES clock until every queued frame (including frames
+  /// submitted from inside on_frame callbacks) has been served.
+  /// Reusable: submit more frames afterwards and drain() again — brick
+  /// residency persists and statistics keep accumulating.
+  void drain();
 
-  /// Drain every queued frame on the cluster's DES timeline and report.
-  /// Reusable: submit more frames afterwards and run() again (brick
-  /// residency persists across runs; statistics cover one run).
-  ServiceStats run();
+  /// Statistics over everything completed since construction. Copies
+  /// the frame history (including images under keep_images) into
+  /// ServiceStats::frames — for frequent polling prefer frames() /
+  /// session_stats, which do not copy records.
+  ServiceStats stats() const;
 
+  /// Zero-copy view of every completed frame, completion order.
+  const std::vector<FrameRecord>& frames() const { return completed_; }
+
+  // --- SessionBackend (prefer the Session handle) ------------------------
+  std::uint64_t session_submit(int session, RenderRequest request) override;
+  void session_on_frame(int session, FrameCallback callback) override;
+  SessionStats session_stats(int session) const override;
+  const SessionProfile& session_profile(int session) const override;
+
+  // --- introspection (frontend placement, tests) -------------------------
   const BrickCache* cache() const { return cache_ ? &*cache_ : nullptr; }
   const ServiceConfig& config() const { return config_; }
+  cluster::Cluster& cluster() { return cluster_; }
   int num_sessions() const { return static_cast<int>(sessions_.size()); }
+  int queued_frames() const;
+  /// Sum of submit-time cost estimates of every queued frame — the
+  /// load signal the frontend's least-outstanding-cost placement reads.
+  double outstanding_cost_s() const { return outstanding_cost_s_; }
+  /// True when the volume is registered and has at least one brick
+  /// resident on some GPU (the frontend's brick-affinity signal).
+  bool volume_warm(const volren::Volume* volume) const;
+  /// The registration dims guard as a non-mutating probe: CHECK-throws
+  /// when the volume is registered with different voxel dims (the
+  /// frontend runs it before pinning a session to a shard, so a
+  /// rejected submit leaves placement untouched).
+  void check_volume_compatible(const volren::Volume* volume) const;
+  /// How many BrickLayouts the service has built (memoization probe:
+  /// exactly one per submitted frame, never per scheduling decision
+  /// or render).
+  std::uint64_t layouts_built() const { return layouts_built_; }
+  /// Current registration generation. Volumes register under
+  /// (address, generation); invalidate_volume bumps it, so the
+  /// registration epoch of a reused address is observable.
+  std::uint64_t registration_generation() const { return generation_; }
 
  private:
   struct Pending {
     RenderRequest request;
     std::uint64_t frame_id = 0;
+    /// Memoized at submit: the decomposition this frame will stage and
+    /// its cache signature; scheduling probes and render_one reuse it.
+    std::shared_ptr<const volren::BrickLayout> layout;
+    std::uint64_t layout_sig = 0;
+    double submit_cost_s = 0.0;  // estimate at submit (load accounting)
+    Int3 submit_dims;            // volume dims the layout was built from
+    /// DES clock at submit: a streamed frame (submitted mid-drain from
+    /// a callback) cannot claim to have arrived before it existed.
+    double submit_floor_s = 0.0;
+
+    /// Arrival as scheduling and telemetry see it: backdated arrivals
+    /// floor at the submit clock (so FIFO order, the arrived-yet gate
+    /// and latency all agree on when the frame started existing).
+    double effective_arrival_s() const {
+      return request.arrival_s > submit_floor_s ? request.arrival_s
+                                                : submit_floor_s;
+    }
   };
-  struct Session {
-    std::string name;
+  struct SessionState {
+    SessionProfile profile;
     std::deque<Pending> queue;
     std::uint64_t last_served_seq = 0;  // RoundRobin recency
+    FrameCallback callback;
+  };
+  struct VolumeRegistration {
+    std::uint64_t id = 0;          // cache key; never reused
+    std::uint64_t generation = 0;  // generation_ when registered
+    Int3 dims;                     // voxel dims at registration
   };
 
   /// Session index of the next frame to serve (-1 = none arrived).
+  /// Only the highest priority class with arrived work competes.
   /// Fills `predicted_cost_s` with the chosen head's cost estimate when
   /// the policy already computed it (SJF); leaves it negative otherwise.
   int pick_next(double now, double* predicted_cost_s) const;
-  double earliest_head_arrival() const;   // +inf when all queues empty
+  double earliest_head_arrival() const;  // +inf when all queues empty
   void advance_clock_to(double t);
   double estimate_cost_s(const Pending& pending) const;
-  std::uint64_t volume_id(const volren::Volume* volume);
-  /// `arrival_floor_s` = the clock at run() start (backdated-arrival
+  /// Register (or re-find) the volume under the current generation;
+  /// CHECKs that registered voxel dims still match the volume's.
+  const VolumeRegistration& register_volume(const volren::Volume* volume);
+  /// `arrival_floor_s` = the clock at drain() start (backdated-arrival
   /// clamp); `predicted_cost_s` < 0 means the policy did not score the
   /// frame (non-SJF) and the record keeps 0.
-  FrameRecord render_one(Session& session, SessionId sid, double arrival_floor_s,
-                         double predicted_cost_s);
-  ServiceStats finalize(std::vector<FrameRecord> frames, double run_start_s,
-                        double gpu_busy_start_s, const BrickCacheStats& cache_start);
+  void serve_one(int session_index, double arrival_floor_s,
+                 double predicted_cost_s);
+  SessionStats stats_for(int session_index) const;
 
   cluster::Cluster& cluster_;
   ServiceConfig config_;
   std::optional<BrickCache> cache_;
-  std::vector<Session> sessions_;
-  std::unordered_map<const volren::Volume*, std::uint64_t> volume_ids_;
+  std::vector<std::unique_ptr<SessionState>> sessions_;
+  std::unordered_map<const volren::Volume*, VolumeRegistration> volumes_;
   std::uint64_t next_volume_id_ = 0;
+  std::uint64_t generation_ = 0;  // bumped by invalidate_volume
   std::uint64_t next_frame_id_ = 0;
   std::uint64_t serve_seq_ = 0;
+  std::uint64_t layouts_built_ = 0;
+  double outstanding_cost_s_ = 0.0;
+  std::vector<FrameRecord> completed_;  // completion order, lifetime
+  double window_start_s_ = 0.0;  // first effective arrival served
+  bool window_open_ = false;
+  /// GPU busy when the serving window opened: utilization must not
+  /// charge (or credit) cluster activity from before this service
+  /// served its first frame (the cluster reference is shared).
+  double gpu_busy_at_window_open_ = 0.0;
+  bool draining_ = false;  // reentrancy guard (drain() from a callback)
 };
 
 }  // namespace vrmr::service

@@ -41,10 +41,18 @@ RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
 RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
                               const RenderOptions& options,
                               mr::StagingHook staging_hook) {
+  const BrickLayout layout = choose_layout(volume, options, cluster.total_gpus());
+  return render_mapreduce(cluster, volume, options, std::move(staging_hook),
+                          layout);
+}
+
+RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
+                              const RenderOptions& options,
+                              mr::StagingHook staging_hook,
+                              const BrickLayout& layout) {
   VRMR_CHECK(options.image_width > 0 && options.image_height > 0);
 
   const FrameSetup frame = make_frame(volume, options);
-  const BrickLayout layout = choose_layout(volume, options, cluster.total_gpus());
 
   mr::JobConfig config;
   config.value_size = sizeof(RayFragment);

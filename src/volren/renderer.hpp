@@ -91,4 +91,14 @@ RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
                               const RenderOptions& options,
                               mr::StagingHook staging_hook);
 
+/// As above, with a precomputed brick decomposition — callers that
+/// already built the layout (the service memoizes it at submit) skip
+/// the per-frame rebuild. `layout` must equal choose_layout(volume,
+/// options, cluster.total_gpus()) or residency keys and staging
+/// disagree.
+RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
+                              const RenderOptions& options,
+                              mr::StagingHook staging_hook,
+                              const BrickLayout& layout);
+
 }  // namespace vrmr::volren

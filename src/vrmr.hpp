@@ -21,7 +21,8 @@
 //   cluster  — node topology + calibrated hardware model
 //   mr       — the MapReduce library (Job, Mapper, Reducer, Combiner)
 //   volren   — the volume renderer built on mr
-//   service  — multi-session frame scheduler + per-GPU brick cache
+//   service  — session handles, frame scheduler, per-GPU brick cache,
+//              sharded multi-cluster frontend
 
 // Substrates.
 #include "cluster/cluster.hpp"
@@ -46,6 +47,9 @@
 #include "volren/reference.hpp"
 #include "volren/renderer.hpp"
 
-// Render service (multi-session serving on one cluster).
+// Render service (session handles served on one cluster or sharded
+// across several by the frontend).
 #include "service/brick_cache.hpp"
+#include "service/frontend.hpp"
 #include "service/render_service.hpp"
+#include "service/session.hpp"

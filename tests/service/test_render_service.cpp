@@ -1,6 +1,8 @@
 // RenderService tests: scheduling-policy ordering (FIFO vs round-robin
-// vs SJF), deterministic replay on the DES clock, brick-cache effect on
-// staging traffic and runtime, and the serving telemetry.
+// vs SJF), priority-class admission, deterministic replay on the DES
+// clock, brick-cache effect on staging traffic and runtime, layout
+// memoization, volume (address, generation) registration, and the
+// serving telemetry.
 
 #include "service/render_service.hpp"
 
@@ -8,10 +10,12 @@
 
 #include <limits>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "cluster/cluster.hpp"
 #include "sim/engine.hpp"
+#include "util/stats.hpp"
 #include "volren/datasets.hpp"
 #include "volren/image.hpp"
 
@@ -38,9 +42,9 @@ struct Harness {
   }
 };
 
-/// Session ids of the completed frames, in completion order.
-std::vector<SessionId> completion_order(const ServiceStats& stats) {
-  std::vector<SessionId> order;
+/// Session indices of the completed frames, in completion order.
+std::vector<int> completion_order(const ServiceStats& stats) {
+  std::vector<int> order;
   for (const FrameRecord& f : stats.frames) order.push_back(f.session);
   return order;
 }
@@ -59,16 +63,15 @@ TEST(RenderService, FifoServesInArrivalOrderAcrossSessions) {
   ServiceConfig config;
   config.policy = SchedulingPolicy::Fifo;
   Harness h(2, config);
-  const SessionId a = h.service->open_session("a");
-  const SessionId b = h.service->open_session("b");
+  Session a = h.service->open_session("a");
+  Session b = h.service->open_session("b");
   // B's frames arrive strictly earlier than A's even though A submitted
   // first; FIFO must serve by arrival, not submission.
-  for (int f = 0; f < 2; ++f)
-    h.service->submit(a, request_for(volume, 10.0 + f));
-  for (int f = 0; f < 2; ++f)
-    h.service->submit(b, request_for(volume, 0.001 * f));
-  const ServiceStats stats = h.service->run();
-  EXPECT_EQ(completion_order(stats), (std::vector<SessionId>{b, b, a, a}));
+  for (int f = 0; f < 2; ++f) a.submit(request_for(volume, 10.0 + f));
+  for (int f = 0; f < 2; ++f) b.submit(request_for(volume, 0.001 * f));
+  h.service->drain();
+  const ServiceStats stats = h.service->stats();
+  EXPECT_EQ(completion_order(stats), (std::vector<int>{1, 1, 0, 0}));
   EXPECT_EQ(stats.frames_total, 4);
 }
 
@@ -77,12 +80,13 @@ TEST(RenderService, FifoBreaksArrivalTiesBySubmissionOrder) {
   ServiceConfig config;
   config.policy = SchedulingPolicy::Fifo;
   Harness h(2, config);
-  const SessionId a = h.service->open_session("a");
-  const SessionId b = h.service->open_session("b");
-  for (int f = 0; f < 3; ++f) h.service->submit(a, request_for(volume, 0.0));
-  for (int f = 0; f < 3; ++f) h.service->submit(b, request_for(volume, 0.0));
-  const ServiceStats stats = h.service->run();
-  EXPECT_EQ(completion_order(stats), (std::vector<SessionId>{a, a, a, b, b, b}));
+  Session a = h.service->open_session("a");
+  Session b = h.service->open_session("b");
+  for (int f = 0; f < 3; ++f) a.submit(request_for(volume, 0.0));
+  for (int f = 0; f < 3; ++f) b.submit(request_for(volume, 0.0));
+  h.service->drain();
+  EXPECT_EQ(completion_order(h.service->stats()),
+            (std::vector<int>{0, 0, 0, 1, 1, 1}));
 }
 
 TEST(RenderService, RoundRobinAlternatesSessions) {
@@ -90,13 +94,14 @@ TEST(RenderService, RoundRobinAlternatesSessions) {
   ServiceConfig config;
   config.policy = SchedulingPolicy::RoundRobin;
   Harness h(2, config);
-  const SessionId a = h.service->open_session("a");
-  const SessionId b = h.service->open_session("b");
+  Session a = h.service->open_session("a");
+  Session b = h.service->open_session("b");
   // Identical workload to the FIFO tie test — but fairness interleaves.
-  for (int f = 0; f < 3; ++f) h.service->submit(a, request_for(volume, 0.0));
-  for (int f = 0; f < 3; ++f) h.service->submit(b, request_for(volume, 0.0));
-  const ServiceStats stats = h.service->run();
-  EXPECT_EQ(completion_order(stats), (std::vector<SessionId>{a, b, a, b, a, b}));
+  for (int f = 0; f < 3; ++f) a.submit(request_for(volume, 0.0));
+  for (int f = 0; f < 3; ++f) b.submit(request_for(volume, 0.0));
+  h.service->drain();
+  EXPECT_EQ(completion_order(h.service->stats()),
+            (std::vector<int>{0, 1, 0, 1, 0, 1}));
 }
 
 TEST(RenderService, ShortestJobFirstPrefersCheaperFrames) {
@@ -107,15 +112,96 @@ TEST(RenderService, ShortestJobFirstPrefersCheaperFrames) {
   Harness h(2, config);
   // The expensive session submits first; SJF must still serve the cheap
   // session's frames ahead of it.
-  const SessionId heavy = h.service->open_session("heavy");
-  const SessionId light = h.service->open_session("light");
-  for (int f = 0; f < 2; ++f) h.service->submit(heavy, request_for(big, 0.0));
-  for (int f = 0; f < 2; ++f) h.service->submit(light, request_for(small, 0.0));
-  const ServiceStats stats = h.service->run();
-  EXPECT_EQ(completion_order(stats),
-            (std::vector<SessionId>{light, light, heavy, heavy}));
+  Session heavy = h.service->open_session("heavy");
+  Session light = h.service->open_session("light");
+  for (int f = 0; f < 2; ++f) heavy.submit(request_for(big, 0.0));
+  for (int f = 0; f < 2; ++f) light.submit(request_for(small, 0.0));
+  h.service->drain();
+  const ServiceStats stats = h.service->stats();
+  EXPECT_EQ(completion_order(stats), (std::vector<int>{1, 1, 0, 0}));
   // The model's prediction must agree with the ordering it induced.
   EXPECT_LT(stats.frames[0].predicted_cost_s, stats.frames[2].predicted_cost_s);
+}
+
+TEST(RenderService, InteractiveClassAdmitsBeforeBatch) {
+  // Interactive work arriving later than a queued batch backlog must
+  // still be served next under every policy (the admission filter runs
+  // before the policy orders within a class).
+  const volren::Volume volume = volren::datasets::skull({16, 16, 16});
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::Fifo, SchedulingPolicy::RoundRobin,
+        SchedulingPolicy::ShortestJobFirst}) {
+    ServiceConfig config;
+    config.policy = policy;
+    Harness h(2, config);
+    Session batch = h.service->open_session("batch", Priority::Batch);
+    Session live = h.service->open_session("live", Priority::Interactive);
+    for (int f = 0; f < 3; ++f) batch.submit(request_for(volume, 0.0));
+    for (int f = 0; f < 2; ++f) live.submit(request_for(volume, 0.0));
+    h.service->drain();
+    // Both interactive frames complete before the 2nd batch frame: the
+    // first pick happens at t=0 where both classes have arrived work.
+    EXPECT_EQ(completion_order(h.service->stats()),
+              (std::vector<int>{1, 1, 0, 0, 0}))
+        << to_string(policy);
+  }
+}
+
+TEST(RenderService, InteractiveP95WaitBoundedBehindBatchBacklog) {
+  // An interactive session submitted behind a 50-frame batch backlog:
+  // priority admission bounds each interactive frame's queue wait by
+  // the one batch frame already running, so interactive p95 wait stays
+  // below the batch frame service time under all three policies.
+  const volren::Volume batch_volume = volren::datasets::supernova({32, 32, 32});
+  const volren::Volume live_volume = volren::datasets::skull({16, 16, 16});
+  for (const SchedulingPolicy policy :
+       {SchedulingPolicy::Fifo, SchedulingPolicy::RoundRobin,
+        SchedulingPolicy::ShortestJobFirst}) {
+    ServiceConfig config;
+    config.policy = policy;
+    Harness h(2, config);
+    Session batch = h.service->open_session("batch", Priority::Batch);
+    Session live = h.service->open_session("live", Priority::Interactive);
+    for (int f = 0; f < 50; ++f) batch.submit(request_for(batch_volume, 0.0));
+    // Interactive frames trickle in while the backlog is queued.
+    live.submit_orbit(live_volume, tiny_options(), 8, 0.0005, 0.001);
+    h.service->drain();
+
+    const SessionStats batch_stats = batch.stats();
+    const SessionStats live_stats = live.stats();
+    ASSERT_EQ(batch_stats.frames, 50);
+    ASSERT_EQ(live_stats.frames, 8);
+
+    double batch_service_s = 0.0;
+    std::vector<double> live_waits;
+    for (const FrameRecord& f : h.service->stats().frames) {
+      if (f.session == 0)
+        batch_service_s = std::max(batch_service_s, f.service_s());
+      else
+        live_waits.push_back(f.queue_wait_s());
+    }
+    EXPECT_LT(percentile(live_waits, 95.0), batch_service_s)
+        << to_string(policy);
+  }
+}
+
+TEST(RenderService, LayoutBuiltOncePerSubmittedFrame) {
+  // SJF re-scores every queued head per scheduling decision; the
+  // memoized submit-time layout means K frames cost exactly K layout
+  // builds regardless of how many decisions ran.
+  const volren::Volume volume = volren::datasets::skull({24, 24, 24});
+  ServiceConfig config;
+  config.policy = SchedulingPolicy::ShortestJobFirst;
+  Harness h(2, config);
+  Session a = h.service->open_session("a");
+  Session b = h.service->open_session("b");
+  constexpr int kFrames = 5;
+  for (int f = 0; f < kFrames; ++f) a.submit(request_for(volume, 0.0));
+  for (int f = 0; f < kFrames; ++f) b.submit(request_for(volume, 0.0));
+  EXPECT_EQ(h.service->layouts_built(), 2u * kFrames);
+  h.service->drain();
+  // Serving (scheduling decisions + renders) built no further layouts.
+  EXPECT_EQ(h.service->layouts_built(), 2u * kFrames);
 }
 
 TEST(RenderService, DeterministicReplayOnTheDesClock) {
@@ -124,11 +210,12 @@ TEST(RenderService, DeterministicReplayOnTheDesClock) {
     ServiceConfig config;
     config.policy = SchedulingPolicy::RoundRobin;
     Harness h(4, config);
-    const SessionId a = h.service->open_session("a");
-    const SessionId b = h.service->open_session("b");
-    h.service->submit_orbit(a, volume, tiny_options(), 4, 0.0, 0.05);
-    h.service->submit_orbit(b, volume, tiny_options(), 4, 0.02, 0.05);
-    return h.service->run();
+    Session a = h.service->open_session("a");
+    Session b = h.service->open_session("b");
+    a.submit_orbit(volume, tiny_options(), 4, 0.0, 0.05);
+    b.submit_orbit(volume, tiny_options(), 4, 0.02, 0.05);
+    h.service->drain();
+    return h.service->stats();
   };
   const ServiceStats first = run_once();
   const ServiceStats second = run_once();
@@ -150,9 +237,10 @@ TEST(RenderService, BrickCacheSkipsRestagingWithinASession) {
     ServiceConfig config;
     config.enable_brick_cache = enabled;
     Harness h(2, config);
-    const SessionId s = h.service->open_session("orbit");
-    h.service->submit_orbit(s, volume, tiny_options(), 4, 0.0, 0.0);
-    return h.service->run();
+    Session s = h.service->open_session("orbit");
+    s.submit_orbit(volume, tiny_options(), 4, 0.0, 0.0);
+    h.service->drain();
+    return h.service->stats();
   };
 
   const ServiceStats cold = run_with_cache(false);
@@ -184,9 +272,10 @@ TEST(RenderService, CacheDoesNotChangeRenderedPixels) {
     config.enable_brick_cache = enabled;
     config.keep_images = true;
     Harness h(2, config);
-    const SessionId s = h.service->open_session("orbit");
-    h.service->submit_orbit(s, volume, tiny_options(), 3, 0.0, 0.0);
-    return h.service->run();
+    Session s = h.service->open_session("orbit");
+    s.submit_orbit(volume, tiny_options(), 3, 0.0, 0.0);
+    h.service->drain();
+    return h.service->stats();
   };
   const ServiceStats cold = frames_with_cache(false);
   const ServiceStats warm = frames_with_cache(true);
@@ -204,11 +293,12 @@ TEST(RenderService, DistinctVolumesDoNotShareResidency) {
   ServiceConfig config;
   config.policy = SchedulingPolicy::RoundRobin;
   Harness h(2, config);
-  const SessionId a = h.service->open_session("a");
-  const SessionId b = h.service->open_session("b");
-  h.service->submit_orbit(a, va, tiny_options(), 2, 0.0, 0.0);
-  h.service->submit_orbit(b, vb, tiny_options(), 2, 0.0, 0.0);
-  const ServiceStats stats = h.service->run();
+  Session a = h.service->open_session("a");
+  Session b = h.service->open_session("b");
+  a.submit_orbit(va, tiny_options(), 2, 0.0, 0.0);
+  b.submit_orbit(vb, tiny_options(), 2, 0.0, 0.0);
+  h.service->drain();
+  const ServiceStats stats = h.service->stats();
   // Order: a0 b0 a1 b1 — each session's first frame misses everything
   // (the other session's bricks are a different volume), second frame
   // hits everything (both working sets fit the default budget).
@@ -228,9 +318,10 @@ TEST(RenderService, TinyCacheBudgetNeverServesStaleHits) {
   ServiceConfig config;
   config.cache_capacity_override = 1;  // 1 byte
   Harness h(2, config);
-  const SessionId s = h.service->open_session("orbit");
-  h.service->submit_orbit(s, volume, tiny_options(), 3, 0.0, 0.0);
-  const ServiceStats stats = h.service->run();
+  Session s = h.service->open_session("orbit");
+  s.submit_orbit(volume, tiny_options(), 3, 0.0, 0.0);
+  h.service->drain();
+  const ServiceStats stats = h.service->stats();
   EXPECT_EQ(stats.cache.hits, 0u);
   EXPECT_GT(stats.cache.rejected_oversized, 0u);
   for (const FrameRecord& f : stats.frames) EXPECT_GT(f.stats.bytes_h2d, 0u);
@@ -239,10 +330,11 @@ TEST(RenderService, TinyCacheBudgetNeverServesStaleHits) {
 TEST(RenderService, QueueWaitAndIdleGapsAccounted) {
   const volren::Volume volume = volren::datasets::skull({16, 16, 16});
   Harness h(2);
-  const SessionId s = h.service->open_session("sparse");
-  h.service->submit(s, request_for(volume, 0.0));
-  h.service->submit(s, request_for(volume, 1000.0));  // long idle gap
-  const ServiceStats stats = h.service->run();
+  Session s = h.service->open_session("sparse");
+  s.submit(request_for(volume, 0.0));
+  s.submit(request_for(volume, 1000.0));  // long idle gap
+  h.service->drain();
+  const ServiceStats stats = h.service->stats();
   ASSERT_EQ(stats.frames.size(), 2u);
   // The second frame starts exactly at its arrival (idle cluster).
   EXPECT_DOUBLE_EQ(stats.frames[1].start_s, 1000.0);
@@ -257,19 +349,23 @@ TEST(RenderService, TelemetryIsConsistent) {
   ServiceConfig config;
   config.policy = SchedulingPolicy::RoundRobin;
   Harness h(2, config);
-  const SessionId a = h.service->open_session("a");
-  const SessionId b = h.service->open_session("b");
-  h.service->submit_orbit(a, volume, tiny_options(), 5, 0.0, 0.01);
-  h.service->submit_orbit(b, volume, tiny_options(), 5, 0.0, 0.01);
-  const ServiceStats stats = h.service->run();
+  Session a = h.service->open_session("a", Priority::Interactive);
+  Session b = h.service->open_session("b");
+  a.submit_orbit(volume, tiny_options(), 5, 0.0, 0.01);
+  b.submit_orbit(volume, tiny_options(), 5, 0.0, 0.01);
+  h.service->drain();
+  const ServiceStats stats = h.service->stats();
 
   EXPECT_EQ(stats.frames_total, 10);
   EXPECT_GT(stats.fps, 0.0);
   EXPECT_GT(stats.cluster_utilization, 0.0);
   EXPECT_LE(stats.cluster_utilization, 1.0 + 1e-9);
   ASSERT_EQ(stats.sessions.size(), 2u);
-  for (const SessionSummary& session : stats.sessions) {
+  EXPECT_EQ(stats.sessions[0].priority, Priority::Interactive);
+  EXPECT_EQ(stats.sessions[1].priority, Priority::Batch);
+  for (const SessionStats& session : stats.sessions) {
     EXPECT_EQ(session.frames, 5);
+    EXPECT_EQ(session.queued_frames, 0);
     EXPECT_GT(session.fps, 0.0);
     EXPECT_LE(session.p50_latency_s, session.p95_latency_s);
     EXPECT_LE(session.p95_latency_s, session.p99_latency_s);
@@ -281,19 +377,21 @@ TEST(RenderService, TelemetryIsConsistent) {
 TEST(RenderService, SubmitValidation) {
   const volren::Volume volume = volren::datasets::skull({16, 16, 16});
   Harness h(1);
-  EXPECT_THROW(h.service->submit(0, request_for(volume, 0.0)), vrmr::CheckError);
-  const SessionId s = h.service->open_session("s");
+  Session invalid;  // default-constructed handle is not a session
+  EXPECT_THROW(invalid.submit(request_for(volume, 0.0)), vrmr::CheckError);
+  EXPECT_THROW(invalid.stats(), vrmr::CheckError);
+  Session s = h.service->open_session("s");
   RenderRequest no_volume;
   no_volume.options = tiny_options();
-  EXPECT_THROW(h.service->submit(s, no_volume), vrmr::CheckError);
-  RenderRequest negative = request_for(volume, -1.0);
-  EXPECT_THROW(h.service->submit(s, negative), vrmr::CheckError);
-  // A non-finite arrival would make run() silently drop the frame.
-  RenderRequest infinite =
-      request_for(volume, std::numeric_limits<double>::infinity());
-  EXPECT_THROW(h.service->submit(s, infinite), vrmr::CheckError);
-  RenderRequest nan = request_for(volume, std::numeric_limits<double>::quiet_NaN());
-  EXPECT_THROW(h.service->submit(s, nan), vrmr::CheckError);
+  EXPECT_THROW(s.submit(no_volume), vrmr::CheckError);
+  EXPECT_THROW(s.submit(request_for(volume, -1.0)), vrmr::CheckError);
+  // A non-finite arrival would make drain() silently drop the frame.
+  EXPECT_THROW(
+      s.submit(request_for(volume, std::numeric_limits<double>::infinity())),
+      vrmr::CheckError);
+  EXPECT_THROW(
+      s.submit(request_for(volume, std::numeric_limits<double>::quiet_NaN())),
+      vrmr::CheckError);
 }
 
 TEST(RenderService, RebrickedVolumeDoesNotAliasWarmBricks) {
@@ -302,14 +400,15 @@ TEST(RenderService, RebrickedVolumeDoesNotAliasWarmBricks) {
   // falsely hit the old layout's payloads.
   const volren::Volume volume = volren::datasets::skull({32, 32, 32});
   Harness h(2);
-  const SessionId s = h.service->open_session("rebrick");
+  Session s = h.service->open_session("rebrick");
   volren::RenderOptions coarse = tiny_options();
   coarse.brick_size = 16;  // 2x2x2 bricks
-  h.service->submit(s, request_for(volume, 0.0, coarse));
+  s.submit(request_for(volume, 0.0, coarse));
   volren::RenderOptions fine = tiny_options();
   fine.brick_size = 8;  // 4x4x4 bricks, ids overlap 0..7
-  h.service->submit(s, request_for(volume, 0.0, fine));
-  const ServiceStats stats = h.service->run();
+  s.submit(request_for(volume, 0.0, fine));
+  h.service->drain();
+  const ServiceStats stats = h.service->stats();
   ASSERT_EQ(stats.frames.size(), 2u);
   EXPECT_EQ(stats.frames[1].cache_hits, 0u);
   EXPECT_GT(stats.frames[1].cache_misses, 0u);
@@ -319,42 +418,114 @@ TEST(RenderService, RebrickedVolumeDoesNotAliasWarmBricks) {
 TEST(RenderService, InvalidateVolumeRestagesCold) {
   const volren::Volume volume = volren::datasets::skull({24, 24, 24});
   Harness h(2);
-  const SessionId s = h.service->open_session("orbit");
-  h.service->submit(s, request_for(volume, 0.0));
-  h.service->submit(s, request_for(volume, 0.0));
-  const ServiceStats warm = h.service->run();
-  EXPECT_GT(warm.cache.hits, 0u);  // second frame hit
+  Session s = h.service->open_session("orbit");
+  s.submit(request_for(volume, 0.0));
+  s.submit(request_for(volume, 0.0));
+  h.service->drain();
+  EXPECT_GT(h.service->stats().cache.hits, 0u);  // second frame hit
 
-  // After invalidation the same Volume address starts cold — the
-  // guard against a new volume reusing a destroyed volume's address.
+  // After invalidation the same Volume address starts cold — the guard
+  // against a new volume reusing a destroyed volume's address.
   h.service->invalidate_volume(&volume);
-  h.service->submit(s, request_for(volume, 0.0));
-  const ServiceStats cold = h.service->run();
-  EXPECT_EQ(cold.cache.hits, 0u);
-  EXPECT_GT(cold.cache.misses, 0u);
+  s.submit(request_for(volume, 0.0));
+  h.service->drain();
+  const ServiceStats stats = h.service->stats();
+  const FrameRecord& third = stats.frames.back();
+  EXPECT_EQ(third.cache_hits, 0u);
+  EXPECT_GT(third.cache_misses, 0u);
 }
 
-TEST(RenderService, RunIsReusableAndResidencyPersists) {
+TEST(RenderService, ChangedDimsWithoutInvalidationRejected) {
+  // Two different-shaped volumes at one address: destroy-and-reallocate
+  // can hand back the same pointer, which used to silently inherit the
+  // dead volume's residency. Registration now records voxel dims and
+  // submit CHECKs them.
+  Harness h(2);
+  Session s = h.service->open_session("reuse");
+  std::optional<volren::Volume> slot;  // one address, two volume lifetimes
+  slot.emplace(volren::datasets::skull({24, 24, 24}));
+  s.submit(request_for(*slot, 0.0));
+  h.service->drain();
+
+  // Same address, different dims, no invalidation: rejected.
+  slot.emplace(volren::datasets::skull({16, 16, 16}));
+  EXPECT_THROW(s.submit(request_for(*slot, 0.0)), vrmr::CheckError);
+
+  // After invalidate_volume the address re-registers under the next
+  // generation and the new shape is accepted (and starts cold).
+  const std::uint64_t before = h.service->registration_generation();
+  h.service->invalidate_volume(&*slot);
+  EXPECT_EQ(h.service->registration_generation(), before + 1);
+  s.submit(request_for(*slot, 0.0));
+  h.service->drain();
+  const FrameRecord& fresh = h.service->stats().frames.back();
+  EXPECT_EQ(fresh.cache_hits, 0u);
+
+  // A frame QUEUED before the reshape carries a layout built from the
+  // old dims; serving it against the new volume is rejected even though
+  // the invalidation made the re-registration itself clean.
+  s.submit(request_for(*slot, 0.0));  // queued against 16^3
+  slot.emplace(volren::datasets::skull({24, 24, 24}));
+  h.service->invalidate_volume(&*slot);
+  EXPECT_THROW(h.service->drain(), vrmr::CheckError);
+}
+
+TEST(RenderService, DrainIsReusableAndResidencyPersists) {
   const volren::Volume volume = volren::datasets::skull({24, 24, 24});
   Harness h(2);
-  const SessionId s = h.service->open_session("orbit");
-  h.service->submit(s, request_for(volume, 0.0));
-  const ServiceStats first = h.service->run();
+  Session s = h.service->open_session("orbit");
+  s.submit(request_for(volume, 0.0));
+  h.service->drain();
+  const ServiceStats first = h.service->stats();
   EXPECT_EQ(first.frames_total, 1);
   EXPECT_EQ(first.cache.hits, 0u);
 
   // A later burst on the same service: bricks are still warm, and the
   // backdated arrival_s=0.0 is clamped to the current clock so latency
-  // does not absorb the first run's duration.
-  const double clock_before_second_run = h.engine.now();
-  EXPECT_GT(clock_before_second_run, 0.0);
-  h.service->submit(s, request_for(volume, 0.0));
-  const ServiceStats second = h.service->run();
-  EXPECT_EQ(second.frames_total, 1);
+  // does not absorb the first drain's duration.
+  const double clock_before_second_drain = h.engine.now();
+  EXPECT_GT(clock_before_second_drain, 0.0);
+  s.submit(request_for(volume, 0.0));
+  h.service->drain();
+  const ServiceStats second = h.service->stats();
+  EXPECT_EQ(second.frames_total, 2);
   EXPECT_GT(second.cache.hits, 0u);
-  EXPECT_EQ(second.cache.misses, 0u);
-  EXPECT_DOUBLE_EQ(second.frames[0].arrival_s, clock_before_second_run);
-  EXPECT_LT(second.frames[0].latency_s(), first.frames[0].latency_s());
+  EXPECT_EQ(second.cache.misses, first.cache.misses);  // no new misses
+  EXPECT_DOUBLE_EQ(second.frames[1].arrival_s, clock_before_second_drain);
+  EXPECT_LT(second.frames[1].latency_s(), second.frames[0].latency_s());
+}
+
+TEST(RenderService, UtilizationIgnoresForeignClusterActivity) {
+  // The cluster reference is shared: work run outside the service
+  // before its first frame must not inflate (or dilute) utilization.
+  const volren::Volume volume = volren::datasets::skull({16, 16, 16});
+  Harness h(2);
+  // Foreign frame straight on the cluster, before the service serves.
+  volren::RenderOptions options = tiny_options();
+  (void)volren::render_mapreduce(*h.cluster, volume, options);
+  ASSERT_GT(h.cluster->total_gpu_busy(), 0.0);
+
+  Session s = h.service->open_session("late");
+  s.submit(request_for(volume, 0.0));
+  h.service->drain();
+  const ServiceStats stats = h.service->stats();
+  EXPECT_GT(stats.cluster_utilization, 0.0);
+  EXPECT_LE(stats.cluster_utilization, 1.0 + 1e-9);
+}
+
+TEST(RenderService, OutstandingCostTracksQueue) {
+  const volren::Volume volume = volren::datasets::skull({24, 24, 24});
+  Harness h(2);
+  Session s = h.service->open_session("orbit");
+  EXPECT_DOUBLE_EQ(h.service->outstanding_cost_s(), 0.0);
+  s.submit(request_for(volume, 0.0));
+  const double one = h.service->outstanding_cost_s();
+  EXPECT_GT(one, 0.0);
+  s.submit(request_for(volume, 0.0));
+  EXPECT_GT(h.service->outstanding_cost_s(), one);
+  h.service->drain();
+  EXPECT_DOUBLE_EQ(h.service->outstanding_cost_s(), 0.0);
+  EXPECT_EQ(h.service->queued_frames(), 0);
 }
 
 }  // namespace
