@@ -1,0 +1,576 @@
+#include "mr/frame_plan.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "util/log.hpp"
+
+namespace vrmr::mr {
+
+struct FramePlan::GpuState {
+  std::unique_ptr<Mapper> mapper;
+  std::vector<int> chunk_indices;
+  std::size_t cursor = 0;  // next chunk to issue
+
+  // Streaming send buffers, one per reducer (§3.1.2 buffered sends).
+  std::vector<KvBuffer> outbox;
+  std::unique_ptr<Combiner> combiner;  // optional mapper-side partial reduce
+  int pending_partitions = 0;  // partition tasks still queued on the CPU
+  bool lane_busy = false;      // a stage+map quantum currently in flight
+  bool issued_all = false;     // every chunk has entered the pipeline
+  bool finished = false;       // final flush done, mapper retired
+};
+
+struct FramePlan::ReducerState {
+  std::unique_ptr<Reducer> reducer;
+  KvBuffer inbox;
+  SortedGroups groups;
+  bool sort_issued = false;
+  bool reduce_issued = false;
+};
+
+FramePlan::FramePlan(cluster::Cluster& cluster, JobConfig config)
+    : cluster_(cluster), config_(std::move(config)) {
+  config_.validate();
+}
+
+FramePlan::~FramePlan() = default;
+
+void FramePlan::add_chunk(std::unique_ptr<Chunk> chunk, int gpu) {
+  VRMR_CHECK_MSG(!started_, "cannot add chunks after start()");
+  VRMR_CHECK(chunk != nullptr);
+  VRMR_CHECK_MSG(gpu < cluster_.total_gpus(), "gpu " << gpu << " out of range");
+  // Enforce the §3.1.1 restriction early: "any single map task must be
+  // able to fit in the main memory of the GPU".
+  VRMR_CHECK_MSG(chunk->device_bytes() <= cluster_.config().hw.gpu.vram_bytes,
+                 "chunk '" << chunk->label() << "' (" << chunk->device_bytes()
+                           << " B) exceeds GPU VRAM ("
+                           << cluster_.config().hw.gpu.vram_bytes
+                           << " B); brick the input smaller");
+  chunks_.push_back(std::move(chunk));
+  chunk_gpu_.push_back(gpu < 0 ? -1 : gpu);
+}
+
+void FramePlan::start() {
+  VRMR_CHECK_MSG(!started_, "FramePlan::start is single-use");
+  VRMR_CHECK_MSG(mapper_factory_ != nullptr, "mapper factory not set");
+  VRMR_CHECK_MSG(reducer_factory_ != nullptr, "reducer factory not set");
+  VRMR_CHECK_MSG(!chunks_.empty(), "no chunks queued");
+  started_ = true;
+
+  const int num_gpus = cluster_.total_gpus();
+  partitioner_ = make_partitioner(config_.partition, config_.domain, num_gpus);
+
+  // Build per-GPU mapper processes and deal chunks.
+  gpus_.clear();
+  for (int g = 0; g < num_gpus; ++g) {
+    auto state = std::make_unique<GpuState>();
+    state->mapper = mapper_factory_(g, cluster_.gpu(g));
+    VRMR_CHECK(state->mapper != nullptr);
+    state->mapper->init(cluster_.gpu(g));
+    for (int r = 0; r < num_gpus; ++r) state->outbox.emplace_back(config_.value_size);
+    if (combiner_factory_) {
+      state->combiner = combiner_factory_(g);
+      VRMR_CHECK(state->combiner != nullptr);
+    }
+    gpus_.push_back(std::move(state));
+  }
+  int deal = 0;
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const int g = chunk_gpu_[i] >= 0 ? chunk_gpu_[i] : (deal++ % num_gpus);
+    gpus_[static_cast<std::size_t>(g)]->chunk_indices.push_back(static_cast<int>(i));
+  }
+
+  // One reducer process per GPU process.
+  reducers_.clear();
+  for (int r = 0; r < num_gpus; ++r) {
+    auto state = std::make_unique<ReducerState>();
+    state->reducer = reducer_factory_(r);
+    VRMR_CHECK(state->reducer != nullptr);
+    state->inbox = KvBuffer(config_.value_size);
+    reducers_.push_back(std::move(state));
+  }
+  tile_finish_s_.assign(static_cast<std::size_t>(num_gpus), 0.0);
+
+  stats_ = JobStats{};
+  stats_.num_gpus = num_gpus;
+  stats_.num_nodes = cluster_.num_nodes();
+  stats_.num_chunks = static_cast<int>(chunks_.size());
+  stats_.per_gpu.resize(static_cast<std::size_t>(num_gpus));
+  stats_.per_reducer.resize(static_cast<std::size_t>(num_gpus));
+
+  t0_ = cluster_.engine().now();
+  mappers_remaining_ = num_gpus;
+
+  // GPUs that were dealt no chunks retire their mapper immediately —
+  // their (empty) final flush cannot complete routing on its own
+  // because some other GPU holds chunks.
+  for (int g = 0; g < num_gpus; ++g) {
+    auto& gs = *gpus_[static_cast<std::size_t>(g)];
+    if (gs.chunk_indices.empty()) {
+      gs.issued_all = true;
+      maybe_final_flush(g);
+    }
+  }
+}
+
+// --- stage+map quanta --------------------------------------------------------
+
+int FramePlan::pending_map_quanta(int gpu) const {
+  const auto& gs = *gpus_.at(static_cast<std::size_t>(gpu));
+  return static_cast<int>(gs.chunk_indices.size() - gs.cursor);
+}
+
+bool FramePlan::lane_busy(int gpu) const {
+  return gpus_.at(static_cast<std::size_t>(gpu))->lane_busy;
+}
+
+void FramePlan::issue_map_quantum(int gpu) {
+  VRMR_CHECK_MSG(started_, "issue before start()");
+  auto& gs = *gpus_.at(static_cast<std::size_t>(gpu));
+  VRMR_CHECK_MSG(gs.cursor < gs.chunk_indices.size(),
+                 "no pending map quanta on gpu " << gpu);
+  VRMR_CHECK_MSG(!gs.lane_busy, "gpu " << gpu << " lane already busy");
+  gs.lane_busy = true;
+  const int ci = gs.chunk_indices[gs.cursor++];
+  begin_staging(gpu, ci);
+}
+
+void FramePlan::begin_staging(int g, int chunk_index) {
+  const Chunk& chunk = *chunks_[static_cast<std::size_t>(chunk_index)];
+  if (config_.staging_hook && config_.staging_hook(g, chunk)) {
+    // Already resident on this GPU (brick cache hit): skip the disk
+    // read and the H2D copy entirely — the map kernel can launch as
+    // soon as the GPU stream is free.
+    stats_.chunks_resident += 1;
+    stats_.bytes_h2d_saved += chunk.device_bytes();
+    if (config_.include_disk_io) stats_.bytes_disk_saved += chunk.disk_bytes();
+    after_h2d(g, chunk_index);
+    return;
+  }
+  if (config_.include_disk_io) {
+    const std::uint64_t bytes = chunk.disk_bytes();
+    stats_.bytes_disk += bytes;
+    io::VirtualDisk& disk = cluster_.disk(cluster_.node_of_gpu(g));
+    stats_.disk_busy_s += disk.model().read_time(bytes);
+    disk.read(bytes, [this, g, chunk_index] { after_disk(g, chunk_index); });
+  } else {
+    after_disk(g, chunk_index);
+  }
+}
+
+void FramePlan::after_disk(int g, int chunk_index) {
+  // Synchronous H2D of the chunk's 3-D texture: occupies both the
+  // node's PCIe link and the GPU stream (§3.1.2).
+  const int node = cluster_.node_of_gpu(g);
+  const std::uint64_t bytes = chunks_[static_cast<std::size_t>(chunk_index)]->device_bytes();
+  stats_.bytes_h2d += bytes;
+  const double duration = cluster_.config().hw.pcie.transfer_time(bytes);
+  stats_.pcie_busy_s += duration;
+  stats_.gpu_busy_s += duration;
+  const std::array<sim::Resource*, 2> rs = {&cluster_.pcie(node), &cluster_.gpu_stream(g)};
+  sim::Resource::acquire_multi(rs, duration,
+                               [this, g, chunk_index](sim::SimTime, sim::SimTime) {
+                                 after_h2d(g, chunk_index);
+                               });
+}
+
+void FramePlan::after_h2d(int g, int chunk_index) {
+  auto& gs = *gpus_[static_cast<std::size_t>(g)];
+  const Chunk& chunk = *chunks_[static_cast<std::size_t>(chunk_index)];
+
+  // Functional kernel execution happens here (host threads); its
+  // simulated duration is charged onto the GPU stream afterwards.
+  auto out = std::make_shared<KvBuffer>(config_.value_size);
+  const MapOutcome outcome = gs.mapper->map(cluster_.gpu(g), chunk, *out);
+  if (config_.verify_every_thread_emits && outcome.threads > 0) {
+    VRMR_CHECK_MSG(out->size() == outcome.threads,
+                   "every-thread-emits violated for chunk '"
+                       << chunk.label() << "': " << out->size() << " pairs from "
+                       << outcome.threads << " threads");
+  }
+
+  const double duration =
+      cluster_.gpu(g).props().kernel_time(outcome.samples, out->bytes());
+  auto& pg = stats_.per_gpu[static_cast<std::size_t>(g)];
+  pg.chunks += 1;
+  pg.samples += outcome.samples;
+  pg.threads += outcome.threads;
+  pg.pairs += out->size();
+  pg.kernel_s += duration;
+  stats_.total_samples += outcome.samples;
+  stats_.gpu_busy_s += duration;
+
+  cluster_.gpu_stream(g).acquire(
+      duration, [this, g, out](sim::SimTime, sim::SimTime end) {
+        stats_.t_map_done = std::max(stats_.t_map_done, end - t0_);
+        after_kernel(g, out);
+      });
+}
+
+void FramePlan::after_kernel(int g, std::shared_ptr<KvBuffer> out) {
+  // D2H of the emitted pairs (fragments + placeholders — placeholders
+  // are still resident on the device at this point, §3.1.1).
+  const int node = cluster_.node_of_gpu(g);
+  const std::uint64_t bytes = out->bytes();
+  stats_.bytes_d2h += bytes;
+  const double duration = cluster_.config().hw.pcie.transfer_time(bytes);
+  stats_.pcie_busy_s += duration;
+  stats_.gpu_busy_s += duration;
+  const std::array<sim::Resource*, 2> rs = {&cluster_.pcie(node), &cluster_.gpu_stream(g)};
+  sim::Resource::acquire_multi(
+      rs, duration, [this, g, node, out](sim::SimTime, sim::SimTime) {
+        // GPU is free again: the quantum ends here (the paper's overlap
+        // of communication with further ray casting) while the CPU
+        // partitions this chunk's output in parallel.
+        ++partitions_in_flight_;
+        ++gpus_[static_cast<std::size_t>(g)]->pending_partitions;
+        const double partition_time =
+            static_cast<double>(out->size()) /
+            cluster_.config().hw.cpu.partition_rate_pairs_per_s;
+        stats_.cpu_busy_s += partition_time;
+        cluster_.cpu(node).acquire(partition_time,
+                                   [this, g, out](sim::SimTime, sim::SimTime) {
+                                     partition_and_send(g, out);
+                                   });
+        lane_freed(g);
+      });
+}
+
+void FramePlan::lane_freed(int g) {
+  auto& gs = *gpus_[static_cast<std::size_t>(g)];
+  gs.lane_busy = false;
+  if (gs.cursor >= gs.chunk_indices.size()) {
+    gs.issued_all = true;
+    maybe_final_flush(g);
+  }
+  if (lane_free_cb_) lane_free_cb_(g);
+  if (greedy_ && !gs.lane_busy && gs.cursor < gs.chunk_indices.size()) {
+    issue_map_quantum(g);
+  }
+}
+
+void FramePlan::partition_and_send(int g, std::shared_ptr<KvBuffer> out) {
+  auto& gs = *gpus_[static_cast<std::size_t>(g)];
+  const int num_reducers = static_cast<int>(reducers_.size());
+  auto& pg = stats_.per_gpu[static_cast<std::size_t>(g)];
+
+  for (std::size_t i = 0; i < out->size(); ++i) {
+    const std::uint32_t key = out->key(i);
+    if (key == kPlaceholderKey) {
+      ++pg.placeholders;
+      ++stats_.placeholders;
+      continue;
+    }
+    VRMR_CHECK_MSG(key < config_.domain.num_keys,
+                   "emitted key " << key << " outside dense domain [0, "
+                                  << config_.domain.num_keys << ")");
+    ++stats_.fragments;
+    gs.outbox[static_cast<std::size_t>(partitioner_->owner(key))].append(key,
+                                                                         out->value(i));
+  }
+
+  // Buffered streaming sends (§3.1.2): flush any destination buffer
+  // that reached the threshold.
+  for (int r = 0; r < num_reducers; ++r) {
+    if (gs.outbox[static_cast<std::size_t>(r)].bytes() >= config_.send_buffer_bytes) {
+      flush_outbox(g, r);
+    }
+  }
+
+  --partitions_in_flight_;
+  --gs.pending_partitions;
+  maybe_final_flush(g);
+  maybe_finish_routing();
+}
+
+void FramePlan::flush_outbox(int g, int r) {
+  auto& gs = *gpus_[static_cast<std::size_t>(g)];
+  KvBuffer& box = gs.outbox[static_cast<std::size_t>(r)];
+  if (box.empty()) return;
+  auto payload = std::make_shared<KvBuffer>(std::move(box));
+  box = KvBuffer(config_.value_size);
+
+  // Hold the routing barrier open for the whole flush (combine + send).
+  ++sends_in_flight_;
+
+  if (gs.combiner != nullptr) {
+    // Mapper-side partial reduce: group this buffer by key and let the
+    // combiner collapse each group before it ships.
+    const std::uint64_t pairs_in = payload->size();
+    const SortedGroups groups = counting_sort(*payload, 0, config_.domain.num_keys);
+    auto combined = std::make_shared<KvBuffer>(config_.value_size);
+    for (std::size_t gi = 0; gi < groups.num_groups(); ++gi) {
+      const std::uint32_t lo = groups.group_offsets[gi];
+      const std::uint32_t hi = groups.group_offsets[gi + 1];
+      gs.combiner->combine(groups.group_keys[gi], groups.sorted.value(lo), hi - lo,
+                           *combined);
+    }
+    stats_.combine_input_pairs += pairs_in;
+    stats_.combine_output_pairs += combined->size();
+
+    // The grouping + combine runs on the mapper node's CPU.
+    const auto& hw = cluster_.config().hw;
+    const double duration =
+        static_cast<double>(pairs_in) / hw.cpu.sort_rate_pairs_per_s +
+        static_cast<double>(pairs_in) / hw.cpu.reduce_rate_frags_per_s;
+    stats_.cpu_busy_s += duration;
+    const int node = cluster_.node_of_gpu(g);
+    cluster_.cpu(node).acquire(duration,
+                               [this, g, r, combined](sim::SimTime, sim::SimTime) {
+                                 send_payload(g, r, combined);
+                               });
+    return;
+  }
+  send_payload(g, r, payload);
+}
+
+void FramePlan::send_payload(int g, int r, std::shared_ptr<KvBuffer> payload) {
+  if (payload->empty()) {
+    // A combiner may legitimately collapse a buffer to nothing.
+    --sends_in_flight_;
+    maybe_finish_routing();
+    return;
+  }
+  const int src_node = cluster_.node_of_gpu(g);
+  const int dst_node = cluster_.node_of_gpu(r);
+  const std::uint64_t bytes = payload->bytes();
+  stats_.bytes_net += bytes;
+  ++stats_.net_messages;
+  if (src_node != dst_node) {
+    stats_.bytes_net_inter += bytes;
+    // The sender's NIC port serializes overhead + payload (fabric.hpp);
+    // intra-node sends bypass the NIC entirely.
+    stats_.nic_busy_s += cluster_.fabric().model().per_message_overhead_s +
+                         static_cast<double>(bytes) /
+                             cluster_.fabric().model().bandwidth_Bps;
+  }
+  cluster_.fabric().send(src_node, dst_node, bytes, [this, r, payload] {
+    reducers_[static_cast<std::size_t>(r)]->inbox.append_buffer(*payload);
+    --sends_in_flight_;
+    maybe_finish_routing();
+  });
+}
+
+void FramePlan::maybe_final_flush(int g) {
+  auto& gs = *gpus_[static_cast<std::size_t>(g)];
+  if (gs.finished || !gs.issued_all || gs.pending_partitions != 0) return;
+  gs.finished = true;
+  for (int r = 0; r < static_cast<int>(reducers_.size()); ++r) flush_outbox(g, r);
+  --mappers_remaining_;
+  maybe_finish_routing();
+}
+
+void FramePlan::maybe_finish_routing() {
+  if (sorts_ready_) return;
+  if (mappers_remaining_ != 0 || partitions_in_flight_ != 0 || sends_in_flight_ != 0)
+    return;
+  sorts_ready_ = true;
+  sorts_remaining_ = static_cast<int>(reducers_.size());
+  stats_.t_routed = cluster_.engine().now() - t0_;
+  if (sorts_ready_cb_) sorts_ready_cb_();
+  if (greedy_ || eager_barriers_) {
+    for (int r = 0; r < static_cast<int>(reducers_.size()); ++r) {
+      if (sort_pending(r)) issue_sort_quantum(r);
+    }
+  }
+}
+
+// --- sort quanta -------------------------------------------------------------
+
+bool FramePlan::sort_pending(int reducer) const {
+  return sorts_ready_ && !reducers_.at(static_cast<std::size_t>(reducer))->sort_issued;
+}
+
+void FramePlan::issue_sort_quantum(int r) {
+  VRMR_CHECK_MSG(sorts_ready_, "sort quanta not ready (routing barrier open)");
+  auto& rs = *reducers_.at(static_cast<std::size_t>(r));
+  VRMR_CHECK_MSG(!rs.sort_issued, "sort quantum " << r << " already issued");
+  rs.sort_issued = true;
+
+  const auto& hw = cluster_.config().hw;
+  const std::uint64_t pairs = rs.inbox.size();
+  stats_.per_reducer[static_cast<std::size_t>(r)].pairs_in = pairs;
+
+  if (pairs == 0) {
+    rs.groups = SortedGroups{};
+    rs.groups.sorted = KvBuffer(config_.value_size);
+    sort_done(r);
+    return;
+  }
+
+  // Functional sort (deterministic regardless of placement).
+  rs.groups = counting_sort(rs.inbox, 0, config_.domain.num_keys);
+  stats_.per_reducer[static_cast<std::size_t>(r)].groups = rs.groups.num_groups();
+
+  const bool on_gpu =
+      config_.sort == SortPlacement::Gpu ||
+      (config_.sort == SortPlacement::Auto && pairs > config_.gpu_sort_threshold_pairs);
+  stats_.per_reducer[static_cast<std::size_t>(r)].sorted_on_gpu = on_gpu;
+
+  const int node = cluster_.node_of_gpu(r);
+  if (on_gpu) {
+    // H2D -> device counting sort -> D2H, on the co-located GPU.
+    const std::uint64_t bytes = rs.inbox.bytes();
+    const double copy = hw.pcie.transfer_time(bytes);
+    const double kernel = hw.gpu.kernel_launch_overhead_s +
+                          static_cast<double>(pairs) / hw.gpu_sort.sort_rate_pairs_per_s;
+    stats_.pcie_busy_s += 2.0 * copy;
+    stats_.gpu_busy_s += 2.0 * copy + kernel;
+    const std::array<sim::Resource*, 2> rsrc = {&cluster_.pcie(node),
+                                                &cluster_.gpu_stream(r)};
+    sim::Resource::acquire_multi(rsrc, copy, [this, r, node, kernel, copy](sim::SimTime,
+                                                                           sim::SimTime) {
+      cluster_.gpu_stream(r).acquire(kernel, [this, r, node, copy](sim::SimTime,
+                                                                   sim::SimTime) {
+        const std::array<sim::Resource*, 2> back = {&cluster_.pcie(node),
+                                                    &cluster_.gpu_stream(r)};
+        sim::Resource::acquire_multi(
+            back, copy, [this, r](sim::SimTime, sim::SimTime) { sort_done(r); });
+      });
+    });
+  } else {
+    const double duration = static_cast<double>(pairs) / hw.cpu.sort_rate_pairs_per_s;
+    stats_.cpu_busy_s += duration;
+    cluster_.cpu(node).acquire(duration,
+                               [this, r](sim::SimTime, sim::SimTime) { sort_done(r); });
+  }
+}
+
+void FramePlan::sort_done(int /*r*/) {
+  if (--sorts_remaining_ == 0) {
+    stats_.t_sorted = cluster_.engine().now() - t0_;
+    reduces_ready_ = true;
+    reduces_remaining_ = static_cast<int>(reducers_.size());
+    if (reduces_ready_cb_) reduces_ready_cb_();
+    if (greedy_ || eager_barriers_) {
+      for (int r = 0; r < static_cast<int>(reducers_.size()); ++r) {
+        if (reduce_pending(r)) issue_reduce_quantum(r);
+      }
+    }
+  }
+}
+
+// --- reduce quanta -----------------------------------------------------------
+
+bool FramePlan::reduce_pending(int reducer) const {
+  return reduces_ready_ && !reducers_.at(static_cast<std::size_t>(reducer))->reduce_issued;
+}
+
+void FramePlan::issue_reduce_quantum(int r) {
+  VRMR_CHECK_MSG(reduces_ready_, "reduce quanta not ready (sorts outstanding)");
+  auto& rs = *reducers_.at(static_cast<std::size_t>(r));
+  VRMR_CHECK_MSG(!rs.reduce_issued, "reduce quantum " << r << " already issued");
+  rs.reduce_issued = true;
+
+  const auto& hw = cluster_.config().hw;
+  const std::uint64_t pairs = rs.groups.sorted.size();
+
+  // Functional reduce.
+  rs.reducer->begin(r);
+  const auto& groups = rs.groups;
+  for (std::size_t gidx = 0; gidx < groups.num_groups(); ++gidx) {
+    const std::uint32_t key = groups.group_keys[gidx];
+    const std::uint32_t lo = groups.group_offsets[gidx];
+    const std::uint32_t hi = groups.group_offsets[gidx + 1];
+    rs.reducer->reduce(key, groups.sorted.value(lo), hi - lo);
+  }
+  rs.reducer->end();
+
+  if (pairs == 0) {
+    reduce_done(r);
+    return;
+  }
+
+  const int node = cluster_.node_of_gpu(r);
+  if (config_.reduce == ReducePlacement::Cpu) {
+    const double duration = static_cast<double>(pairs) / hw.cpu.reduce_rate_frags_per_s;
+    stats_.cpu_busy_s += duration;
+    cluster_.cpu(node).acquire(
+        duration, [this, r](sim::SimTime, sim::SimTime) { reduce_done(r); });
+  } else {
+    // GPU compositing: pairs up, kernel, finished pixels back (the
+    // option §3.1.2 weighs and rejects at small scales).
+    const std::uint64_t up_bytes = rs.groups.sorted.bytes();
+    const std::uint64_t down_bytes = groups.num_groups() * 16;  // RGBA float4
+    const double up = hw.pcie.transfer_time(up_bytes);
+    const double kernel =
+        hw.gpu.kernel_launch_overhead_s +
+        static_cast<double>(pairs) / hw.gpu_sort.reduce_rate_frags_per_s;
+    const double down = hw.pcie.transfer_time(down_bytes);
+    stats_.pcie_busy_s += up + down;
+    stats_.gpu_busy_s += up + kernel + down;
+    const std::array<sim::Resource*, 2> rsrc = {&cluster_.pcie(node),
+                                                &cluster_.gpu_stream(r)};
+    sim::Resource::acquire_multi(
+        rsrc, up, [this, r, node, kernel, down](sim::SimTime, sim::SimTime) {
+          cluster_.gpu_stream(r).acquire(
+              kernel, [this, r, node, down](sim::SimTime, sim::SimTime) {
+                const std::array<sim::Resource*, 2> back = {&cluster_.pcie(node),
+                                                            &cluster_.gpu_stream(r)};
+                sim::Resource::acquire_multi(
+                    back, down,
+                    [this, r](sim::SimTime, sim::SimTime) { reduce_done(r); });
+              });
+        });
+  }
+}
+
+void FramePlan::reduce_done(int r) {
+  tile_finish_s_[static_cast<std::size_t>(r)] = cluster_.engine().now();
+  if (tile_cb_) tile_cb_(r);
+  if (--reduces_remaining_ == 0) {
+    finished_ = true;
+    finalize_stats();
+    if (finished_cb_) finished_cb_();
+  }
+}
+
+double FramePlan::tile_finish_s(int reducer) const {
+  return tile_finish_s_.at(static_cast<std::size_t>(reducer));
+}
+
+void FramePlan::finalize_stats() {
+  const double t_end = cluster_.engine().now() - t0_;
+  stats_.runtime_s = t_end;
+  double kernel_busy_total = 0.0;
+  for (const auto& pg : stats_.per_gpu) kernel_busy_total += pg.kernel_s;
+  stats_.stage.map_s = kernel_busy_total / stats_.num_gpus;
+  stats_.stage.sort_s = stats_.t_sorted - stats_.t_routed;
+  stats_.stage.reduce_s = t_end - stats_.t_sorted;
+  stats_.stage.total_s = t_end;
+  stats_.stage.partition_io_s = std::max(
+      0.0, t_end - stats_.stage.map_s - stats_.stage.sort_s - stats_.stage.reduce_s);
+
+  VRMR_DEBUG("mr.plan") << "runtime=" << stats_.runtime_s << "s map=" << stats_.stage.map_s
+                        << "s part+io=" << stats_.stage.partition_io_s
+                        << "s sort=" << stats_.stage.sort_s
+                        << "s reduce=" << stats_.stage.reduce_s
+                        << "s fragments=" << stats_.fragments;
+}
+
+const JobStats& FramePlan::stats() const {
+  VRMR_CHECK_MSG(finished_, "stats() before the plan finished");
+  return stats_;
+}
+
+JobStats FramePlan::run_to_completion() {
+  if (!started_) start();
+  greedy_ = true;
+
+  auto& engine = cluster_.engine();
+  for (int g = 0; g < static_cast<int>(gpus_.size()); ++g) {
+    engine.schedule_after(0.0, [this, g] {
+      if (!lane_busy(g) && pending_map_quanta(g) > 0) issue_map_quantum(g);
+    });
+  }
+  engine.run();
+
+  VRMR_CHECK_MSG(finished_,
+                 "pipeline deadlocked: mappers=" << mappers_remaining_
+                     << " partitions=" << partitions_in_flight_
+                     << " sends=" << sends_in_flight_);
+  return stats_;
+}
+
+}  // namespace vrmr::mr

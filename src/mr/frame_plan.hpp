@@ -1,0 +1,207 @@
+#pragma once
+
+// FramePlan — the MapReduce pipeline of job.hpp factored into
+// externally-driven *work quanta*.
+//
+// The paper runs one monolithic job per frame: every chunk is staged
+// and mapped, fragments are routed, sorted, reduced, and control only
+// returns when the whole cluster is done. That shape is exactly what
+// blocks a serving layer from preempting a batch frame, streaming
+// finished tiles, or prefetching during a frame's reduce tail — so the
+// pipeline now lives here, cut at its natural seams:
+//
+//   * stage+map quantum  — one chunk on one GPU: (disk) -> H2D -> map
+//     kernel -> D2H. The quantum ends when the D2H completes and the
+//     GPU stream is free again (the paper's overlap point, §3.1.2);
+//     partitioning and buffered sends continue asynchronously on the
+//     CPU/NIC inside the plan. This boundary is where a scheduler can
+//     hand the GPU to a *different* frame — brick-granular preemption.
+//   * sort quantum       — one reducer's counting sort, available once
+//     the routing barrier passes (all chunks issued, all partitions
+//     drained, all sends delivered).
+//   * reduce quantum     — one reducer's compositing pass, available
+//     once every sort completes (the job's global sort barrier is
+//     kept, so stage attribution matches the monolithic pipeline).
+//     Each reduce quantum's completion is a finished *tile*: the
+//     reducer's key range is fully composited and can ship to the
+//     client before the rest of the frame lands.
+//
+// The driver decides *when* each quantum is issued; the plan owns all
+// dataflow bookkeeping and fires hooks at the decision points
+// (lane freed, sorts ready, reduces ready, tile done, finished).
+// `run_to_completion()` is the greedy driver that reproduces the
+// original monolithic job event-for-event — mr::Job and the one-shot
+// renderer facade are thin wrappers over it.
+//
+// Everything runs on the cluster's DES engine; with a deterministic
+// driver the whole schedule is bit-reproducible. Busy-time stats are
+// accumulated per-acquire (not as cluster-wide deltas), so a plan
+// interleaved with other plans on one cluster still attributes exactly
+// its own resource time.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mr/chunk.hpp"
+#include "mr/combiner.hpp"
+#include "mr/job.hpp"
+#include "mr/kv_buffer.hpp"
+#include "mr/mapper.hpp"
+#include "mr/partitioner.hpp"
+#include "mr/reducer.hpp"
+#include "mr/sorter.hpp"
+#include "mr/stats.hpp"
+
+namespace vrmr::mr {
+
+class FramePlan {
+ public:
+  FramePlan(cluster::Cluster& cluster, JobConfig config);
+  ~FramePlan();
+
+  FramePlan(const FramePlan&) = delete;
+  FramePlan& operator=(const FramePlan&) = delete;
+
+  // --- setup (before start()) ---------------------------------------------
+  void set_mapper_factory(MapperFactory factory) { mapper_factory_ = std::move(factory); }
+  void set_reducer_factory(ReducerFactory factory) {
+    reducer_factory_ = std::move(factory);
+  }
+  void set_combiner_factory(CombinerFactory factory) {
+    combiner_factory_ = std::move(factory);
+  }
+
+  /// Queue a chunk; `gpu` pins it, -1 deals round-robin (brick i of an
+  /// unpinned layout always lands on GPU i % G — residency caches and
+  /// prefetchers rely on this determinism).
+  void add_chunk(std::unique_ptr<Chunk> chunk, int gpu = -1);
+  int num_chunks() const { return static_cast<int>(chunks_.size()); }
+
+  // --- driver hooks (install before start()) ------------------------------
+  /// GPU `gpu`'s stream is free again after a stage+map quantum (its
+  /// D2H finished; partition/sends continue inside the plan). THE
+  /// preemption point: the driver may issue this plan's next quantum,
+  /// another plan's, or leave the lane idle.
+  void on_lane_free(std::function<void(int gpu)> cb) { lane_free_cb_ = std::move(cb); }
+  /// The routing barrier passed — every sort quantum is now issuable.
+  void on_sorts_ready(std::function<void()> cb) { sorts_ready_cb_ = std::move(cb); }
+  /// Every sort completed — every reduce quantum is now issuable.
+  void on_reduces_ready(std::function<void()> cb) { reduces_ready_cb_ = std::move(cb); }
+  /// Reducer `reducer`'s reduce quantum completed: its tile of the key
+  /// domain is final. Fires before on_finished for the last tile.
+  void on_tile_done(std::function<void(int reducer)> cb) { tile_cb_ = std::move(cb); }
+  /// The last reduce quantum completed; stats() is finalized. The plan
+  /// must not be destroyed from inside this hook (the completing
+  /// quantum's callback frame is still on the stack) — defer teardown
+  /// to a fresh engine event.
+  void on_finished(std::function<void()> cb) { finished_cb_ = std::move(cb); }
+
+  /// Build mapper/reducer processes, deal chunks, anchor t0 at the
+  /// current engine time. GPUs with no chunks retire immediately.
+  /// Issues nothing — the driver pulls quanta from here on.
+  void start();
+  bool started() const { return started_; }
+
+  /// Issue every sort quantum the moment the routing barrier passes
+  /// and every reduce quantum the moment sorts complete, without
+  /// driver involvement. Map quanta stay driver-controlled — this is
+  /// the mode a preemptive scheduler wants: brick-granular control of
+  /// the GPU lanes, hands-off per-reducer barrier work (contention is
+  /// arbitrated by the simulated resources). run_to_completion implies
+  /// it.
+  void set_eager_barriers(bool eager) { eager_barriers_ = eager; }
+
+  // --- stage+map quanta ----------------------------------------------------
+  /// Chunks dealt to `gpu` not yet issued.
+  int pending_map_quanta(int gpu) const;
+  /// A stage+map quantum of THIS plan currently occupies `gpu`.
+  bool lane_busy(int gpu) const;
+  /// Issue the next chunk on `gpu`: (disk) -> H2D -> kernel -> D2H.
+  /// Requires pending_map_quanta(gpu) > 0 and !lane_busy(gpu).
+  void issue_map_quantum(int gpu);
+
+  // --- sort quanta ---------------------------------------------------------
+  bool sorts_ready() const { return sorts_ready_; }
+  bool sort_pending(int reducer) const;
+  void issue_sort_quantum(int reducer);
+
+  // --- reduce quanta -------------------------------------------------------
+  bool reduces_ready() const { return reduces_ready_; }
+  bool reduce_pending(int reducer) const;
+  void issue_reduce_quantum(int reducer);
+
+  int num_reducers() const { return static_cast<int>(reducers_.size()); }
+  bool finished() const { return finished_; }
+
+  /// Absolute engine time reducer `r`'s tile completed (finalized
+  /// frames only; the last tile's time equals the frame finish).
+  double tile_finish_s(int reducer) const;
+
+  /// Finalized statistics; valid once finished().
+  const JobStats& stats() const;
+
+  /// Greedy monolithic driver: issue every quantum as soon as it is
+  /// available until the plan finishes, pumping the cluster's engine.
+  /// Reproduces the paper's whole-frame job event-for-event. Chains
+  /// after (does not replace) any installed hooks.
+  JobStats run_to_completion();
+
+ private:
+  struct GpuState;
+  struct ReducerState;
+
+  void begin_staging(int gpu, int chunk_index);
+  void after_disk(int gpu, int chunk_index);
+  void after_h2d(int gpu, int chunk_index);
+  void after_kernel(int gpu, std::shared_ptr<KvBuffer> out);
+  void lane_freed(int gpu);
+  void partition_and_send(int gpu, std::shared_ptr<KvBuffer> out);
+  void flush_outbox(int gpu, int reducer);
+  void send_payload(int gpu, int reducer, std::shared_ptr<KvBuffer> payload);
+  void maybe_final_flush(int gpu);
+  void maybe_finish_routing();
+  void sort_done(int reducer);
+  void reduce_done(int reducer);
+  void finalize_stats();
+
+  cluster::Cluster& cluster_;
+  JobConfig config_;
+  MapperFactory mapper_factory_;
+  ReducerFactory reducer_factory_;
+  CombinerFactory combiner_factory_;
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<int> chunk_gpu_;  // explicit assignment or -1
+
+  std::vector<std::unique_ptr<GpuState>> gpus_;
+  std::vector<std::unique_ptr<ReducerState>> reducers_;
+  std::unique_ptr<Partitioner> partitioner_;
+
+  std::function<void(int)> lane_free_cb_;
+  std::function<void()> sorts_ready_cb_;
+  std::function<void()> reduces_ready_cb_;
+  std::function<void(int)> tile_cb_;
+  std::function<void()> finished_cb_;
+
+  // Routing bookkeeping (identical roles to the monolithic job).
+  int mappers_remaining_ = 0;
+  int partitions_in_flight_ = 0;
+  std::uint64_t sends_in_flight_ = 0;
+  bool sorts_ready_ = false;
+  bool reduces_ready_ = false;
+  int sorts_remaining_ = 0;
+  int reduces_remaining_ = 0;
+  std::vector<double> tile_finish_s_;
+
+  double t0_ = 0.0;
+  bool started_ = false;
+  bool finished_ = false;
+  bool greedy_ = false;          // run_to_completion auto-issues map quanta
+  bool eager_barriers_ = false;  // sort/reduce quanta self-issue at barriers
+
+  JobStats stats_;
+};
+
+}  // namespace vrmr::mr

@@ -1,9 +1,6 @@
 #include "mr/job.hpp"
 
-#include <algorithm>
-#include <array>
-
-#include "util/log.hpp"
+#include "mr/frame_plan.hpp"
 
 namespace vrmr::mr {
 
@@ -15,485 +12,34 @@ void JobConfig::validate() const {
   }
 }
 
-struct Job::GpuState {
-  std::unique_ptr<Mapper> mapper;
-  std::vector<int> chunk_indices;
-  std::size_t cursor = 0;
-
-  // Streaming send buffers, one per reducer (§3.1.2 buffered sends).
-  std::vector<KvBuffer> outbox;
-  std::unique_ptr<Combiner> combiner;  // optional mapper-side partial reduce
-  int pending_partitions = 0;  // partition tasks still queued on the CPU
-  bool issued_all = false;     // every chunk has entered the pipeline
-  bool finished = false;       // final flush done, mapper retired
-};
-
-struct Job::ReducerState {
-  std::unique_ptr<Reducer> reducer;
-  KvBuffer inbox;
-  SortedGroups groups;
-};
-
 Job::Job(cluster::Cluster& cluster, JobConfig config)
-    : cluster_(cluster), config_(std::move(config)) {
-  config_.validate();
-}
+    : plan_(std::make_unique<FramePlan>(cluster, std::move(config))) {}
 
 Job::~Job() = default;
 
+void Job::set_mapper_factory(MapperFactory factory) {
+  plan_->set_mapper_factory(std::move(factory));
+}
+
+void Job::set_reducer_factory(ReducerFactory factory) {
+  plan_->set_reducer_factory(std::move(factory));
+}
+
+void Job::set_combiner_factory(CombinerFactory factory) {
+  plan_->set_combiner_factory(std::move(factory));
+}
+
 void Job::add_chunk(std::unique_ptr<Chunk> chunk, int gpu) {
   VRMR_CHECK_MSG(!ran_, "cannot add chunks after run()");
-  VRMR_CHECK(chunk != nullptr);
-  VRMR_CHECK_MSG(gpu < cluster_.total_gpus(), "gpu " << gpu << " out of range");
-  // Enforce the §3.1.1 restriction early: "any single map task must be
-  // able to fit in the main memory of the GPU".
-  VRMR_CHECK_MSG(chunk->device_bytes() <= cluster_.config().hw.gpu.vram_bytes,
-                 "chunk '" << chunk->label() << "' (" << chunk->device_bytes()
-                           << " B) exceeds GPU VRAM ("
-                           << cluster_.config().hw.gpu.vram_bytes
-                           << " B); brick the input smaller");
-  chunks_.push_back(std::move(chunk));
-  chunk_gpu_.push_back(gpu < 0 ? -1 : gpu);
+  plan_->add_chunk(std::move(chunk), gpu);
 }
+
+int Job::num_chunks() const { return plan_->num_chunks(); }
 
 JobStats Job::run() {
   VRMR_CHECK_MSG(!ran_, "Job::run is single-use");
-  VRMR_CHECK_MSG(mapper_factory_ != nullptr, "mapper factory not set");
-  VRMR_CHECK_MSG(reducer_factory_ != nullptr, "reducer factory not set");
-  VRMR_CHECK_MSG(!chunks_.empty(), "no chunks queued");
   ran_ = true;
-
-  const int num_gpus = cluster_.total_gpus();
-  partitioner_ = make_partitioner(config_.partition, config_.domain, num_gpus);
-
-  // Build per-GPU mapper processes and deal chunks.
-  gpus_.clear();
-  for (int g = 0; g < num_gpus; ++g) {
-    auto state = std::make_unique<GpuState>();
-    state->mapper = mapper_factory_(g, cluster_.gpu(g));
-    VRMR_CHECK(state->mapper != nullptr);
-    state->mapper->init(cluster_.gpu(g));
-    for (int r = 0; r < num_gpus; ++r) state->outbox.emplace_back(config_.value_size);
-    if (combiner_factory_) {
-      state->combiner = combiner_factory_(g);
-      VRMR_CHECK(state->combiner != nullptr);
-    }
-    gpus_.push_back(std::move(state));
-  }
-  int deal = 0;
-  for (std::size_t i = 0; i < chunks_.size(); ++i) {
-    const int g = chunk_gpu_[i] >= 0 ? chunk_gpu_[i] : (deal++ % num_gpus);
-    gpus_[static_cast<std::size_t>(g)]->chunk_indices.push_back(static_cast<int>(i));
-  }
-
-  // One reducer process per GPU process.
-  reducers_.clear();
-  for (int r = 0; r < num_gpus; ++r) {
-    auto state = std::make_unique<ReducerState>();
-    state->reducer = reducer_factory_(r);
-    VRMR_CHECK(state->reducer != nullptr);
-    state->inbox = KvBuffer(config_.value_size);
-    reducers_.push_back(std::move(state));
-  }
-
-  stats_ = JobStats{};
-  stats_.num_gpus = num_gpus;
-  stats_.num_nodes = cluster_.num_nodes();
-  stats_.num_chunks = static_cast<int>(chunks_.size());
-  stats_.per_gpu.resize(static_cast<std::size_t>(num_gpus));
-  stats_.per_reducer.resize(static_cast<std::size_t>(num_gpus));
-
-  auto& engine = cluster_.engine();
-  t0_ = engine.now();
-  base_gpu_busy_ = cluster_.total_gpu_busy();
-  base_pcie_busy_ = cluster_.total_pcie_busy();
-  base_nic_busy_ = cluster_.total_nic_busy();
-  base_disk_busy_ = cluster_.total_disk_busy();
-  base_cpu_busy_ = 0.0;
-  for (int n = 0; n < cluster_.num_nodes(); ++n)
-    base_cpu_busy_ += cluster_.cpu(n).busy_time();
-
-  mappers_remaining_ = num_gpus;
-  for (int g = 0; g < num_gpus; ++g) {
-    engine.schedule_after(0.0, [this, g] { process_next_chunk(g); });
-  }
-
-  engine.run();
-
-  VRMR_CHECK_MSG(routing_finished_ && sorts_remaining_ == 0 && reduces_remaining_ == 0,
-                 "pipeline deadlocked: mappers=" << mappers_remaining_
-                     << " partitions=" << partitions_in_flight_
-                     << " sends=" << sends_in_flight_);
-
-  // --- finalize statistics ----------------------------------------------
-  const double t_end = engine.now() - t0_;
-  stats_.runtime_s = t_end;
-  double kernel_busy_total = 0.0;
-  for (const auto& pg : stats_.per_gpu) kernel_busy_total += pg.kernel_s;
-  stats_.stage.map_s = kernel_busy_total / num_gpus;
-  stats_.stage.sort_s = stats_.t_sorted - stats_.t_routed;
-  stats_.stage.reduce_s = t_end - stats_.t_sorted;
-  stats_.stage.total_s = t_end;
-  stats_.stage.partition_io_s = std::max(
-      0.0, t_end - stats_.stage.map_s - stats_.stage.sort_s - stats_.stage.reduce_s);
-
-  stats_.gpu_busy_s = cluster_.total_gpu_busy() - base_gpu_busy_;
-  stats_.pcie_busy_s = cluster_.total_pcie_busy() - base_pcie_busy_;
-  stats_.nic_busy_s = cluster_.total_nic_busy() - base_nic_busy_;
-  stats_.disk_busy_s = cluster_.total_disk_busy() - base_disk_busy_;
-  double cpu_busy = 0.0;
-  for (int n = 0; n < cluster_.num_nodes(); ++n) cpu_busy += cluster_.cpu(n).busy_time();
-  stats_.cpu_busy_s = cpu_busy - base_cpu_busy_;
-
-  VRMR_DEBUG("mr.job") << "runtime=" << stats_.runtime_s << "s map=" << stats_.stage.map_s
-                       << "s part+io=" << stats_.stage.partition_io_s
-                       << "s sort=" << stats_.stage.sort_s
-                       << "s reduce=" << stats_.stage.reduce_s
-                       << "s fragments=" << stats_.fragments;
-  return stats_;
+  return plan_->run_to_completion();
 }
-
-// --- map phase -------------------------------------------------------------
-
-void Job::process_next_chunk(int g) {
-  auto& gs = *gpus_[static_cast<std::size_t>(g)];
-  if (gs.cursor >= gs.chunk_indices.size()) {
-    gs.issued_all = true;
-    maybe_final_flush(g);
-    return;
-  }
-  const int ci = gs.chunk_indices[gs.cursor++];
-  const Chunk& chunk = *chunks_[static_cast<std::size_t>(ci)];
-  if (config_.staging_hook && config_.staging_hook(g, chunk)) {
-    // Already resident on this GPU (brick cache hit): skip the disk
-    // read and the H2D copy entirely — the map kernel can launch as
-    // soon as the GPU stream is free.
-    stats_.chunks_resident += 1;
-    stats_.bytes_h2d_saved += chunk.device_bytes();
-    if (config_.include_disk_io) stats_.bytes_disk_saved += chunk.disk_bytes();
-    after_h2d(g, ci);
-    return;
-  }
-  if (config_.include_disk_io) {
-    const std::uint64_t bytes = chunks_[static_cast<std::size_t>(ci)]->disk_bytes();
-    stats_.bytes_disk += bytes;
-    cluster_.disk(cluster_.node_of_gpu(g)).read(bytes, [this, g, ci] { after_disk(g, ci); });
-  } else {
-    after_disk(g, ci);
-  }
-}
-
-void Job::after_disk(int g, int chunk_index) {
-  // Synchronous H2D of the chunk's 3-D texture: occupies both the
-  // node's PCIe link and the GPU stream (§3.1.2).
-  const int node = cluster_.node_of_gpu(g);
-  const std::uint64_t bytes = chunks_[static_cast<std::size_t>(chunk_index)]->device_bytes();
-  stats_.bytes_h2d += bytes;
-  const std::array<sim::Resource*, 2> rs = {&cluster_.pcie(node), &cluster_.gpu_stream(g)};
-  sim::Resource::acquire_multi(rs, cluster_.config().hw.pcie.transfer_time(bytes),
-                               [this, g, chunk_index](sim::SimTime, sim::SimTime) {
-                                 after_h2d(g, chunk_index);
-                               });
-}
-
-void Job::after_h2d(int g, int chunk_index) {
-  auto& gs = *gpus_[static_cast<std::size_t>(g)];
-  const Chunk& chunk = *chunks_[static_cast<std::size_t>(chunk_index)];
-
-  // Functional kernel execution happens here (host threads); its
-  // simulated duration is charged onto the GPU stream afterwards.
-  auto out = std::make_shared<KvBuffer>(config_.value_size);
-  const MapOutcome outcome = gs.mapper->map(cluster_.gpu(g), chunk, *out);
-  if (config_.verify_every_thread_emits && outcome.threads > 0) {
-    VRMR_CHECK_MSG(out->size() == outcome.threads,
-                   "every-thread-emits violated for chunk '"
-                       << chunk.label() << "': " << out->size() << " pairs from "
-                       << outcome.threads << " threads");
-  }
-
-  const double duration =
-      cluster_.gpu(g).props().kernel_time(outcome.samples, out->bytes());
-  auto& pg = stats_.per_gpu[static_cast<std::size_t>(g)];
-  pg.chunks += 1;
-  pg.samples += outcome.samples;
-  pg.threads += outcome.threads;
-  pg.pairs += out->size();
-  pg.kernel_s += duration;
-  stats_.total_samples += outcome.samples;
-
-  cluster_.gpu_stream(g).acquire(
-      duration, [this, g, chunk_index, out, outcome](sim::SimTime, sim::SimTime end) {
-        stats_.t_map_done = std::max(stats_.t_map_done, end - t0_);
-        after_kernel(g, chunk_index, out, outcome);
-      });
-}
-
-void Job::after_kernel(int g, int /*chunk_index*/, std::shared_ptr<KvBuffer> out,
-                       MapOutcome /*outcome*/) {
-  // D2H of the emitted pairs (fragments + placeholders — placeholders
-  // are still resident on the device at this point, §3.1.1).
-  const int node = cluster_.node_of_gpu(g);
-  const std::uint64_t bytes = out->bytes();
-  stats_.bytes_d2h += bytes;
-  const std::array<sim::Resource*, 2> rs = {&cluster_.pcie(node), &cluster_.gpu_stream(g)};
-  sim::Resource::acquire_multi(
-      rs, cluster_.config().hw.pcie.transfer_time(bytes),
-      [this, g, node, out](sim::SimTime, sim::SimTime) {
-        // GPU is free again: stage the next chunk immediately (the
-        // paper's overlap of communication with further ray casting),
-        // while the CPU partitions this chunk's output in parallel.
-        ++partitions_in_flight_;
-        ++gpus_[static_cast<std::size_t>(g)]->pending_partitions;
-        const double partition_time =
-            static_cast<double>(out->size()) /
-            cluster_.config().hw.cpu.partition_rate_pairs_per_s;
-        cluster_.cpu(node).acquire(partition_time,
-                                   [this, g, out](sim::SimTime, sim::SimTime) {
-                                     partition_and_send(g, out);
-                                   });
-        process_next_chunk(g);
-      });
-}
-
-void Job::partition_and_send(int g, std::shared_ptr<KvBuffer> out) {
-  auto& gs = *gpus_[static_cast<std::size_t>(g)];
-  const int num_reducers = static_cast<int>(reducers_.size());
-  auto& pg = stats_.per_gpu[static_cast<std::size_t>(g)];
-
-  for (std::size_t i = 0; i < out->size(); ++i) {
-    const std::uint32_t key = out->key(i);
-    if (key == kPlaceholderKey) {
-      ++pg.placeholders;
-      ++stats_.placeholders;
-      continue;
-    }
-    VRMR_CHECK_MSG(key < config_.domain.num_keys,
-                   "emitted key " << key << " outside dense domain [0, "
-                                  << config_.domain.num_keys << ")");
-    ++stats_.fragments;
-    gs.outbox[static_cast<std::size_t>(partitioner_->owner(key))].append(key,
-                                                                         out->value(i));
-  }
-
-  // Buffered streaming sends (§3.1.2): flush any destination buffer
-  // that reached the threshold.
-  for (int r = 0; r < num_reducers; ++r) {
-    if (gs.outbox[static_cast<std::size_t>(r)].bytes() >= config_.send_buffer_bytes) {
-      flush_outbox(g, r);
-    }
-  }
-
-  --partitions_in_flight_;
-  --gs.pending_partitions;
-  maybe_final_flush(g);
-  maybe_finish_routing();
-}
-
-void Job::flush_outbox(int g, int r) {
-  auto& gs = *gpus_[static_cast<std::size_t>(g)];
-  KvBuffer& box = gs.outbox[static_cast<std::size_t>(r)];
-  if (box.empty()) return;
-  auto payload = std::make_shared<KvBuffer>(std::move(box));
-  box = KvBuffer(config_.value_size);
-
-  // Hold the routing barrier open for the whole flush (combine + send).
-  ++sends_in_flight_;
-
-  if (gs.combiner != nullptr) {
-    // Mapper-side partial reduce: group this buffer by key and let the
-    // combiner collapse each group before it ships.
-    const std::uint64_t pairs_in = payload->size();
-    const SortedGroups groups = counting_sort(*payload, 0, config_.domain.num_keys);
-    auto combined = std::make_shared<KvBuffer>(config_.value_size);
-    for (std::size_t gi = 0; gi < groups.num_groups(); ++gi) {
-      const std::uint32_t lo = groups.group_offsets[gi];
-      const std::uint32_t hi = groups.group_offsets[gi + 1];
-      gs.combiner->combine(groups.group_keys[gi], groups.sorted.value(lo), hi - lo,
-                           *combined);
-    }
-    stats_.combine_input_pairs += pairs_in;
-    stats_.combine_output_pairs += combined->size();
-
-    // The grouping + combine runs on the mapper node's CPU.
-    const auto& hw = cluster_.config().hw;
-    const double duration =
-        static_cast<double>(pairs_in) / hw.cpu.sort_rate_pairs_per_s +
-        static_cast<double>(pairs_in) / hw.cpu.reduce_rate_frags_per_s;
-    const int node = cluster_.node_of_gpu(g);
-    cluster_.cpu(node).acquire(duration,
-                               [this, g, r, combined](sim::SimTime, sim::SimTime) {
-                                 send_payload(g, r, combined);
-                               });
-    return;
-  }
-  send_payload(g, r, payload);
-}
-
-void Job::send_payload(int g, int r, std::shared_ptr<KvBuffer> payload) {
-  if (payload->empty()) {
-    // A combiner may legitimately collapse a buffer to nothing.
-    --sends_in_flight_;
-    maybe_finish_routing();
-    return;
-  }
-  const int src_node = cluster_.node_of_gpu(g);
-  const int dst_node = cluster_.node_of_gpu(r);
-  const std::uint64_t bytes = payload->bytes();
-  stats_.bytes_net += bytes;
-  if (src_node != dst_node) stats_.bytes_net_inter += bytes;
-  ++stats_.net_messages;
-  cluster_.fabric().send(src_node, dst_node, bytes, [this, r, payload] {
-    reducers_[static_cast<std::size_t>(r)]->inbox.append_buffer(*payload);
-    --sends_in_flight_;
-    maybe_finish_routing();
-  });
-}
-
-void Job::maybe_final_flush(int g) {
-  auto& gs = *gpus_[static_cast<std::size_t>(g)];
-  if (gs.finished || !gs.issued_all || gs.pending_partitions != 0) return;
-  gs.finished = true;
-  for (int r = 0; r < static_cast<int>(reducers_.size()); ++r) flush_outbox(g, r);
-  mapper_finished(g);
-}
-
-void Job::mapper_finished(int /*g*/) {
-  --mappers_remaining_;
-  maybe_finish_routing();
-}
-
-void Job::maybe_finish_routing() {
-  if (routing_finished_) return;
-  if (mappers_remaining_ != 0 || partitions_in_flight_ != 0 || sends_in_flight_ != 0)
-    return;
-  routing_finished_ = true;
-  stats_.t_routed = cluster_.engine().now() - t0_;
-  start_sort_phase();
-}
-
-// --- sort phase ------------------------------------------------------------
-
-void Job::start_sort_phase() {
-  const int num_reducers = static_cast<int>(reducers_.size());
-  sorts_remaining_ = num_reducers;
-  const auto& hw = cluster_.config().hw;
-
-  for (int r = 0; r < num_reducers; ++r) {
-    auto& rs = *reducers_[static_cast<std::size_t>(r)];
-    const std::uint64_t pairs = rs.inbox.size();
-    stats_.per_reducer[static_cast<std::size_t>(r)].pairs_in = pairs;
-
-    if (pairs == 0) {
-      rs.groups = SortedGroups{};
-      rs.groups.sorted = KvBuffer(config_.value_size);
-      sort_done(r);
-      continue;
-    }
-
-    // Functional sort (deterministic regardless of placement).
-    rs.groups = counting_sort(rs.inbox, 0, config_.domain.num_keys);
-    stats_.per_reducer[static_cast<std::size_t>(r)].groups = rs.groups.num_groups();
-
-    const bool on_gpu =
-        config_.sort == SortPlacement::Gpu ||
-        (config_.sort == SortPlacement::Auto && pairs > config_.gpu_sort_threshold_pairs);
-    stats_.per_reducer[static_cast<std::size_t>(r)].sorted_on_gpu = on_gpu;
-
-    const int node = cluster_.node_of_gpu(r);
-    if (on_gpu) {
-      // H2D -> device counting sort -> D2H, on the co-located GPU.
-      const std::uint64_t bytes = rs.inbox.bytes();
-      const double copy = hw.pcie.transfer_time(bytes);
-      const double kernel = hw.gpu.kernel_launch_overhead_s +
-                            static_cast<double>(pairs) / hw.gpu_sort.sort_rate_pairs_per_s;
-      const std::array<sim::Resource*, 2> rsrc = {&cluster_.pcie(node),
-                                                  &cluster_.gpu_stream(r)};
-      sim::Resource::acquire_multi(rsrc, copy, [this, r, node, kernel, copy](sim::SimTime,
-                                                                             sim::SimTime) {
-        cluster_.gpu_stream(r).acquire(kernel, [this, r, node, copy](sim::SimTime,
-                                                                     sim::SimTime) {
-          const std::array<sim::Resource*, 2> back = {&cluster_.pcie(node),
-                                                      &cluster_.gpu_stream(r)};
-          sim::Resource::acquire_multi(
-              back, copy, [this, r](sim::SimTime, sim::SimTime) { sort_done(r); });
-        });
-      });
-    } else {
-      const double duration =
-          static_cast<double>(pairs) / hw.cpu.sort_rate_pairs_per_s;
-      cluster_.cpu(node).acquire(duration,
-                                 [this, r](sim::SimTime, sim::SimTime) { sort_done(r); });
-    }
-  }
-}
-
-void Job::sort_done(int /*r*/) {
-  if (--sorts_remaining_ == 0) {
-    stats_.t_sorted = cluster_.engine().now() - t0_;
-    start_reduce_phase();
-  }
-}
-
-// --- reduce phase ------------------------------------------------------------
-
-void Job::start_reduce_phase() {
-  const int num_reducers = static_cast<int>(reducers_.size());
-  reduces_remaining_ = num_reducers;
-  const auto& hw = cluster_.config().hw;
-
-  for (int r = 0; r < num_reducers; ++r) {
-    auto& rs = *reducers_[static_cast<std::size_t>(r)];
-    const std::uint64_t pairs = rs.groups.sorted.size();
-
-    // Functional reduce.
-    rs.reducer->begin(r);
-    const auto& groups = rs.groups;
-    for (std::size_t gidx = 0; gidx < groups.num_groups(); ++gidx) {
-      const std::uint32_t key = groups.group_keys[gidx];
-      const std::uint32_t lo = groups.group_offsets[gidx];
-      const std::uint32_t hi = groups.group_offsets[gidx + 1];
-      rs.reducer->reduce(key, groups.sorted.value(lo), hi - lo);
-    }
-    rs.reducer->end();
-
-    if (pairs == 0) {
-      reduce_done(r);
-      continue;
-    }
-
-    const int node = cluster_.node_of_gpu(r);
-    if (config_.reduce == ReducePlacement::Cpu) {
-      const double duration =
-          static_cast<double>(pairs) / hw.cpu.reduce_rate_frags_per_s;
-      cluster_.cpu(node).acquire(
-          duration, [this, r](sim::SimTime, sim::SimTime) { reduce_done(r); });
-    } else {
-      // GPU compositing: pairs up, kernel, finished pixels back (the
-      // option §3.1.2 weighs and rejects at small scales).
-      const std::uint64_t up_bytes = rs.groups.sorted.bytes();
-      const std::uint64_t down_bytes = groups.num_groups() * 16;  // RGBA float4
-      const double up = hw.pcie.transfer_time(up_bytes);
-      const double kernel =
-          hw.gpu.kernel_launch_overhead_s +
-          static_cast<double>(pairs) / hw.gpu_sort.reduce_rate_frags_per_s;
-      const double down = hw.pcie.transfer_time(down_bytes);
-      const std::array<sim::Resource*, 2> rsrc = {&cluster_.pcie(node),
-                                                  &cluster_.gpu_stream(r)};
-      sim::Resource::acquire_multi(
-          rsrc, up, [this, r, node, kernel, down](sim::SimTime, sim::SimTime) {
-            cluster_.gpu_stream(r).acquire(
-                kernel, [this, r, node, down](sim::SimTime, sim::SimTime) {
-                  const std::array<sim::Resource*, 2> back = {&cluster_.pcie(node),
-                                                              &cluster_.gpu_stream(r)};
-                  sim::Resource::acquire_multi(
-                      back, down,
-                      [this, r](sim::SimTime, sim::SimTime) { reduce_done(r); });
-                });
-          });
-    }
-  }
-}
-
-void Job::reduce_done(int /*r*/) { --reduces_remaining_; }
 
 }  // namespace vrmr::mr

@@ -16,19 +16,15 @@ std::uint64_t BrickCache::capacity_for(const gpusim::DeviceProps& props,
   return props.vram_bytes - reserve_bytes;
 }
 
-bool BrickCache::lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t bytes) {
-  VRMR_CHECK_MSG(gpu >= 0 && gpu < num_gpus(), "gpu " << gpu << " out of range");
-  Shard& shard = shards_[static_cast<std::size_t>(gpu)];
+bool BrickCache::touch(Shard& shard, const BrickKey& key) {
+  const auto it = shard.index.find(key);
+  if (it == shard.index.end()) return false;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return true;
+}
 
-  if (auto it = shard.index.find(key); it != shard.index.end()) {
-    // Hit: refresh recency. The brick's size is immutable per key.
-    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    ++stats_.hits;
-    stats_.bytes_saved += it->second->bytes;
-    return true;
-  }
-
-  ++stats_.misses;
+bool BrickCache::insert_evicting(Shard& shard, const BrickKey& key,
+                                 std::uint64_t bytes) {
   if (bytes > capacity_) {
     // Would displace the whole shard for a single brick; not worth it.
     ++stats_.rejected_oversized;
@@ -39,7 +35,32 @@ bool BrickCache::lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t byt
   shard.index.emplace(key, shard.lru.begin());
   shard.bytes += bytes;
   ++stats_.insertions;
+  return true;
+}
+
+bool BrickCache::lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t bytes) {
+  VRMR_CHECK_MSG(gpu >= 0 && gpu < num_gpus(), "gpu " << gpu << " out of range");
+  Shard& shard = shards_[static_cast<std::size_t>(gpu)];
+
+  if (touch(shard, key)) {
+    // Hit: recency refreshed. The brick's size is immutable per key.
+    ++stats_.hits;
+    stats_.bytes_saved += bytes;
+    return true;
+  }
+  ++stats_.misses;
+  (void)insert_evicting(shard, key, bytes);
   return false;
+}
+
+bool BrickCache::prefetch(int gpu, const BrickKey& key, std::uint64_t bytes) {
+  VRMR_CHECK_MSG(gpu >= 0 && gpu < num_gpus(), "gpu " << gpu << " out of range");
+  Shard& shard = shards_[static_cast<std::size_t>(gpu)];
+
+  if (touch(shard, key)) return true;
+  if (!insert_evicting(shard, key, bytes)) return false;
+  ++stats_.prefetch_admissions;
+  return true;
 }
 
 bool BrickCache::resident(int gpu, const BrickKey& key) const {

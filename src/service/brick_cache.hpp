@@ -65,6 +65,10 @@ struct BrickCacheStats {
   std::uint64_t rejected_oversized = 0;  // bricks larger than the whole budget
   std::uint64_t bytes_saved = 0;         // H2D bytes skipped by hits
   std::uint64_t bytes_evicted = 0;
+  /// Bricks admitted by the prefetcher (prefetch()) rather than by a
+  /// frame's staging miss. Not counted as misses: the demand stream's
+  /// hit rate stays comparable with and without prefetching.
+  std::uint64_t prefetch_admissions = 0;
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -91,6 +95,14 @@ class BrickCache {
 
   /// Non-mutating residency probe (no LRU touch, no accounting).
   bool resident(int gpu, const BrickKey& key) const;
+
+  /// Speculative admission (camera-aware prefetch): admit `key` on
+  /// `gpu` — evicting LRU bricks to fit — WITHOUT charging a demand
+  /// miss, so hit-rate telemetry reflects only what frames actually
+  /// asked for. Already-resident keys are refreshed (no accounting);
+  /// oversized bricks are rejected exactly like lookup_or_admit.
+  /// Returns true when the brick is resident on return.
+  bool prefetch(int gpu, const BrickKey& key, std::uint64_t bytes);
 
   /// Drop every brick of `volume_id` on every GPU (volume updated or
   /// session closed with volume eviction requested).
@@ -122,6 +134,13 @@ class BrickCache {
   };
 
   void evict_lru(Shard& shard);
+  /// LRU-refresh `key` if resident; true on presence.
+  bool touch(Shard& shard, const BrickKey& key);
+  /// Admit `key`, evicting LRU entries until it fits. False (with
+  /// rejected_oversized accounting) for bricks larger than the whole
+  /// budget. Shared by the demand (lookup_or_admit) and speculative
+  /// (prefetch) paths so admission policy lives in one place.
+  bool insert_evicting(Shard& shard, const BrickKey& key, std::uint64_t bytes);
 
   std::vector<Shard> shards_;
   std::uint64_t capacity_;

@@ -102,6 +102,9 @@ std::uint64_t ServiceFrontend::session_submit(int session, RenderRequest request
     ++shard.sessions_placed;
     if (state.pending_callback)
       state.inner.on_frame(translate(session, std::move(state.pending_callback)));
+    if (state.pending_tile_callback)
+      state.inner.on_tile(
+          translate_tile(session, std::move(state.pending_tile_callback)));
     VRMR_DEBUG("frontend") << "session '" << state.profile.name
                            << "' placed on shard " << state.shard;
   }
@@ -127,6 +130,25 @@ void ServiceFrontend::session_on_frame(int session, FrameCallback callback) {
     return;
   }
   state.inner.on_frame(translate(session, std::move(callback)));
+}
+
+TileCallback ServiceFrontend::translate_tile(int session, TileCallback callback) {
+  return [session, callback = std::move(callback)](const TileRecord& tile) {
+    TileRecord translated = tile;
+    translated.session = session;
+    callback(translated);
+  };
+}
+
+void ServiceFrontend::session_on_tile(int session, TileCallback callback) {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "unknown session " << session);
+  FrontendSession& state = *sessions_[static_cast<std::size_t>(session)];
+  if (state.shard < 0) {
+    state.pending_tile_callback = std::move(callback);
+    return;
+  }
+  state.inner.on_tile(translate_tile(session, std::move(callback)));
 }
 
 SessionStats ServiceFrontend::session_stats(int session) const {

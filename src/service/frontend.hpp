@@ -98,6 +98,7 @@ class ServiceFrontend final : public SessionBackend {
   // --- SessionBackend (prefer the Session handle) ------------------------
   std::uint64_t session_submit(int session, RenderRequest request) override;
   void session_on_frame(int session, FrameCallback callback) override;
+  void session_on_tile(int session, TileCallback callback) override;
   SessionStats session_stats(int session) const override;
   const SessionProfile& session_profile(int session) const override;
 
@@ -110,7 +111,8 @@ class ServiceFrontend final : public SessionBackend {
   };
   struct FrontendSession {
     SessionProfile profile;
-    FrameCallback pending_callback;  // held until placement
+    FrameCallback pending_callback;       // held until placement
+    TileCallback pending_tile_callback;   // held until placement
     int shard = -1;
     Session inner;  // valid once placed
   };
@@ -119,6 +121,7 @@ class ServiceFrontend final : public SessionBackend {
   /// Wrap a client callback so delivered records carry the
   /// frontend-wide session index, not the shard-local one.
   static FrameCallback translate(int session, FrameCallback callback);
+  static TileCallback translate_tile(int session, TileCallback callback);
 
   FrontendConfig config_;
   std::vector<Shard> shards_;

@@ -1,11 +1,13 @@
 #include "service/render_service.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <utility>
 
 #include "mr/analysis.hpp"
+#include "mr/frame_plan.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 #include "volren/fragment.hpp"
@@ -17,7 +19,8 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Serve-order tie-break: smaller key wins, then earlier submission.
+/// Serve-order tie-break: smaller key wins, then smaller frame_id —
+/// global submission order, never session open order.
 struct PickKey {
   double primary = 0.0;
   std::uint64_t frame_id = 0;
@@ -49,6 +52,14 @@ const char* to_string(SchedulingPolicy policy) {
   return "?";
 }
 
+const char* to_string(PipelineMode mode) {
+  switch (mode) {
+    case PipelineMode::Monolithic: return "monolithic";
+    case PipelineMode::Quantum: return "quantum";
+  }
+  return "?";
+}
+
 RenderService::RenderService(cluster::Cluster& cluster, ServiceConfig config)
     : cluster_(cluster), config_(config) {
   if (config_.enable_brick_cache) {
@@ -59,7 +70,10 @@ RenderService::RenderService(cluster::Cluster& cluster, ServiceConfig config)
                                        config_.cache_reserve_bytes);
     cache_.emplace(cluster_.total_gpus(), capacity);
   }
+  lane_busy_.assign(static_cast<std::size_t>(cluster_.total_gpus()), 0);
 }
+
+RenderService::~RenderService() = default;
 
 Session RenderService::open_session(SessionProfile profile) {
   auto state = std::make_unique<SessionState>();
@@ -104,8 +118,8 @@ std::uint64_t RenderService::session_submit(int session, RenderRequest request) 
 
   Pending pending;
   pending.frame_id = next_frame_id_++;
-  // Memoize the decomposition once: every scheduling probe and the
-  // render itself reuse it (previously rebuilt per decision + per frame).
+  // Memoize the decomposition once: every scheduling probe, prefetch
+  // pass and the render itself reuse it.
   pending.layout = std::make_shared<const volren::BrickLayout>(
       volren::choose_layout(*request.volume, request.options,
                             cluster_.total_gpus()));
@@ -115,11 +129,21 @@ std::uint64_t RenderService::session_submit(int session, RenderRequest request) 
   pending.submit_floor_s = cluster_.engine().now();
   pending.request = std::move(request);
   pending.submit_cost_s = estimate_cost_s(pending);
-  outstanding_cost_s_ += pending.submit_cost_s;
 
   const std::uint64_t id = pending.frame_id;
   sessions_[static_cast<std::size_t>(session)]->queue.push_back(
       std::move(pending));
+  // A frame submitted mid-drain (from a tile or frame callback) must be
+  // able to preempt at the next brick boundary even when no scheduler
+  // event is otherwise due — e.g. during a batch frame's reduce tail
+  // every GPU lane is idle and nothing would call pump() until that
+  // frame finishes. Hand the scheduler a fresh event at the current
+  // clock; pump() is idempotent, so bursts of submissions are fine.
+  if (draining_ && config_.pipeline == PipelineMode::Quantum) {
+    cluster_.engine().schedule_after(0.0, [this] {
+      if (draining_) pump();
+    });
+  }
   return id;
 }
 
@@ -127,6 +151,12 @@ void RenderService::session_on_frame(int session, FrameCallback callback) {
   VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
                  "unknown session " << session);
   sessions_[static_cast<std::size_t>(session)]->callback = std::move(callback);
+}
+
+void RenderService::session_on_tile(int session, TileCallback callback) {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "unknown session " << session);
+  sessions_[static_cast<std::size_t>(session)]->tile_callback = std::move(callback);
 }
 
 SessionStats RenderService::session_stats(int session) const {
@@ -159,6 +189,16 @@ int RenderService::queued_frames() const {
   return queued;
 }
 
+double RenderService::outstanding_cost_s() const {
+  double total = 0.0;
+  for (const auto& session : sessions_) {
+    double raw = 0.0;
+    for (const Pending& pending : session->queue) raw += pending.submit_cost_s;
+    total += session->cost_scale * raw;
+  }
+  return total;
+}
+
 bool RenderService::volume_warm(const volren::Volume* volume) const {
   if (!cache_) return false;
   const auto it = volumes_.find(volume);
@@ -175,7 +215,8 @@ double RenderService::earliest_head_arrival() const {
   return earliest;
 }
 
-int RenderService::pick_next(double now, double* predicted_cost_s) const {
+int RenderService::pick_next(double now, double* predicted_cost_s,
+                             bool interactive_only) const {
   // Priority admission: when any Interactive head has arrived, Batch
   // heads do not compete this round (the policy orders within a class).
   bool interactive_arrived = false;
@@ -194,10 +235,11 @@ int RenderService::pick_next(double now, double* predicted_cost_s) const {
   for (int s = 0; s < num_sessions(); ++s) {
     const SessionState& session = *sessions_[static_cast<std::size_t>(s)];
     if (session.queue.empty()) continue;
+    const bool interactive = session.profile.priority == Priority::Interactive;
+    if (interactive_only && !interactive) continue;
     const Pending& head = session.queue.front();
     if (head.effective_arrival_s() > now) continue;  // not arrived yet
-    if (interactive_arrived && session.profile.priority != Priority::Interactive)
-      continue;
+    if (interactive_arrived && !interactive) continue;
 
     PickKey key;
     key.frame_id = head.frame_id;
@@ -207,11 +249,11 @@ int RenderService::pick_next(double now, double* predicted_cost_s) const {
         break;
       case SchedulingPolicy::RoundRobin:
         // Least recently served session first; never-served sessions
-        // (seq 0) go ahead in open order.
+        // (seq 0) go ahead in submission order (frame_id tie-break).
         key.primary = static_cast<double>(session.last_served_seq);
         break;
       case SchedulingPolicy::ShortestJobFirst:
-        key.primary = estimate_cost_s(head);
+        key.primary = scaled_cost(s, head);
         break;
     }
     if (best < 0 || key < best_key) {
@@ -241,7 +283,8 @@ double RenderService::estimate_cost_s(const Pending& pending) const {
   // centered orbit framing covers roughly half the image, each covered
   // ray samples about one mean volume axis — but SJF only needs the
   // relative ordering, which volume size, image size and residency
-  // dominate.
+  // dominate. The online per-session EWMA (scaled_cost) absorbs the
+  // systematic error against observed service times.
   mr::JobStats pred;
   pred.num_gpus = gpus;
   pred.num_nodes = cluster_.num_nodes();
@@ -266,7 +309,7 @@ double RenderService::estimate_cost_s(const Pending& pending) const {
       static_cast<double>(pred.num_nodes - 1) / static_cast<double>(pred.num_nodes));
 
   // H2D: only bricks that are NOT already resident on the GPU they will
-  // be dealt to (mr::Job deals unpinned chunks round-robin in add
+  // be dealt to (mr::FramePlan deals unpinned chunks round-robin in add
   // order, so brick i lands on GPU i % gpus).
   std::uint64_t vid = 0;
   bool cache_aware = false;
@@ -294,72 +337,145 @@ double RenderService::estimate_cost_s(const Pending& pending) const {
   return sol.serial_bound_s + sol.disk_s;
 }
 
-void RenderService::serve_one(int session_index, double arrival_floor_s,
-                              double predicted_cost_s) {
-  SessionState& session = *sessions_[static_cast<std::size_t>(session_index)];
-  {
-    // The memoized layout describes the volume as it was at submit; a
-    // queued frame must not render a reshaped volume with it (an
-    // invalidate_volume + same-address reallocation re-registers
-    // cleanly, so the register_volume guard below cannot catch this
-    // case). Checked before any state mutation.
-    const Pending& head = session.queue.front();
-    VRMR_CHECK_MSG(head.request.volume->dims() == head.submit_dims,
-                   "volume @" << head.request.volume << " had dims "
-                              << head.submit_dims << " when frame "
-                              << head.frame_id
-                              << " was submitted but now has "
-                              << head.request.volume->dims()
-                              << "; queued frames cannot outlive their "
-                                 "volume's shape");
-  }
-  Pending pending = std::move(session.queue.front());
-  session.queue.pop_front();
-  session.last_served_seq = ++serve_seq_;
-  outstanding_cost_s_ -= pending.submit_cost_s;
+double RenderService::scaled_cost(int session_index, const Pending& pending) const {
+  return sessions_[static_cast<std::size_t>(session_index)]->cost_scale *
+         estimate_cost_s(pending);
+}
 
-  auto& engine = cluster_.engine();
-  FrameRecord record;
-  record.session = session_index;
-  record.frame_id = pending.frame_id;
-  record.arrival_s = std::max(pending.effective_arrival_s(), arrival_floor_s);
+void RenderService::check_serve_dims(const Pending& head) const {
+  // The memoized layout describes the volume as it was at submit; a
+  // queued frame must not render a reshaped volume with it (an
+  // invalidate_volume + same-address reallocation re-registers
+  // cleanly, so the register_volume guard cannot catch this case).
+  // Checked before any state mutation.
+  VRMR_CHECK_MSG(head.request.volume->dims() == head.submit_dims,
+                 "volume @" << head.request.volume << " had dims "
+                            << head.submit_dims << " when frame "
+                            << head.frame_id
+                            << " was submitted but now has "
+                            << head.request.volume->dims()
+                            << "; queued frames cannot outlive their "
+                               "volume's shape");
+}
 
-  // Open (or widen) the serving window before rendering, and snapshot
-  // GPU busy at the first-ever serve: the shared cluster may have run
-  // foreign work before this service's window, which utilization must
-  // not charge.
+mr::StagingHook RenderService::make_staging_hook(const Pending& pending) {
+  if (!cache_) return mr::StagingHook{};
+  // Re-resolve the registration at serve time: an invalidation between
+  // submit and serve re-keys the address (and re-checks dims).
+  const std::uint64_t vid = register_volume(pending.request.volume).id;
+  const std::uint64_t lid = pending.layout_sig;
+  BrickCache* cache = &*cache_;
+  return [cache, vid, lid](int gpu, const mr::Chunk& chunk) {
+    const auto* brick = dynamic_cast<const volren::BrickChunk*>(&chunk);
+    if (brick == nullptr) return false;  // non-brick chunks are never cached
+    return cache->lookup_or_admit(gpu, BrickKey{vid, brick->info().id, lid},
+                                  chunk.device_bytes());
+  };
+}
+
+void RenderService::open_window(double arrival_s) {
+  // Open (or widen) the serving window, and snapshot GPU busy at the
+  // first-ever serve: the shared cluster may have run foreign work
+  // before this service's window, which utilization must not charge.
   if (!window_open_) {
     gpu_busy_at_window_open_ = cluster_.total_gpu_busy();
-    window_start_s_ = record.arrival_s;
+    window_start_s_ = arrival_s;
     window_open_ = true;
-  } else if (record.arrival_s < window_start_s_) {
-    window_start_s_ = record.arrival_s;
+  } else if (arrival_s < window_start_s_) {
+    window_start_s_ = arrival_s;
   }
+}
+
+void RenderService::calibrate(int session_index, const FrameRecord& record,
+                              double raw_cost_s) {
+  const double alpha = config_.cost_calibration_alpha;
+  if (alpha <= 0.0 || raw_cost_s <= 0.0) return;
+  const double observed = record.service_s();
+  if (observed <= 0.0) return;
+  SessionState& session = *sessions_[static_cast<std::size_t>(session_index)];
+  session.cost_scale =
+      (1.0 - alpha) * session.cost_scale + alpha * (observed / raw_cost_s);
+}
+
+void RenderService::deliver_tile(ActiveFrame& active, int reducer) {
+  // Delivery runs synchronously inside the reduce-completion event, so
+  // the plan's recorded tile time IS the current engine clock.
+  const double now = active.frame->plan().tile_finish_s(reducer);
+  if (active.record.tiles == 0) active.record.first_tile_s = now;
+  active.record.tiles += 1;
+  SessionState& session = *sessions_[static_cast<std::size_t>(active.session)];
+  session.tiles_delivered += 1;
+  ++tiles_total_;
+  if (session.tile_callback) {
+    TileRecord tile;
+    tile.session = active.session;
+    tile.frame_id = active.record.frame_id;
+    tile.reducer = reducer;
+    tile.tiles_in_frame = active.frame->num_tiles();
+    tile.finish_s = now;
+    tile.pixels = active.frame->tile(reducer);
+    // Invoke a copy so the callback can re-register itself.
+    const TileCallback deliver = session.tile_callback;
+    deliver(tile);
+  }
+}
+
+void RenderService::deliver_frame(int session_index, const FrameRecord& record) {
+  // Event-driven delivery: the engine clock equals finish_s here, and
+  // no later frame has completed. The callback may submit more frames
+  // (session states are pointer-stable; the scheduler re-scans).
+  // Invoke a copy so the callback can re-register itself (assigning
+  // session.callback mid-invocation would destroy the running lambda).
+  SessionState& session = *sessions_[static_cast<std::size_t>(session_index)];
+  if (session.callback) {
+    const FrameCallback deliver = session.callback;
+    deliver(record);
+  }
+}
+
+std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
+    int session_index, double arrival_floor_s, double predicted_cost_s) {
+  SessionState& session = *sessions_[static_cast<std::size_t>(session_index)];
+  check_serve_dims(session.queue.front());
+  auto active = std::make_unique<ActiveFrame>();
+  active->session = session_index;
+  active->priority = session.profile.priority;
+  active->pending = std::move(session.queue.front());
+  session.queue.pop_front();
+  session.last_served_seq = ++serve_seq_;
+
+  FrameRecord& record = active->record;
+  record.session = session_index;
+  record.frame_id = active->pending.frame_id;
+  record.arrival_s = std::max(active->pending.effective_arrival_s(), arrival_floor_s);
+  open_window(record.arrival_s);
   // SJF scored this frame against the same cache state when it picked
   // it; other policies never run the model.
   if (predicted_cost_s >= 0.0) record.predicted_cost_s = predicted_cost_s;
+
+  active->frame = volren::plan_frame(
+      cluster_, *active->pending.request.volume, active->pending.request.options,
+      make_staging_hook(active->pending), *active->pending.layout);
+  return active;
+}
+
+// --- monolithic pipeline -----------------------------------------------------
+
+void RenderService::serve_one(int session_index, double arrival_floor_s,
+                              double predicted_cost_s) {
+  auto active =
+      make_active_frame(session_index, arrival_floor_s, predicted_cost_s);
+  auto& engine = cluster_.engine();
+  FrameRecord& record = active->record;
   record.start_s = engine.now();
+  ActiveFrame* raw = active.get();
+  // Tiles stream at their true completion times even in the monolithic
+  // schedule — only preemption and prefetch are quantum-pipeline-only.
+  active->frame->plan().on_tile_done([this, raw](int r) { deliver_tile(*raw, r); });
+  active->frame->plan().run_to_completion();
 
-  mr::StagingHook hook;
-  if (cache_) {
-    // Re-resolve the registration at render time: an invalidation
-    // between submit and serve re-keys the address (and re-checks dims).
-    const std::uint64_t vid = register_volume(pending.request.volume).id;
-    const std::uint64_t lid = pending.layout_sig;
-    BrickCache* cache = &*cache_;
-    hook = [cache, vid, lid](int gpu, const mr::Chunk& chunk) {
-      const auto* brick = dynamic_cast<const volren::BrickChunk*>(&chunk);
-      if (brick == nullptr) return false;  // non-brick chunks are never cached
-      return cache->lookup_or_admit(gpu, BrickKey{vid, brick->info().id, lid},
-                                    chunk.device_bytes());
-    };
-  }
-
-  volren::RenderResult result = volren::render_mapreduce(
-      cluster_, *pending.request.volume, pending.request.options, std::move(hook),
-      *pending.layout);
-
-  // The job itself counts skipped stagings, so hit accounting is
+  volren::RenderResult result = active->frame->finish();
+  // The plan itself counts skipped stagings, so hit accounting is
   // uniform whether or not a cache is wired in.
   record.cache_hits = result.stats.chunks_resident;
   record.cache_misses =
@@ -374,16 +490,290 @@ void RenderService::serve_one(int session_index, double arrival_floor_s,
                         << "s) hits=" << record.cache_hits << "/"
                         << (record.cache_hits + record.cache_misses);
 
+  calibrate(session_index, record, active->pending.submit_cost_s);
   completed_.push_back(std::move(record));
-  // Event-driven delivery: the engine clock equals finish_s here, and
-  // no later frame has started. The callback may submit more frames
-  // (session states are pointer-stable, and the drain loop re-scans).
-  // Invoke a copy so the callback can re-register itself (assigning
-  // session.callback mid-invocation would destroy the running lambda).
-  if (session.callback) {
-    const FrameCallback deliver = session.callback;
-    deliver(completed_.back());
+  deliver_frame(session_index, completed_.back());
+}
+
+void RenderService::drain_monolithic(double arrival_floor_s) {
+  while (true) {
+    const double earliest = earliest_head_arrival();
+    if (earliest == kInf) break;  // every queue drained
+    double predicted_cost_s = -1.0;
+    const int pick =
+        pick_next(cluster_.engine().now(), &predicted_cost_s, false);
+    if (pick < 0) {
+      // Nothing has arrived yet: idle the cluster until the next frame.
+      advance_clock_to(earliest);
+      continue;
+    }
+    serve_one(pick, arrival_floor_s, predicted_cost_s);
   }
+}
+
+// --- quantum pipeline --------------------------------------------------------
+
+void RenderService::admit(int session_index, double predicted_cost_s) {
+  // record.start_s is NOT stamped here but when the first quantum is
+  // issued — an interactive frame admitted mid-batch-frame has not
+  // *started* until a lane frees at the next brick boundary, and
+  // queue_wait_s measures exactly that gap.
+  auto active = make_active_frame(session_index, drain_floor_s_, predicted_cost_s);
+  ActiveFrame* raw = active.get();
+  auto& plan = active->frame->plan();
+  plan.on_lane_free([this](int gpu) {
+    lane_busy_[static_cast<std::size_t>(gpu)] = 0;
+    // A freed lane changes only lane state, never admissibility — the
+    // class slots and arrival set are untouched, so skip re-running
+    // the admission policy (under SJF that is a full cost-model pass).
+    if (draining_) pump(/*try_admission=*/false);
+  });
+  // Sort and reduce quanta self-issue at their barriers: they are
+  // per-reducer (tile) grained, and any contention with another
+  // frame's map quanta is arbitrated by the simulated resources.
+  plan.set_eager_barriers(true);
+  plan.on_tile_done([this, raw](int r) { deliver_tile(*raw, r); });
+  plan.on_finished([this, raw] { frame_finished(raw); });
+  plan.start();
+  active_.push_back(std::move(active));
+}
+
+void RenderService::try_admit() {
+  while (true) {
+    bool interactive_active = false;
+    bool batch_active = false;
+    for (const auto& active : active_) {
+      if (active->done) continue;
+      if (active->priority == Priority::Interactive) interactive_active = true;
+      else batch_active = true;
+    }
+    double predicted_cost_s = -1.0;
+    int pick = -1;
+    const double now = cluster_.engine().now();
+    if (!interactive_active && !batch_active) {
+      // Idle cluster: any class may be admitted (priority filter inside).
+      pick = pick_next(now, &predicted_cost_s, false);
+    } else if (!interactive_active) {
+      // A batch frame is rendering: an arrived Interactive frame
+      // preempts it at the next brick boundary.
+      pick = pick_next(now, &predicted_cost_s, true);
+    } else {
+      break;  // an interactive frame is already in flight
+    }
+    if (pick < 0) break;
+    if (batch_active) ++preemptions_;
+    admit(pick, predicted_cost_s);
+  }
+}
+
+bool RenderService::try_prefetch(int gpu) {
+  if (!cache_ || !config_.enable_prefetch) return false;
+  bool any_active = false;
+  for (const auto& active : active_) {
+    if (!active->done) {
+      any_active = true;
+      break;
+    }
+  }
+  if (!any_active) return false;  // prefetch only overlaps a serving frame
+
+  // Deterministic candidate order: orbit-hinted sessions with queued
+  // work, most imminent head frame first (ties by frame_id).
+  std::vector<std::pair<std::pair<double, std::uint64_t>, int>> candidates;
+  for (int s = 0; s < num_sessions(); ++s) {
+    const SessionState& session = *sessions_[static_cast<std::size_t>(s)];
+    if (!session.profile.orbit.has_value() || session.queue.empty()) continue;
+    const Pending& head = session.queue.front();
+    candidates.push_back({{head.effective_arrival_s(), head.frame_id}, s});
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  const int gpus = cluster_.total_gpus();
+  for (const auto& [order_key, s] : candidates) {
+    (void)order_key;
+    Pending& head = sessions_[static_cast<std::size_t>(s)]->queue.front();
+    const auto it = volumes_.find(head.request.volume);
+    if (it == volumes_.end()) continue;  // invalidated since submit
+    const std::uint64_t vid = it->second.id;
+    const auto& bricks = head.layout->bricks();
+    if (head.prefetch_issued.empty()) head.prefetch_issued.assign(bricks.size(), 0);
+    for (const volren::BrickInfo& brick : bricks) {
+      if (brick.id % gpus != gpu) continue;  // dealt to another lane
+      auto& issued = head.prefetch_issued[static_cast<std::size_t>(brick.id)];
+      if (issued) continue;
+      const BrickKey key{vid, brick.id, head.layout_sig};
+      // Resident bricks need no prefetch *now* but must stay eligible:
+      // a later frame's staging may evict them while this frame is
+      // still queued. Only an actual transfer (or a permanent reject)
+      // consumes the once-per-queued-frame budget.
+      if (cache_->resident(gpu, key)) continue;
+      const std::uint64_t bytes = brick.device_bytes();
+      if (bytes > cache_->capacity_per_gpu()) {
+        issued = 1;  // would never be admitted; stop retrying
+        continue;
+      }
+      issued = 1;
+      lane_busy_[static_cast<std::size_t>(gpu)] = 1;
+      // Stage it exactly like a frame would: optional disk read, then
+      // a synchronous H2D occupying the node's PCIe link and the GPU
+      // stream. Admission into the cache happens at transfer
+      // completion — the brick is not resident until it landed.
+      const int node = cluster_.node_of_gpu(gpu);
+      const double h2d_s = cluster_.config().hw.pcie.transfer_time(bytes);
+      const volren::Volume* volume = head.request.volume;
+      auto finish = [this, gpu, key, bytes, volume] {
+        // The transfer was in flight: only admit if the volume's
+        // registration still carries the id the key was built from —
+        // an invalidate_volume() meanwhile retired that id, and a
+        // brick admitted under it could never match a future lookup.
+        const auto reg = volumes_.find(volume);
+        const bool registration_live =
+            reg != volumes_.end() && reg->second.id == key.volume_id;
+        if (registration_live && cache_ && cache_->prefetch(gpu, key, bytes)) {
+          ++bricks_prefetched_;
+          bytes_prefetched_ += bytes;
+        }
+        lane_busy_[static_cast<std::size_t>(gpu)] = 0;
+        if (draining_) pump(/*try_admission=*/false);
+      };
+      auto stage = [this, node, gpu, h2d_s, finish] {
+        const std::array<sim::Resource*, 2> rs = {&cluster_.pcie(node),
+                                                  &cluster_.gpu_stream(gpu)};
+        sim::Resource::acquire_multi(
+            rs, h2d_s, [finish](sim::SimTime, sim::SimTime) { finish(); });
+      };
+      if (head.request.options.include_disk_io) {
+        cluster_.disk(node).read(bytes, stage);
+      } else {
+        stage();
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+void RenderService::pump(bool try_admission) {
+  reap();
+  if (try_admission) try_admit();
+
+  const int gpus = cluster_.total_gpus();
+  for (int g = 0; g < gpus; ++g) {
+    if (lane_busy_[static_cast<std::size_t>(g)]) continue;
+    // Interactive quanta first: a preempting frame takes every lane as
+    // it frees; the batch frame resumes when no interactive work wants
+    // the lane.
+    ActiveFrame* chosen = nullptr;
+    for (const Priority cls : {Priority::Interactive, Priority::Batch}) {
+      for (const auto& active : active_) {
+        if (active->done || active->priority != cls) continue;
+        if (active->frame->plan().pending_map_quanta(g) > 0) {
+          chosen = active.get();
+          break;
+        }
+      }
+      if (chosen != nullptr) break;
+    }
+    if (chosen != nullptr) {
+      lane_busy_[static_cast<std::size_t>(g)] = 1;
+      if (!chosen->render_started) {
+        chosen->render_started = true;
+        chosen->record.start_s = cluster_.engine().now();
+      }
+      chosen->frame->plan().issue_map_quantum(g);
+      continue;
+    }
+    // Overlap window: a lane no frame wants right now (typically the
+    // current frame's sort/reduce tail) prefetches predicted bricks.
+    (void)try_prefetch(g);
+  }
+
+  // Arm a wake-up at the earliest FUTURE head arrival so preemptive
+  // admission does not depend on a lane happening to free just then.
+  // Heads that already arrived but are blocked (their class slot is
+  // occupied) must not mask a later head: admission for them re-runs
+  // at frame completions, while the wake covers arrivals — together
+  // these are exactly the events where admissibility can change.
+  const double now = cluster_.engine().now();
+  double earliest_future = kInf;
+  for (const auto& session : sessions_) {
+    if (session->queue.empty()) continue;
+    const double arrival = session->queue.front().effective_arrival_s();
+    if (arrival > now) earliest_future = std::min(earliest_future, arrival);
+  }
+  if (earliest_future != kInf) schedule_wake(earliest_future);
+}
+
+void RenderService::frame_finished(ActiveFrame* active) {
+  active->done = true;
+  volren::RenderResult result = active->frame->finish();
+  FrameRecord& record = active->record;
+  record.cache_hits = result.stats.chunks_resident;
+  record.cache_misses =
+      static_cast<std::uint64_t>(result.stats.num_chunks) - record.cache_hits;
+  record.finish_s = cluster_.engine().now();
+  record.stats = std::move(result.stats);
+  if (config_.keep_images) record.image = std::move(result.image);
+
+  VRMR_DEBUG("service") << "session " << active->session << " frame "
+                        << record.frame_id << " latency=" << record.latency_s()
+                        << "s (wait=" << record.queue_wait_s()
+                        << "s) hits=" << record.cache_hits << "/"
+                        << (record.cache_hits + record.cache_misses)
+                        << " tiles=" << record.tiles;
+
+  calibrate(active->session, record, active->pending.submit_cost_s);
+  completed_.push_back(std::move(record));
+  deliver_frame(active->session, completed_.back());
+  // Teardown and the next scheduling decision happen on a fresh engine
+  // event: the finishing quantum's callback frames are still on this
+  // plan's stack, so the plan cannot be destroyed (or its lanes
+  // re-filled into a reentrant issue) here.
+  if (!reap_scheduled_) {
+    reap_scheduled_ = true;
+    cluster_.engine().schedule_after(0.0, [this] {
+      reap_scheduled_ = false;
+      if (draining_) pump();
+      else reap();
+    });
+  }
+}
+
+void RenderService::reap() {
+  std::erase_if(active_, [](const std::unique_ptr<ActiveFrame>& active) {
+    return active->done;
+  });
+}
+
+void RenderService::schedule_wake(double t) {
+  const double now = cluster_.engine().now();
+  if (next_wake_s_ > now && next_wake_s_ <= t) return;  // already armed
+  next_wake_s_ = t;
+  cluster_.engine().schedule_at(t, [this, t] {
+    if (next_wake_s_ == t) next_wake_s_ = 0.0;
+    if (draining_) pump();
+  });
+}
+
+void RenderService::drain_quantum() {
+  auto& engine = cluster_.engine();
+  while (true) {
+    pump();
+    if (engine.empty()) {
+      reap();
+      if (queued_frames() == 0) break;
+      // pump() arms a wake for future arrivals, so an empty engine with
+      // queued work means every head is in the future and nothing is in
+      // flight — jump the clock to the next arrival.
+      const double earliest = earliest_head_arrival();
+      VRMR_CHECK_MSG(earliest > engine.now(),
+                     "quantum scheduler stalled with arrived work queued");
+      engine.schedule_at(earliest, [] {});
+    }
+    engine.run();
+  }
+  reap();
+  VRMR_CHECK_MSG(active_.empty(), "drain ended with frames in flight");
 }
 
 void RenderService::drain() {
@@ -398,18 +788,11 @@ void RenderService::drain() {
   } guard{&draining_};
   // Serving floor: arrivals backdated before the clock at drain start
   // (reused timeline) are treated as arriving now.
-  const double arrival_floor = cluster_.engine().now();
-  while (true) {
-    const double earliest = earliest_head_arrival();
-    if (earliest == kInf) break;  // every queue drained
-    double predicted_cost_s = -1.0;
-    const int pick = pick_next(cluster_.engine().now(), &predicted_cost_s);
-    if (pick < 0) {
-      // Nothing has arrived yet: idle the cluster until the next frame.
-      advance_clock_to(earliest);
-      continue;
-    }
-    serve_one(pick, arrival_floor, predicted_cost_s);
+  drain_floor_s_ = cluster_.engine().now();
+  if (config_.pipeline == PipelineMode::Monolithic) {
+    drain_monolithic(drain_floor_s_);
+  } else {
+    drain_quantum();
   }
 }
 
@@ -419,6 +802,8 @@ SessionStats RenderService::stats_for(int session_index) const {
   out.name = state.profile.name;
   out.priority = state.profile.priority;
   out.queued_frames = static_cast<int>(state.queue.size());
+  out.tiles_delivered = state.tiles_delivered;
+  out.cost_scale = state.cost_scale;
 
   std::vector<double> latencies;
   double first_arrival = kInf;
@@ -449,6 +834,10 @@ ServiceStats RenderService::stats() const {
   out.frames_total = static_cast<int>(completed_.size());
   if (cache_) out.cache = cache_->stats();
   out.cache_hit_rate = out.cache.hit_rate();
+  out.tiles_total = tiles_total_;
+  out.preemptions = preemptions_;
+  out.bricks_prefetched = bricks_prefetched_;
+  out.bytes_prefetched = bytes_prefetched_;
 
   for (int s = 0; s < num_sessions(); ++s) {
     SessionStats summary = stats_for(s);

@@ -6,33 +6,58 @@
 // The paper renders one frame per MapReduce job on a dedicated cluster;
 // this layer multiplexes many concurrent sessions (a scientist orbiting
 // a dataset, a batch animation export) onto a shared cluster timeline.
-// Each submitted RenderRequest becomes one mr::Job; jobs run
-// non-preemptively back to back (a frame job already spans every GPU,
-// mirroring the paper's whole-cluster deployment), so scheduling is the
-// choice of *which queued frame goes next*:
 //
-//   Fifo             — global arrival order (baseline).
+// Execution model (PipelineMode::Quantum, the default): each admitted
+// frame is a *plan of brick-granular work quanta* (volren::PlannedFrame
+// over mr::FramePlan), not an indivisible job. The scheduler owns every
+// GPU "lane" and decides, at each lane-free event, whose quantum runs
+// next:
+//
+//   * frames are admitted one at a time per priority class; an
+//     Interactive frame arriving while a Batch frame renders is
+//     admitted immediately and takes every lane as it frees — the
+//     batch frame is preempted at the next brick boundary and resumes
+//     when the interactive frame completes, so interactive queue wait
+//     is bounded by one brick quantum instead of one whole batch frame;
+//   * finished tiles stream to the session's on_tile callback at each
+//     reducer's completion time (partial-frame delivery), all before
+//     the frame's own on_frame callback;
+//   * lanes idle during a frame's sort/reduce tail prefetch the
+//     predicted next bricks of orbit-hinted sessions into the
+//     BrickCache (camera-aware prefetch), so the next orbit frame hits
+//     instead of paying the staging miss.
+//
+// PipelineMode::Monolithic reproduces the paper's whole-frame schedule
+// (one run-to-completion job at a time); tile callbacks still fire at
+// the true reducer completion times — only preemption and prefetch are
+// disabled. bench_preemption_latency quantifies the difference.
+//
+// Scheduling picks *which queued frame is admitted next*:
+//
+//   Fifo             — global effective-arrival order (baseline).
 //   RoundRobin       — cycle through sessions with arrived work, so one
 //                      heavy batch session cannot starve interactive
 //                      orbiting sessions.
-//   ShortestJobFirst — a-priori cost model (mr::speed_of_light over
-//                      predicted counters, residency-aware) picks the
+//   ShortestJobFirst — cost model (mr::speed_of_light over predicted
+//                      counters, residency-aware, scaled by the
+//                      per-session online calibration) picks the
 //                      cheapest arrived frame; minimizes mean latency.
 //
-// Admission is priority-aware: all three policies schedule within the
-// Interactive class before considering Batch, so a queued export delays
-// an interactive frame by at most the one batch frame already running.
+// Every policy breaks ties by frame_id (global submission order), so
+// replay is deterministic regardless of session open order. Admission
+// is priority-aware: arrived Interactive frames are considered before
+// any Batch frame.
 //
-// Frames are delivered as events: each session's on_frame callback
-// fires at the frame's finish_s on the DES timeline, and per-session
-// statistics are queryable at any time. drain() just pumps the clock
-// until every queued frame has been served.
+// The cost model self-calibrates online: each completed frame updates a
+// per-session EWMA of observed service time over the a-priori estimate
+// (SessionStats::cost_scale), which scales both SJF ranking and the
+// outstanding_cost_s() load signal the frontend places against.
 //
 // Between frames of the same session most bricks are already resident
-// on their GPUs; the service wires a per-GPU BrickCache into the job's
-// chunk-staging path (JobConfig::staging_hook) so those bricks skip the
-// disk read and H2D upload entirely. The frame's BrickLayout and cache
-// signature are memoized once at submit; scheduling probes and the
+// on their GPUs; the service wires a per-GPU BrickCache into chunk
+// staging (JobConfig::staging_hook) so those bricks skip the disk read
+// and H2D upload entirely. The frame's BrickLayout and cache signature
+// are memoized once at submit; scheduling probes, prefetch and the
 // render itself reuse them.
 //
 // Everything runs on the DES clock: arrivals are simulated timestamps,
@@ -58,15 +83,26 @@
 namespace vrmr::service {
 
 enum class SchedulingPolicy { Fifo, RoundRobin, ShortestJobFirst };
+enum class PipelineMode { Monolithic, Quantum };
 
 const char* to_string(SchedulingPolicy policy);
+const char* to_string(PipelineMode mode);
 
 struct ServiceConfig {
   SchedulingPolicy policy = SchedulingPolicy::Fifo;
 
+  /// Quantum (default): brick-granular scheduling with preemption and
+  /// prefetch. Monolithic: the paper's indivisible one-job-per-frame
+  /// execution (tile streaming still active).
+  PipelineMode pipeline = PipelineMode::Quantum;
+
   /// Per-GPU brick residency cache (disable to reproduce the paper's
   /// stage-everything-every-frame behaviour).
   bool enable_brick_cache = true;
+
+  /// Stage predicted next bricks of orbit-hinted sessions on lanes the
+  /// current frame leaves idle (Quantum pipeline with cache only).
+  bool enable_prefetch = true;
 
   /// VRAM held back from the cache budget for the working frame
   /// (brick being staged, kernel output slots, transfer texture).
@@ -78,6 +114,11 @@ struct ServiceConfig {
   /// Keep rendered images in the FrameRecords (memory-proportional;
   /// off for throughput benches).
   bool keep_images = false;
+
+  /// EWMA smoothing factor for the online cost-model calibration:
+  /// scale <- (1-a)*scale + a*(observed/predicted) per completed
+  /// frame. 0 disables calibration (pure a-priori model).
+  double cost_calibration_alpha = 0.25;
 };
 
 /// Service-wide statistics over every frame completed so far.
@@ -90,6 +131,14 @@ struct ServiceStats {
   double cluster_utilization = 0.0;
   double cache_hit_rate = 0.0;
   std::uint64_t bytes_h2d_saved = 0;
+  /// Tiles streamed through on_tile delivery across all sessions.
+  std::uint64_t tiles_total = 0;
+  /// Interactive frames admitted while a batch frame was mid-render
+  /// (brick-boundary preemptions; Quantum pipeline only).
+  std::uint64_t preemptions = 0;
+  /// Camera-aware prefetch: bricks staged speculatively on idle lanes.
+  std::uint64_t bricks_prefetched = 0;
+  std::uint64_t bytes_prefetched = 0;
   BrickCacheStats cache;
   std::vector<SessionStats> sessions;  // open order, completed-only
   std::vector<FrameRecord> frames;     // completion order
@@ -98,6 +147,7 @@ struct ServiceStats {
 class RenderService final : public SessionBackend {
  public:
   RenderService(cluster::Cluster& cluster, ServiceConfig config = {});
+  ~RenderService() override;
 
   RenderService(const RenderService&) = delete;
   RenderService& operator=(const RenderService&) = delete;
@@ -116,9 +166,9 @@ class RenderService final : public SessionBackend {
   void invalidate_volume(const volren::Volume* volume);
 
   /// Pump the DES clock until every queued frame (including frames
-  /// submitted from inside on_frame callbacks) has been served.
-  /// Reusable: submit more frames afterwards and drain() again — brick
-  /// residency persists and statistics keep accumulating.
+  /// submitted from inside on_frame/on_tile callbacks) has been
+  /// served. Reusable: submit more frames afterwards and drain() again
+  /// — brick residency persists and statistics keep accumulating.
   void drain();
 
   /// Statistics over everything completed since construction. Copies
@@ -133,6 +183,7 @@ class RenderService final : public SessionBackend {
   // --- SessionBackend (prefer the Session handle) ------------------------
   std::uint64_t session_submit(int session, RenderRequest request) override;
   void session_on_frame(int session, FrameCallback callback) override;
+  void session_on_tile(int session, TileCallback callback) override;
   SessionStats session_stats(int session) const override;
   const SessionProfile& session_profile(int session) const override;
 
@@ -142,9 +193,11 @@ class RenderService final : public SessionBackend {
   cluster::Cluster& cluster() { return cluster_; }
   int num_sessions() const { return static_cast<int>(sessions_.size()); }
   int queued_frames() const;
-  /// Sum of submit-time cost estimates of every queued frame — the
-  /// load signal the frontend's least-outstanding-cost placement reads.
-  double outstanding_cost_s() const { return outstanding_cost_s_; }
+  /// Calibrated outstanding load: for each session, the sum of its
+  /// queued frames' a-priori cost estimates scaled by the session's
+  /// online cost_scale — the signal the frontend's
+  /// least-outstanding-cost placement reads.
+  double outstanding_cost_s() const;
   /// True when the volume is registered and has at least one brick
   /// resident on some GPU (the frontend's brick-affinity signal).
   bool volume_warm(const volren::Volume* volume) const;
@@ -167,14 +220,21 @@ class RenderService final : public SessionBackend {
     RenderRequest request;
     std::uint64_t frame_id = 0;
     /// Memoized at submit: the decomposition this frame will stage and
-    /// its cache signature; scheduling probes and render_one reuse it.
+    /// its cache signature; scheduling probes, prefetch and the render
+    /// reuse it.
     std::shared_ptr<const volren::BrickLayout> layout;
     std::uint64_t layout_sig = 0;
-    double submit_cost_s = 0.0;  // estimate at submit (load accounting)
+    /// A-priori (unscaled) cost estimate at submit; load accounting
+    /// multiplies by the session's calibrated cost_scale.
+    double submit_cost_s = 0.0;
     Int3 submit_dims;            // volume dims the layout was built from
     /// DES clock at submit: a streamed frame (submitted mid-drain from
     /// a callback) cannot claim to have arrived before it existed.
     double submit_floor_s = 0.0;
+    /// Per-brick prefetch-issued flags (lazily sized): each brick is
+    /// prefetched at most once per queued frame, so cache pressure
+    /// cannot make the prefetcher thrash.
+    std::vector<std::uint8_t> prefetch_issued;
 
     /// Arrival as scheduling and telemetry see it: backdated arrivals
     /// floor at the submit clock (so FIFO order, the arrived-yet gate
@@ -189,29 +249,88 @@ class RenderService final : public SessionBackend {
     std::deque<Pending> queue;
     std::uint64_t last_served_seq = 0;  // RoundRobin recency
     FrameCallback callback;
+    TileCallback tile_callback;
+    std::uint64_t tiles_delivered = 0;
+    /// Online calibration: EWMA of observed service_s over the
+    /// a-priori submit estimate.
+    double cost_scale = 1.0;
   };
   struct VolumeRegistration {
     std::uint64_t id = 0;          // cache key; never reused
     std::uint64_t generation = 0;  // generation_ when registered
     Int3 dims;                     // voxel dims at registration
   };
+  /// A frame admitted to the cluster: its quantum plan plus the record
+  /// being accumulated. Pointer-stable (plan callbacks capture it).
+  struct ActiveFrame {
+    int session = -1;
+    Priority priority = Priority::Batch;
+    Pending pending;
+    FrameRecord record;
+    std::unique_ptr<volren::PlannedFrame> frame;
+    bool render_started = false;  // first quantum issued (start_s set)
+    bool done = false;            // finished; reaped on the next event
+  };
 
-  /// Session index of the next frame to serve (-1 = none arrived).
-  /// Only the highest priority class with arrived work competes.
-  /// Fills `predicted_cost_s` with the chosen head's cost estimate when
-  /// the policy already computed it (SJF); leaves it negative otherwise.
-  int pick_next(double now, double* predicted_cost_s) const;
+  /// Session index of the next frame to admit (-1 = none arrived).
+  /// Only the highest priority class with arrived work competes;
+  /// `interactive_only` restricts to Interactive sessions (preemptive
+  /// admission while a batch frame renders). Ties under every policy
+  /// break by frame_id — global submission order — so replay never
+  /// depends on session open order. Fills `predicted_cost_s` with the
+  /// chosen head's calibrated cost when the policy computed it (SJF);
+  /// leaves it negative otherwise.
+  int pick_next(double now, double* predicted_cost_s,
+                bool interactive_only) const;
   double earliest_head_arrival() const;  // +inf when all queues empty
   void advance_clock_to(double t);
+  /// A-priori cost model (unscaled); scaled_cost applies the session's
+  /// online calibration.
   double estimate_cost_s(const Pending& pending) const;
+  double scaled_cost(int session_index, const Pending& pending) const;
   /// Register (or re-find) the volume under the current generation;
   /// CHECKs that registered voxel dims still match the volume's.
   const VolumeRegistration& register_volume(const volren::Volume* volume);
-  /// `arrival_floor_s` = the clock at drain() start (backdated-arrival
-  /// clamp); `predicted_cost_s` < 0 means the policy did not score the
-  /// frame (non-SJF) and the record keeps 0.
+  mr::StagingHook make_staging_hook(const Pending& pending);
+  /// Serve-time guard: the memoized layout must still describe the
+  /// volume (a queued frame cannot outlive its volume's shape).
+  void check_serve_dims(const Pending& head) const;
+  void open_window(double arrival_s);
+  /// Shared admission bookkeeping for both pipelines: dims guard, pop
+  /// the session head, stamp the record (arrival clamp, serving
+  /// window, predicted cost) and build the PlannedFrame. The caller
+  /// wires execution hooks and decides when start_s is stamped.
+  std::unique_ptr<ActiveFrame> make_active_frame(int session_index,
+                                                 double arrival_floor_s,
+                                                 double predicted_cost_s);
+  /// EWMA update from a completed frame's observed service time.
+  void calibrate(int session_index, const FrameRecord& record, double raw_cost_s);
+  void deliver_tile(ActiveFrame& active, int reducer);
+  void deliver_frame(int session_index, const FrameRecord& record);
+
+  // --- monolithic pipeline ------------------------------------------------
+  void drain_monolithic(double arrival_floor_s);
   void serve_one(int session_index, double arrival_floor_s,
                  double predicted_cost_s);
+
+  // --- quantum pipeline ---------------------------------------------------
+  void drain_quantum();
+  /// The scheduler heartbeat: reap finished frames, admit what the
+  /// policy allows, fill free lanes (interactive quanta first, then
+  /// batch, then prefetch), and arm the next arrival wake-up.
+  /// `try_admission` is false for events that only change lane state
+  /// (lane freed, prefetch landed): admissibility moves only at
+  /// arrival wakes, frame completions and mid-drain submits, each of
+  /// which pumps with admission on — skipping the policy pass (a full
+  /// cost-model evaluation under SJF) on every brick boundary.
+  void pump(bool try_admission = true);
+  void try_admit();
+  void admit(int session_index, double predicted_cost_s);
+  bool try_prefetch(int gpu);
+  void frame_finished(ActiveFrame* active);
+  void reap();
+  void schedule_wake(double t);
+
   SessionStats stats_for(int session_index) const;
 
   cluster::Cluster& cluster_;
@@ -224,7 +343,6 @@ class RenderService final : public SessionBackend {
   std::uint64_t next_frame_id_ = 0;
   std::uint64_t serve_seq_ = 0;
   std::uint64_t layouts_built_ = 0;
-  double outstanding_cost_s_ = 0.0;
   std::vector<FrameRecord> completed_;  // completion order, lifetime
   double window_start_s_ = 0.0;  // first effective arrival served
   bool window_open_ = false;
@@ -233,6 +351,19 @@ class RenderService final : public SessionBackend {
   /// served its first frame (the cluster reference is shared).
   double gpu_busy_at_window_open_ = 0.0;
   bool draining_ = false;  // reentrancy guard (drain() from a callback)
+
+  // Quantum-scheduler state.
+  std::vector<std::unique_ptr<ActiveFrame>> active_;  // <=1 per priority class
+  std::vector<std::uint8_t> lane_busy_;  // quantum or prefetch in flight
+  double drain_floor_s_ = 0.0;   // arrival clamp for the current drain
+  double next_wake_s_ = 0.0;     // armed arrival wake-up (dedupe); 0 = none
+  bool reap_scheduled_ = false;
+
+  // Streaming / preemption / prefetch telemetry.
+  std::uint64_t tiles_total_ = 0;
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t bricks_prefetched_ = 0;
+  std::uint64_t bytes_prefetched_ = 0;
 };
 
 }  // namespace vrmr::service

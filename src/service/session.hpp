@@ -13,17 +13,24 @@
 //
 // Delivery is event-driven: `on_frame` callbacks fire on the DES
 // timeline at each frame's finish_s (the engine clock equals finish_s
-// inside the callback), in completion order, before any later frame
-// starts. Submitting more frames from inside a callback is supported —
+// inside the callback), in completion order. Below the frame, `on_tile`
+// streams each finished *tile* — one reducer's share of the image,
+// final the moment that reducer's compositing quantum completes — so a
+// client starts receiving pixels before the frame's last tile lands.
+// Every tile of a frame is delivered strictly before the frame's own
+// on_frame callback, at the tile's completion time on the DES timeline.
+// Submitting more frames from inside either callback is supported —
 // that is how a streaming client keeps its queue topped up.
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "mr/stats.hpp"
 #include "util/check.hpp"
+#include "volren/composite_reducer.hpp"
 #include "volren/image.hpp"
 #include "volren/renderer.hpp"
 #include "volren/volume.hpp"
@@ -82,12 +89,31 @@ struct FrameRecord {
   double predicted_cost_s = 0.0;
   std::uint64_t cache_hits = 0;    // resident bricks this frame
   std::uint64_t cache_misses = 0;  // staged bricks this frame
+  int tiles = 0;           // tiles delivered for this frame
+  double first_tile_s = 0.0;  // completion time of the frame's first tile
   mr::JobStats stats;
   volren::Image image;  // only populated when ServiceConfig::keep_images
 
   double latency_s() const { return finish_s - arrival_s; }
   double queue_wait_s() const { return start_s - arrival_s; }
   double service_s() const { return finish_s - start_s; }
+};
+
+/// One finished tile of an in-flight frame: reducer `reducer`'s share
+/// of the key domain, composited and final even while other tiles of
+/// the same frame are still rendering. `pixels` views storage owned by
+/// the backend and is valid only during the callback — copy what you
+/// keep. Ordering guarantees: a frame's tiles are delivered in
+/// completion order (ties by reducer index), every tile's finish_s is
+/// <= the frame's finish_s, and all of a frame's tiles precede its
+/// on_frame callback.
+struct TileRecord {
+  int session = -1;            // backend-local session index
+  std::uint64_t frame_id = 0;  // owning frame
+  int reducer = -1;            // tile index == reducer index
+  int tiles_in_frame = 0;      // total tiles this frame will deliver
+  double finish_s = 0.0;       // reduce-quantum completion on the DES
+  std::span<const volren::FinishedPixel> pixels;
 };
 
 /// Per-session statistics over every frame completed so far; queryable
@@ -105,6 +131,11 @@ struct SessionStats {
   double fps = 0.0;  // frames / (last finish - first arrival)
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t tiles_delivered = 0;
+  /// Online cost-model calibration factor: EWMA of observed service
+  /// time over the a-priori estimate (1.0 until the first frame
+  /// completes; see ServiceConfig::cost_calibration_alpha).
+  double cost_scale = 1.0;
 
   double cache_hit_rate() const {
     const std::uint64_t total = cache_hits + cache_misses;
@@ -116,6 +147,10 @@ struct SessionStats {
 /// Fired at the frame's finish_s on the serving timeline.
 using FrameCallback = std::function<void(const FrameRecord&)>;
 
+/// Fired at each tile's completion time, before the owning frame's
+/// FrameCallback.
+using TileCallback = std::function<void(const TileRecord&)>;
+
 /// Backend interface a Session delegates to (RenderService serves one
 /// cluster; ServiceFrontend routes to a shard). Not for client use —
 /// clients hold Sessions.
@@ -124,6 +159,7 @@ class SessionBackend {
   virtual ~SessionBackend() = default;
   virtual std::uint64_t session_submit(int session, RenderRequest request) = 0;
   virtual void session_on_frame(int session, FrameCallback callback) = 0;
+  virtual void session_on_tile(int session, TileCallback callback) = 0;
   virtual SessionStats session_stats(int session) const = 0;
   virtual const SessionProfile& session_profile(int session) const = 0;
 };
@@ -167,6 +203,16 @@ class Session {
   void on_frame(FrameCallback callback) {
     VRMR_CHECK_MSG(valid(), "on_frame on an invalid Session");
     backend_->session_on_frame(index_, std::move(callback));
+  }
+
+  /// Register the tile-streaming callback (replaces any previous one).
+  /// Fires for every finished tile of frames served after
+  /// registration, at the tile's completion time — i.e. partial-frame
+  /// delivery while the rest of the frame is still rendering. All of a
+  /// frame's tiles are delivered before its on_frame callback.
+  void on_tile(TileCallback callback) {
+    VRMR_CHECK_MSG(valid(), "on_tile on an invalid Session");
+    backend_->session_on_tile(index_, std::move(callback));
   }
 
   /// Statistics over this session's completed frames, at any time.

@@ -50,9 +50,16 @@ RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
                               const RenderOptions& options,
                               mr::StagingHook staging_hook,
                               const BrickLayout& layout) {
-  VRMR_CHECK(options.image_width > 0 && options.image_height > 0);
+  auto frame = plan_frame(cluster, volume, options, std::move(staging_hook), layout);
+  frame->plan().run_to_completion();
+  return frame->finish();
+}
 
-  const FrameSetup frame = make_frame(volume, options);
+std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume& volume,
+                                         const RenderOptions& options,
+                                         mr::StagingHook staging_hook,
+                                         const BrickLayout& layout) {
+  VRMR_CHECK(options.image_width > 0 && options.image_height > 0);
 
   mr::JobConfig config;
   config.value_size = sizeof(RayFragment);
@@ -66,34 +73,52 @@ RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
   config.include_disk_io = options.include_disk_io;
   config.staging_hook = std::move(staging_hook);
 
-  mr::Job job(cluster, config);
+  auto planned = std::unique_ptr<PlannedFrame>(new PlannedFrame());
+  planned->plan_ = std::make_unique<mr::FramePlan>(cluster, std::move(config));
+  planned->pieces_.resize(static_cast<std::size_t>(cluster.total_gpus()));
+  planned->background_ = options.background;
+  planned->width_ = options.image_width;
+  planned->height_ = options.image_height;
+  planned->brick_size_ = layout.brick_size();
+  planned->num_bricks_ = layout.num_bricks();
+  planned->logical_voxels_ = static_cast<std::uint64_t>(volume.voxel_count());
 
-  job.set_mapper_factory([&volume, &frame](int, gpusim::Device&) {
+  // Factories run at plan().start(), which may be well after this call:
+  // capture the frame setup by value and the volume by reference (the
+  // caller guarantees it outlives the frame). The result's camera is
+  // the one the mapper renders with, by construction.
+  const FrameSetup frame = make_frame(volume, options);
+  planned->camera_ = frame.camera;
+  planned->plan_->set_mapper_factory([&volume, frame](int, gpusim::Device&) {
     return std::make_unique<RayCastMapper>(volume, frame);
   });
 
-  std::vector<std::vector<FinishedPixel>> pieces(
-      static_cast<size_t>(cluster.total_gpus()));
+  auto* pieces = &planned->pieces_;  // pointer-stable: PlannedFrame is pinned
   const float ert = options.cast.ert_threshold;
   const Vec3 background = options.background;
-  job.set_reducer_factory([&pieces, ert, background](int r) {
-    return std::make_unique<CompositeReducer>(ert, background,
-                                              &pieces[static_cast<size_t>(r)]);
+  planned->plan_->set_reducer_factory([pieces, ert, background](int r) {
+    return std::make_unique<CompositeReducer>(
+        ert, background, &(*pieces)[static_cast<std::size_t>(r)]);
   });
 
   for (const BrickInfo& info : layout.bricks()) {
-    job.add_chunk(std::make_unique<BrickChunk>(volume, info));
+    planned->plan_->add_chunk(std::make_unique<BrickChunk>(volume, info));
   }
+  return planned;
+}
 
+RenderResult PlannedFrame::finish() {
+  VRMR_CHECK_MSG(plan_->finished(), "PlannedFrame::finish before the plan finished");
+  VRMR_CHECK_MSG(!finished_, "PlannedFrame::finish is single-use");
+  finished_ = true;
   RenderResult result;
-  result.stats = job.run();
+  result.stats = plan_->stats();
   // Stitching is outside the timed pipeline (§5).
-  result.image = stitch_image(options.image_width, options.image_height, background,
-                              pieces);
-  result.camera = frame.camera;
-  result.brick_size = layout.brick_size();
-  result.num_bricks = layout.num_bricks();
-  result.logical_voxels = static_cast<std::uint64_t>(volume.voxel_count());
+  result.image = stitch_image(width_, height_, background_, pieces_);
+  result.camera = camera_;
+  result.brick_size = brick_size_;
+  result.num_bricks = num_bricks_;
+  result.logical_voxels = logical_voxels_;
   return result;
 }
 

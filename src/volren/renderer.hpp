@@ -7,8 +7,12 @@
 // CompositeReducer) for custom pipelines (see examples/mip_pipeline).
 
 #include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
 
 #include "cluster/cluster.hpp"
+#include "mr/frame_plan.hpp"
 #include "mr/job.hpp"
 #include "volren/composite_reducer.hpp"
 #include "volren/raycast.hpp"
@@ -100,5 +104,68 @@ RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
                               const RenderOptions& options,
                               mr::StagingHook staging_hook,
                               const BrickLayout& layout);
+
+/// A planned (not yet executed) frame: the ray-cast mapper, compositing
+/// reducers and brick chunks wired onto an mr::FramePlan, plus the
+/// per-reducer output buffers. This is the quantum-granular entry point
+/// the render service's preemptive scheduler drives — the same wiring
+/// render_mapreduce runs to completion in one call, with execution
+/// control handed to the caller:
+///
+///   auto frame = plan_frame(cluster, volume, options, hook, layout);
+///   frame->plan().on_tile_done(...);        // stream tiles
+///   frame->plan().start();                  // then issue quanta, or:
+///   frame->plan().run_to_completion();      // the monolithic schedule
+///   RenderResult result = frame->finish();  // stitch + stats
+///
+/// One *tile* is one reducer's share of the key domain (partition
+/// strategy decides the pixel set); tile(r) is final from the moment
+/// reducer r's reduce quantum completes.
+class PlannedFrame {
+ public:
+  PlannedFrame(const PlannedFrame&) = delete;
+  PlannedFrame& operator=(const PlannedFrame&) = delete;
+
+  mr::FramePlan& plan() { return *plan_; }
+  const mr::FramePlan& plan() const { return *plan_; }
+
+  /// Tiles == reducers == GPUs.
+  int num_tiles() const { return static_cast<int>(pieces_.size()); }
+
+  /// Finished pixels of reducer `r`'s tile. Stable and final once that
+  /// reduce quantum completed; empty tiles (a reducer owning no covered
+  /// pixels) are legitimate.
+  std::span<const FinishedPixel> tile(int r) const {
+    return pieces_.at(static_cast<std::size_t>(r));
+  }
+
+  /// Stitch the tiles and finalize the RenderResult. Requires
+  /// plan().finished(); call once.
+  RenderResult finish();
+
+ private:
+  friend std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster&, const Volume&,
+                                                  const RenderOptions&, mr::StagingHook,
+                                                  const BrickLayout&);
+  PlannedFrame() = default;
+
+  std::unique_ptr<mr::FramePlan> plan_;
+  std::vector<std::vector<FinishedPixel>> pieces_;  // per reducer; pointer-stable
+  Camera camera_;
+  Vec3 background_;
+  int width_ = 0, height_ = 0;
+  int brick_size_ = 0, num_bricks_ = 0;
+  std::uint64_t logical_voxels_ = 0;
+  bool finished_ = false;
+};
+
+/// Build a PlannedFrame for (volume, options) on the cluster. `layout`
+/// must equal choose_layout(volume, options, cluster.total_gpus());
+/// the hook semantics match render_mapreduce. The volume must outlive
+/// the returned frame.
+std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume& volume,
+                                         const RenderOptions& options,
+                                         mr::StagingHook staging_hook,
+                                         const BrickLayout& layout);
 
 }  // namespace vrmr::volren

@@ -39,6 +39,7 @@
 // MapReduce library.
 #include "mr/analysis.hpp"
 #include "mr/combiner.hpp"
+#include "mr/frame_plan.hpp"
 #include "mr/job.hpp"
 
 // Volume renderer.
