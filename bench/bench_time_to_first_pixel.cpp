@@ -1,0 +1,156 @@
+// Time-to-first-pixel bench: per-reducer dataflow readiness
+// (mr::BarrierMode::PerReducer) vs the paper's frame-global barriers
+// (Global), measured at the plan level on a single frame.
+//
+// Under Global barriers a frame's first streamed tile waits for every
+// chunk's partitions and sends to drain AND for every reducer's sort —
+// the slowest lane gates the fastest tile. PerReducer readiness issues
+// each reducer's sort the moment its own inbox completes and chains
+// its reduce immediately after, so the first tile's critical path is
+// its own dataflow only. This bench quantifies that gap on the paper's
+// communication-bound configuration (§6.3: at 16 GPUs the map-phase
+// communication dwarfs compute), with Striped partitioning so reducer
+// loads are realistically skewed.
+//
+// Acceptance gate (exit code, wired into Release CI): PerReducer mode
+// shows >= 1.3x lower first-tile latency than Global at the headline
+// scale, with pixel-identical frames in both modes. A BENCH_ttfp.json
+// summary records the headline metrics for cross-PR trajectory.
+
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "volren/image.hpp"
+
+using namespace vrmr;
+
+namespace {
+
+struct ModeResult {
+  double first_tile_s = 0.0;
+  double last_tile_s = 0.0;
+  double runtime_s = 0.0;
+  volren::Image image;
+  mr::JobStats stats;
+};
+
+struct Scene {
+  std::string dataset;
+  Int3 dims;
+  int gpus = 0;
+  bool headline = false;  // the acceptance-gated row
+};
+
+ModeResult run_mode(mr::BarrierMode mode, const Scene& scene) {
+  const volren::Volume volume =
+      volren::datasets::by_name(scene.dataset, scene.dims);
+  sim::Engine engine;
+  cluster::Cluster cluster(engine,
+                           cluster::ClusterConfig::with_total_gpus(scene.gpus));
+
+  volren::RenderOptions options;
+  options.image_width = bench::image_size();
+  options.image_height = bench::image_size();
+  options.cast.decimation = bench::decimation_for(scene.dims);
+  options.distance = 1.2f;
+  options.elevation = 0.3f;
+  options.partition = mr::PartitionStrategy::Striped;
+  options.barrier_mode = mode;
+
+  const volren::BrickLayout layout =
+      volren::choose_layout(volume, options, scene.gpus);
+  auto frame =
+      volren::plan_frame(cluster, volume, options, mr::StagingHook{}, layout);
+  const mr::JobStats stats = frame->plan().run_to_completion();
+
+  ModeResult result;
+  result.first_tile_s = frame->plan().tile_finish_s(0);
+  result.last_tile_s = result.first_tile_s;
+  for (int r = 1; r < frame->num_tiles(); ++r) {
+    const double t = frame->plan().tile_finish_s(r);
+    result.first_tile_s = std::min(result.first_tile_s, t);
+    result.last_tile_s = std::max(result.last_tile_s, t);
+  }
+  result.runtime_s = stats.runtime_s;
+  result.stats = stats;
+  result.image = frame->finish().image;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("bench_time_to_first_pixel",
+                      "per-reducer readiness vs global barriers (TTFP)");
+
+  // The headline row is the paper's communication-bound point (the
+  // Fig. 3 regime where the per-message cost of direct-send's
+  // all-to-all dominates at high GPU counts): there the post-map tail
+  // — send drain plus the frame-global sort barrier — is the dominant
+  // share of first-tile latency, and dissolving the barriers pays
+  // directly. The compute-bound rows (big volume, fewer GPUs) show the
+  // win shrinking as map compute grows to dominate TTFP.
+  std::vector<Scene> scenes;
+  if (bench::fast_mode()) {
+    scenes = {{"skull", {128, 128, 128}, 8, false},
+              {"supernova", {256, 256, 256}, 16, true}};
+  } else {
+    scenes = {{"skull", {256, 256, 256}, 8, false},
+              {"supernova", {256, 256, 256}, 16, true},
+              {"supernova", {1024, 1024, 1024}, 16, false}};
+  }
+
+  Table table({"dataset", "dims", "gpus", "barrier", "first_tile_s",
+               "last_tile_s", "spread_s", "runtime_s", "ttfp_speedup",
+               "pixels"});
+  bool gate_met = true;
+  double headline_speedup = 0.0, headline_global = 0.0, headline_chained = 0.0;
+  double headline_spread_global = 0.0, headline_spread_chained = 0.0;
+  for (const Scene& scene : scenes) {
+    const ModeResult global = run_mode(mr::BarrierMode::Global, scene);
+    const ModeResult chained = run_mode(mr::BarrierMode::PerReducer, scene);
+    const volren::ImageDiff diff = volren::compare_images(global.image, chained.image);
+    const bool identical = diff.max_abs == 0.0;
+    const double speedup =
+        chained.first_tile_s > 0.0 ? global.first_tile_s / chained.first_tile_s
+                                   : 0.0;
+    if (scene.headline) {
+      gate_met = gate_met && identical && speedup >= 1.3;
+      headline_speedup = speedup;
+      headline_global = global.first_tile_s;
+      headline_chained = chained.first_tile_s;
+      headline_spread_global = global.last_tile_s - global.first_tile_s;
+      headline_spread_chained = chained.last_tile_s - chained.first_tile_s;
+    } else {
+      gate_met = gate_met && identical;
+    }
+    for (const auto* run : {&global, &chained}) {
+      const bool is_global = run == &global;
+      table.add_row(
+          {scene.dataset, bench::dims_label(scene.dims),
+           std::to_string(scene.gpus), is_global ? "global" : "per-reducer",
+           Table::num(run->first_tile_s, 5), Table::num(run->last_tile_s, 5),
+           Table::num(run->last_tile_s - run->first_tile_s, 5),
+           Table::num(run->runtime_s, 5),
+           is_global ? "" : Table::num(speedup, 2) + "x" +
+                                (scene.headline ? " <- gate" : ""),
+           identical ? "identical" : "DIFFER"});
+    }
+  }
+
+  std::cout << table.to_string() << "\n"
+            << (gate_met
+                    ? "acceptance: per-reducer readiness cuts first-tile "
+                      "latency >= 1.3x at the headline scale, pixels identical\n"
+                    : "ACCEPTANCE MISSED: < 1.3x first-tile speedup at the "
+                      "headline scale (or pixels differ)\n");
+  bench::maybe_print_csv("time_to_first_pixel", table);
+  bench::write_json_summary(
+      "ttfp", {{"first_tile_global_s", headline_global},
+               {"first_tile_per_reducer_s", headline_chained},
+               {"ttfp_speedup", headline_speedup},
+               {"tile_spread_global_s", headline_spread_global},
+               {"tile_spread_per_reducer_s", headline_spread_chained}});
+  return gate_met ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 // VRMR_FAST=1 to drop to 256² images for quicker iteration; the bench
 // header lines record whichever scale was used.
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -41,6 +42,34 @@ inline const char* csv_path() {
 inline bool csv_mode() {
   const char* env = std::getenv("VRMR_CSV");
   return (env != nullptr && env[0] == '1') || csv_path() != nullptr;
+}
+
+/// Machine-readable bench summary: writes BENCH_<name>.json (cwd, or
+/// $VRMR_BENCH_JSON_DIR when set) with the scale tag and a flat metric
+/// map, so the perf trajectory stays comparable across PRs without
+/// parsing stdout tables. Metrics print with full double precision.
+inline void write_json_summary(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const char* dir = std::getenv("VRMR_BENCH_JSON_DIR");
+  const std::string path = (dir != nullptr && dir[0] != '\0')
+                               ? std::string(dir) + "/BENCH_" + name + ".json"
+                               : "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "write_json_summary: cannot open " << path << "\n";
+    return;
+  }
+  out.precision(17);
+  out << "{\n  \"bench\": \"" << name << "\",\n  \"scale\": \""
+      << (fast_mode() ? "fast" : "paper") << "\"";
+  for (const auto& [key, value] : metrics) {
+    // JSON has no inf/nan literals; emit null so parsers keep working.
+    out << ",\n  \"" << key << "\": ";
+    if (std::isfinite(value)) out << value;
+    else out << "null";
+  }
+  out << "\n}\n";
 }
 
 inline void maybe_print_csv(const std::string& name, const Table& table) {

@@ -25,7 +25,14 @@ struct FramePlan::ReducerState {
   std::unique_ptr<Reducer> reducer;
   KvBuffer inbox;
   SortedGroups groups;
+  /// Sends flushed toward this reducer whose payloads have not landed
+  /// yet (combine + fabric transit). With routing_resolved_, a zero
+  /// here means the inbox is complete — the PerReducer readiness.
+  std::uint64_t sends_pending = 0;
+  bool ready = false;        // sort quantum issuable (mode-specific)
+  double ready_s = 0.0;      // absolute engine time ready flipped
   bool sort_issued = false;
+  bool sort_completed = false;
   bool reduce_issued = false;
 };
 
@@ -101,6 +108,11 @@ void FramePlan::start() {
 
   t0_ = cluster_.engine().now();
   mappers_remaining_ = num_gpus;
+  // Set up-front (not at the barrier transitions): under PerReducer
+  // barriers sorts and reduces start draining before any frame-global
+  // transition fires.
+  sorts_remaining_ = num_gpus;
+  reduces_remaining_ = num_gpus;
 
   // GPUs that were dealt no chunks retire their mapper immediately —
   // their (empty) final flush cannot complete routing on its own
@@ -291,8 +303,10 @@ void FramePlan::flush_outbox(int g, int r) {
   auto payload = std::make_shared<KvBuffer>(std::move(box));
   box = KvBuffer(config_.value_size);
 
-  // Hold the routing barrier open for the whole flush (combine + send).
+  // Hold the routing barrier open for the whole flush (combine + send),
+  // and reducer r's inbox open for this payload specifically.
   ++sends_in_flight_;
+  ++reducers_[static_cast<std::size_t>(r)]->sends_pending;
 
   if (gs.combiner != nullptr) {
     // Mapper-side partial reduce: group this buffer by key and let the
@@ -329,7 +343,12 @@ void FramePlan::send_payload(int g, int r, std::shared_ptr<KvBuffer> payload) {
   if (payload->empty()) {
     // A combiner may legitimately collapse a buffer to nothing.
     --sends_in_flight_;
+    --reducers_[static_cast<std::size_t>(r)]->sends_pending;
+    // Barrier bookkeeping first: if this was the last send, the
+    // routing barrier stamps (and sweeps readiness, r included) before
+    // any zero-pair cascade this reducer's readiness could trigger.
     maybe_finish_routing();
+    maybe_reducer_ready(r);
     return;
   }
   const int src_node = cluster_.node_of_gpu(g);
@@ -348,7 +367,13 @@ void FramePlan::send_payload(int g, int r, std::shared_ptr<KvBuffer> payload) {
   cluster_.fabric().send(src_node, dst_node, bytes, [this, r, payload] {
     reducers_[static_cast<std::size_t>(r)]->inbox.append_buffer(*payload);
     --sends_in_flight_;
+    --reducers_[static_cast<std::size_t>(r)]->sends_pending;
+    // Barrier bookkeeping first (see the empty-payload branch); the
+    // drain transition's sweep still marks this reducer ready before
+    // on_sorts_ready fires, preserving the ready-then-sorts_ready
+    // order on the final send.
     maybe_finish_routing();
+    maybe_reducer_ready(r);
   });
 }
 
@@ -363,11 +388,40 @@ void FramePlan::maybe_final_flush(int g) {
 
 void FramePlan::maybe_finish_routing() {
   if (sorts_ready_) return;
-  if (mappers_remaining_ != 0 || partitions_in_flight_ != 0 || sends_in_flight_ != 0)
-    return;
-  sorts_ready_ = true;
-  sorts_remaining_ = static_cast<int>(reducers_.size());
-  stats_.t_routed = cluster_.engine().now() - t0_;
+  if (mappers_remaining_ != 0 || partitions_in_flight_ != 0) return;
+  // Every mapper finished partitioning: expected inbound-send counts
+  // are final.
+  const bool first_resolve = !routing_resolved_;
+  routing_resolved_ = true;
+
+  // Stamp the routing barrier BEFORE any readiness marking: marking a
+  // reducer ready can synchronously cascade its zero-pair sort+reduce
+  // (through eager issuing or a driver's ready callback) — with every
+  // inbox empty that cascade finishes the whole frame, and
+  // finalize_stats must see t_routed by then.
+  const bool drained = sends_in_flight_ == 0;
+  if (drained) {
+    sorts_ready_ = true;
+    stats_.t_routed = cluster_.engine().now() - t0_;
+  }
+
+  if (per_reducer_barriers()) {
+    // Sweep on newly-final counts (any reducer whose inbox is already
+    // complete becomes ready, index order) and on the drain (the final
+    // send's reducer goes ready here, before sorts_ready_cb_). Between
+    // those, each landing send marks its own reducer.
+    if (first_resolve || drained) {
+      for (int r = 0; r < static_cast<int>(reducers_.size()); ++r) {
+        maybe_reducer_ready(r);
+      }
+    }
+  } else if (drained) {
+    // Global barrier: every reducer becomes ready at this one event.
+    for (int r = 0; r < static_cast<int>(reducers_.size()); ++r) {
+      mark_reducer_ready(r);
+    }
+  }
+  if (!drained) return;
   if (sorts_ready_cb_) sorts_ready_cb_();
   if (greedy_ || eager_barriers_) {
     for (int r = 0; r < static_cast<int>(reducers_.size()); ++r) {
@@ -376,15 +430,43 @@ void FramePlan::maybe_finish_routing() {
   }
 }
 
+void FramePlan::maybe_reducer_ready(int r) {
+  if (!per_reducer_barriers() || !routing_resolved_) return;
+  auto& rs = *reducers_[static_cast<std::size_t>(r)];
+  if (rs.ready || rs.sends_pending != 0) return;
+  mark_reducer_ready(r);
+  if (greedy_ || eager_barriers_) issue_sort_quantum(r);
+}
+
+void FramePlan::mark_reducer_ready(int r) {
+  auto& rs = *reducers_[static_cast<std::size_t>(r)];
+  rs.ready = true;
+  rs.ready_s = cluster_.engine().now();
+  if (reducer_ready_cb_) reducer_ready_cb_(r);
+}
+
 // --- sort quanta -------------------------------------------------------------
 
+bool FramePlan::reducer_ready(int reducer) const {
+  return reducers_.at(static_cast<std::size_t>(reducer))->ready;
+}
+
+double FramePlan::reducer_ready_s(int reducer) const {
+  return reducers_.at(static_cast<std::size_t>(reducer))->ready_s;
+}
+
 bool FramePlan::sort_pending(int reducer) const {
-  return sorts_ready_ && !reducers_.at(static_cast<std::size_t>(reducer))->sort_issued;
+  const auto& rs = *reducers_.at(static_cast<std::size_t>(reducer));
+  return rs.ready && !rs.sort_issued;
 }
 
 void FramePlan::issue_sort_quantum(int r) {
-  VRMR_CHECK_MSG(sorts_ready_, "sort quanta not ready (routing barrier open)");
   auto& rs = *reducers_.at(static_cast<std::size_t>(r));
+  VRMR_CHECK_MSG(rs.ready, "sort quantum " << r << " not ready ("
+                               << (per_reducer_barriers()
+                                       ? "inbox incomplete"
+                                       : "routing barrier open")
+                               << ")");
   VRMR_CHECK_MSG(!rs.sort_issued, "sort quantum " << r << " already issued");
   rs.sort_issued = true;
 
@@ -437,15 +519,32 @@ void FramePlan::issue_sort_quantum(int r) {
   }
 }
 
-void FramePlan::sort_done(int /*r*/) {
-  if (--sorts_remaining_ == 0) {
+void FramePlan::sort_done(int r) {
+  reducers_[static_cast<std::size_t>(r)]->sort_completed = true;
+  // Stamp the sort barrier BEFORE the completion callback or chaining:
+  // a zero-pair reduce issued from either completes synchronously, and
+  // when this was the last sort that cascade finishes the frame —
+  // finalize_stats must see t_sorted by then.
+  const bool last = --sorts_remaining_ == 0;
+  if (last) {
     stats_.t_sorted = cluster_.engine().now() - t0_;
     reduces_ready_ = true;
-    reduces_remaining_ = static_cast<int>(reducers_.size());
+  }
+  if (sort_done_cb_) sort_done_cb_(r);
+  // Per-reducer chaining: this reducer's tile proceeds to compositing
+  // immediately — it never waits for the other sorts.
+  if (per_reducer_barriers() && (greedy_ || eager_barriers_) &&
+      reduce_pending(r)) {
+    issue_reduce_quantum(r);
+  }
+  if (last) {
     if (reduces_ready_cb_) reduces_ready_cb_();
     if (greedy_ || eager_barriers_) {
-      for (int r = 0; r < static_cast<int>(reducers_.size()); ++r) {
-        if (reduce_pending(r)) issue_reduce_quantum(r);
+      // Under PerReducer barriers every other reduce already chained at
+      // its own sort; this loop only picks up stragglers (Global mode
+      // issues everything here).
+      for (int rr = 0; rr < static_cast<int>(reducers_.size()); ++rr) {
+        if (reduce_pending(rr)) issue_reduce_quantum(rr);
       }
     }
   }
@@ -454,12 +553,19 @@ void FramePlan::sort_done(int /*r*/) {
 // --- reduce quanta -----------------------------------------------------------
 
 bool FramePlan::reduce_pending(int reducer) const {
-  return reduces_ready_ && !reducers_.at(static_cast<std::size_t>(reducer))->reduce_issued;
+  const auto& rs = *reducers_.at(static_cast<std::size_t>(reducer));
+  if (rs.reduce_issued) return false;
+  return per_reducer_barriers() ? rs.sort_completed : reduces_ready_;
 }
 
 void FramePlan::issue_reduce_quantum(int r) {
-  VRMR_CHECK_MSG(reduces_ready_, "reduce quanta not ready (sorts outstanding)");
   auto& rs = *reducers_.at(static_cast<std::size_t>(r));
+  VRMR_CHECK_MSG(per_reducer_barriers() ? rs.sort_completed : reduces_ready_,
+                 "reduce quantum " << r << " not ready ("
+                                   << (per_reducer_barriers()
+                                           ? "own sort outstanding"
+                                           : "sorts outstanding")
+                                   << ")");
   VRMR_CHECK_MSG(!rs.reduce_issued, "reduce quantum " << r << " already issued");
   rs.reduce_issued = true;
 

@@ -16,15 +16,25 @@
 //     partitioning and buffered sends continue asynchronously on the
 //     CPU/NIC inside the plan. This boundary is where a scheduler can
 //     hand the GPU to a *different* frame — brick-granular preemption.
-//   * sort quantum       — one reducer's counting sort, available once
-//     the routing barrier passes (all chunks issued, all partitions
-//     drained, all sends delivered).
-//   * reduce quantum     — one reducer's compositing pass, available
-//     once every sort completes (the job's global sort barrier is
-//     kept, so stage attribution matches the monolithic pipeline).
-//     Each reduce quantum's completion is a finished *tile*: the
-//     reducer's key range is fully composited and can ship to the
-//     client before the rest of the frame lands.
+//   * sort quantum       — one reducer's counting sort. Availability
+//     depends on JobConfig::barrier_mode: under Global it waits for
+//     the frame-wide routing barrier (all chunks issued, all
+//     partitions drained, all sends delivered); under PerReducer it
+//     becomes issuable the moment that reducer's OWN inbox is complete
+//     (every mapper finished partitioning — the expected inbound-send
+//     count is final — and every send destined to it has landed).
+//   * reduce quantum     — one reducer's compositing pass. Under
+//     Global it waits for every sort to complete (stage attribution
+//     matches the monolithic pipeline); under PerReducer it chains
+//     immediately after its own sort — no frame-global sync anywhere
+//     on a tile's critical path. Each reduce quantum's completion is a
+//     finished *tile*: the reducer's key range is fully composited and
+//     can ship to the client before the rest of the frame lands.
+//
+// Both modes compute identical pixels and identical dataflow counters;
+// PerReducer only reorders the schedule, which is what minimizes
+// time-to-first-pixel (the first tile no longer waits for the slowest
+// reducer's inbox or the slowest sort).
 //
 // The driver decides *when* each quantum is issued; the plan owns all
 // dataflow bookkeeping and fires hooks at the decision points
@@ -85,9 +95,29 @@ class FramePlan {
   /// preemption point: the driver may issue this plan's next quantum,
   /// another plan's, or leave the lane idle.
   void on_lane_free(std::function<void(int gpu)> cb) { lane_free_cb_ = std::move(cb); }
+  /// Reducer `reducer`'s sort quantum became issuable. Under PerReducer
+  /// barriers this fires the moment that reducer's inbox completes
+  /// (inbox-completion order); under Global barriers it fires for every
+  /// reducer, in index order, when the routing barrier passes.
+  void on_reducer_ready(std::function<void(int reducer)> cb) {
+    reducer_ready_cb_ = std::move(cb);
+  }
+  /// Reducer `reducer`'s sort quantum completed. Under PerReducer
+  /// barriers its reduce quantum is issuable from this moment (a
+  /// driver that does not use eager barriers chains here).
+  void on_sort_done(std::function<void(int reducer)> cb) {
+    sort_done_cb_ = std::move(cb);
+  }
   /// The routing barrier passed — every sort quantum is now issuable.
+  /// Under PerReducer barriers this is informational, not a gate: it
+  /// fires when the last send drains, after the final
+  /// on_reducer_ready, by which point sorts (and, for zero-pair
+  /// reducers, whole sort+reduce chains) may already have run.
   void on_sorts_ready(std::function<void()> cb) { sorts_ready_cb_ = std::move(cb); }
   /// Every sort completed — every reduce quantum is now issuable.
+  /// Informational under PerReducer barriers (reduces chain off their
+  /// own sorts; in the all-empty-inbox corner the frame can even
+  /// finish before this fires).
   void on_reduces_ready(std::function<void()> cb) { reduces_ready_cb_ = std::move(cb); }
   /// Reducer `reducer`'s reduce quantum completed: its tile of the key
   /// domain is final. Fires before on_finished for the last tile.
@@ -104,11 +134,12 @@ class FramePlan {
   void start();
   bool started() const { return started_; }
 
-  /// Issue every sort quantum the moment the routing barrier passes
-  /// and every reduce quantum the moment sorts complete, without
-  /// driver involvement. Map quanta stay driver-controlled — this is
-  /// the mode a preemptive scheduler wants: brick-granular control of
-  /// the GPU lanes, hands-off per-reducer barrier work (contention is
+  /// Issue every sort quantum the moment it becomes ready (its
+  /// barrier-mode-specific readiness, see BarrierMode) and every
+  /// reduce quantum the moment it becomes issuable, without driver
+  /// involvement. Map quanta stay driver-controlled — this is the mode
+  /// a preemptive scheduler wants: brick-granular control of the GPU
+  /// lanes, hands-off per-reducer barrier work (contention is
   /// arbitrated by the simulated resources). run_to_completion implies
   /// it.
   void set_eager_barriers(bool eager) { eager_barriers_ = eager; }
@@ -124,6 +155,12 @@ class FramePlan {
 
   // --- sort quanta ---------------------------------------------------------
   bool sorts_ready() const { return sorts_ready_; }
+  /// Reducer `reducer`'s sort quantum is issuable: under PerReducer
+  /// barriers, its inbox is complete; under Global, the routing
+  /// barrier passed.
+  bool reducer_ready(int reducer) const;
+  /// Absolute engine time `reducer` became ready (0 until it did).
+  double reducer_ready_s(int reducer) const;
   bool sort_pending(int reducer) const;
   void issue_sort_quantum(int reducer);
 
@@ -162,9 +199,14 @@ class FramePlan {
   void send_payload(int gpu, int reducer, std::shared_ptr<KvBuffer> payload);
   void maybe_final_flush(int gpu);
   void maybe_finish_routing();
+  void maybe_reducer_ready(int reducer);
+  void mark_reducer_ready(int reducer);
   void sort_done(int reducer);
   void reduce_done(int reducer);
   void finalize_stats();
+  bool per_reducer_barriers() const {
+    return config_.barrier_mode == BarrierMode::PerReducer;
+  }
 
   cluster::Cluster& cluster_;
   JobConfig config_;
@@ -180,6 +222,8 @@ class FramePlan {
   std::unique_ptr<Partitioner> partitioner_;
 
   std::function<void(int)> lane_free_cb_;
+  std::function<void(int)> reducer_ready_cb_;
+  std::function<void(int)> sort_done_cb_;
   std::function<void()> sorts_ready_cb_;
   std::function<void()> reduces_ready_cb_;
   std::function<void(int)> tile_cb_;
@@ -189,6 +233,9 @@ class FramePlan {
   int mappers_remaining_ = 0;
   int partitions_in_flight_ = 0;
   std::uint64_t sends_in_flight_ = 0;
+  /// Every mapper finished partitioning: each reducer's expected
+  /// inbound-send count is final (the PerReducer readiness gate).
+  bool routing_resolved_ = false;
   bool sorts_ready_ = false;
   bool reduces_ready_ = false;
   int sorts_remaining_ = 0;

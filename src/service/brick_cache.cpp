@@ -53,13 +53,17 @@ bool BrickCache::lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t byt
   return false;
 }
 
-bool BrickCache::prefetch(int gpu, const BrickKey& key, std::uint64_t bytes) {
+bool BrickCache::prefetch(int gpu, const BrickKey& key, std::uint64_t bytes,
+                          bool* admitted) {
   VRMR_CHECK_MSG(gpu >= 0 && gpu < num_gpus(), "gpu " << gpu << " out of range");
+  if (admitted != nullptr) *admitted = false;
   Shard& shard = shards_[static_cast<std::size_t>(gpu)];
 
   if (touch(shard, key)) return true;
   if (!insert_evicting(shard, key, bytes)) return false;
   ++stats_.prefetch_admissions;
+  stats_.bytes_prefetched += bytes;
+  if (admitted != nullptr) *admitted = true;
   return true;
 }
 

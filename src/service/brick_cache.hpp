@@ -69,6 +69,10 @@ struct BrickCacheStats {
   /// frame's staging miss. Not counted as misses: the demand stream's
   /// hit rate stays comparable with and without prefetching.
   std::uint64_t prefetch_admissions = 0;
+  /// Payload bytes of those admissions — counted at the cache layer so
+  /// service-level prefetch telemetry (ServiceStats::bytes_prefetched)
+  /// reconciles exactly against cache-level accounting.
+  std::uint64_t bytes_prefetched = 0;
 
   double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -101,8 +105,12 @@ class BrickCache {
   /// miss, so hit-rate telemetry reflects only what frames actually
   /// asked for. Already-resident keys are refreshed (no accounting);
   /// oversized bricks are rejected exactly like lookup_or_admit.
-  /// Returns true when the brick is resident on return.
-  bool prefetch(int gpu, const BrickKey& key, std::uint64_t bytes);
+  /// Returns true when the brick is resident on return; `admitted`
+  /// (optional) reports whether this call inserted it (false for a
+  /// refresh or a reject) — what prefetch_admissions/bytes_prefetched
+  /// count, so callers' telemetry reconciles without probing stats.
+  bool prefetch(int gpu, const BrickKey& key, std::uint64_t bytes,
+                bool* admitted = nullptr);
 
   /// Drop every brick of `volume_id` on every GPU (volume updated or
   /// session closed with volume eviction requested).

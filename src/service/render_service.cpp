@@ -31,6 +31,37 @@ struct PickKey {
   }
 };
 
+/// The window bin of `bins` containing simulated time `t` (created on
+/// first touch; start/width stamped so the bin is self-describing).
+ServiceWindow& bin_at(std::map<std::int64_t, ServiceWindow>& bins, double width,
+                      double t) {
+  const auto b = static_cast<std::int64_t>(std::floor(t / width));
+  ServiceWindow& window = bins[b];
+  window.start_s = static_cast<double>(b) * width;
+  window.window_s = width;
+  return window;
+}
+
+/// Spread `busy_s` uniformly over [t0, t1] across the bins it overlaps
+/// (degenerate interval: all of it lands in t1's bin).
+void spread_busy(std::map<std::int64_t, ServiceWindow>& bins, double width,
+                 double t0, double t1, double busy_s) {
+  if (busy_s <= 0.0) return;
+  if (t1 <= t0) {
+    bin_at(bins, width, t1).gpu_busy_s += busy_s;
+    return;
+  }
+  const double rate = busy_s / (t1 - t0);
+  const auto b0 = static_cast<std::int64_t>(std::floor(t0 / width));
+  const auto b1 = static_cast<std::int64_t>(std::floor(t1 / width));
+  for (auto b = b0; b <= b1; ++b) {
+    const double lo = std::max(t0, static_cast<double>(b) * width);
+    const double hi = std::min(t1, static_cast<double>(b + 1) * width);
+    if (hi <= lo) continue;
+    bin_at(bins, width, lo).gpu_busy_s += rate * (hi - lo);
+  }
+}
+
 /// Decomposition signature for BrickKey::layout_id: brick dims + ghost
 /// pin the brick extents for a given volume (axes are < 2^20 voxels).
 std::uint64_t layout_signature(const volren::BrickLayout& layout) {
@@ -229,9 +260,42 @@ int RenderService::pick_next(double now, double* predicted_cost_s,
     }
   }
 
+  *predicted_cost_s = -1.0;
+
+  // Batch aging: a Batch head that has waited past batch_aging_s
+  // outranks every un-aged head regardless of policy (oldest arrival
+  // first, ties by frame_id), so a sustained interactive burst cannot
+  // starve batch work — its queue wait is bounded near the aging
+  // threshold. Only under interactive pressure: with no arrived
+  // Interactive head there is nothing to starve batch work, and the
+  // configured policy must keep ordering batch-vs-batch. Rate-limited
+  // to one aged admission per aging period: a deep backlog's heads are
+  // perpetually pre-aged (they waited behind their own siblings), and
+  // without the limit they would win every pick and invert priority.
+  // Aged heads never enter the preemption path (interactive_only): the
+  // single batch slot still applies.
+  if (interactive_arrived && !interactive_only && config_.batch_aging_s > 0.0 &&
+      now - last_batch_admission_s_ >= config_.batch_aging_s) {
+    int aged = -1;
+    PickKey aged_key{};
+    for (int s = 0; s < num_sessions(); ++s) {
+      const SessionState& session = *sessions_[static_cast<std::size_t>(s)];
+      if (session.profile.priority != Priority::Batch) continue;
+      if (session.queue.empty()) continue;
+      const Pending& head = session.queue.front();
+      const double arrival = head.effective_arrival_s();
+      if (arrival > now || now - arrival < config_.batch_aging_s) continue;
+      const PickKey key{arrival, head.frame_id};
+      if (aged < 0 || key < aged_key) {
+        aged = s;
+        aged_key = key;
+      }
+    }
+    if (aged >= 0) return aged;
+  }
+
   int best = -1;
   PickKey best_key{};
-  *predicted_cost_s = -1.0;
   for (int s = 0; s < num_sessions(); ++s) {
     const SessionState& session = *sessions_[static_cast<std::size_t>(s)];
     if (session.queue.empty()) continue;
@@ -381,9 +445,28 @@ void RenderService::open_window(double arrival_s) {
     gpu_busy_at_window_open_ = cluster_.total_gpu_busy();
     window_start_s_ = arrival_s;
     window_open_ = true;
+    // Windowed busy attribution starts here too.
+    busy_sample_t_ = cluster_.engine().now();
+    busy_sample_ = gpu_busy_at_window_open_;
   } else if (arrival_s < window_start_s_) {
     window_start_s_ = arrival_s;
   }
+}
+
+ServiceWindow& RenderService::window_at(double t) {
+  if (config_.stats_window_s <= 0.0) return window_sink_;
+  return bin_at(windows_, config_.stats_window_s, t);
+}
+
+void RenderService::sample_gpu_busy() {
+  const double now = cluster_.engine().now();
+  const double busy = cluster_.total_gpu_busy();
+  if (config_.stats_window_s > 0.0) {
+    spread_busy(windows_, config_.stats_window_s, busy_sample_t_, now,
+                busy - busy_sample_);
+  }
+  busy_sample_t_ = now;
+  busy_sample_ = busy;
 }
 
 void RenderService::calibrate(int session_index, const FrameRecord& record,
@@ -406,6 +489,7 @@ void RenderService::deliver_tile(ActiveFrame& active, int reducer) {
   SessionState& session = *sessions_[static_cast<std::size_t>(active.session)];
   session.tiles_delivered += 1;
   ++tiles_total_;
+  window_at(now).tiles += 1;
   if (session.tile_callback) {
     TileRecord tile;
     tile.session = active.session;
@@ -443,6 +527,11 @@ std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
   active->pending = std::move(session.queue.front());
   session.queue.pop_front();
   session.last_served_seq = ++serve_seq_;
+  // Any batch admission restarts the aging period (the aged-head
+  // override in pick_next is rate-limited against this stamp).
+  if (active->priority == Priority::Batch) {
+    last_batch_admission_s_ = cluster_.engine().now();
+  }
 
   FrameRecord& record = active->record;
   record.session = session_index;
@@ -453,9 +542,18 @@ std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
   // it; other policies never run the model.
   if (predicted_cost_s >= 0.0) record.predicted_cost_s = predicted_cost_s;
 
-  active->frame = volren::plan_frame(
-      cluster_, *active->pending.request.volume, active->pending.request.options,
-      make_staging_hook(active->pending), *active->pending.layout);
+  // The quantum scheduler owns barrier enforcement: per-reducer
+  // readiness (ServiceConfig::barrier_mode default) lets each tile's
+  // sort+reduce chain the moment its own inbox completes, so tiles
+  // stream and lanes free while other lanes still map. Monolithic
+  // keeps the request's own setting (the paper's schedule by default).
+  volren::RenderOptions options = active->pending.request.options;
+  if (config_.pipeline == PipelineMode::Quantum) {
+    options.barrier_mode = config_.barrier_mode;
+  }
+  active->frame = volren::plan_frame(cluster_, *active->pending.request.volume,
+                                     options, make_staging_hook(active->pending),
+                                     *active->pending.layout);
   return active;
 }
 
@@ -468,6 +566,9 @@ void RenderService::serve_one(int session_index, double arrival_floor_s,
   auto& engine = cluster_.engine();
   FrameRecord& record = active->record;
   record.start_s = engine.now();
+  // Zero-delta sample: closes any idle gap since the last completion
+  // so the frame's busy is not smeared back across it.
+  sample_gpu_busy();
   ActiveFrame* raw = active.get();
   // Tiles stream at their true completion times even in the monolithic
   // schedule — only preemption and prefetch are quantum-pipeline-only.
@@ -483,6 +584,8 @@ void RenderService::serve_one(int session_index, double arrival_floor_s,
   record.finish_s = engine.now();
   record.stats = std::move(result.stats);
   if (config_.keep_images) record.image = std::move(result.image);
+  window_at(record.finish_s).frames_finished += 1;
+  sample_gpu_busy();
 
   VRMR_DEBUG("service") << "session " << session_index << " frame "
                         << record.frame_id << " latency=" << record.latency_s()
@@ -530,8 +633,15 @@ void RenderService::admit(int session_index, double predicted_cost_s) {
   });
   // Sort and reduce quanta self-issue at their barriers: they are
   // per-reducer (tile) grained, and any contention with another
-  // frame's map quanta is arbitrated by the simulated resources.
+  // frame's map quanta is arbitrated by the simulated resources. Under
+  // PerReducer barriers (the default) a reducer's readiness is a
+  // scheduling event: its sort+reduce chain starts right then, tiles
+  // stream while other lanes still map, and idle lanes get a prefetch
+  // pass at the earliest point the widened overlap window opens.
   plan.set_eager_barriers(true);
+  plan.on_reducer_ready([this](int) {
+    if (draining_) pump(/*try_admission=*/false);
+  });
   plan.on_tile_done([this, raw](int r) { deliver_tile(*raw, r); });
   plan.on_finished([this, raw] { frame_finished(raw); });
   plan.start();
@@ -561,7 +671,10 @@ void RenderService::try_admit() {
       break;  // an interactive frame is already in flight
     }
     if (pick < 0) break;
-    if (batch_active) ++preemptions_;
+    if (batch_active) {
+      ++preemptions_;
+      window_at(now).preemptions += 1;
+    }
     admit(pick, predicted_cost_s);
   }
 }
@@ -629,9 +742,17 @@ bool RenderService::try_prefetch(int gpu) {
         const auto reg = volumes_.find(volume);
         const bool registration_live =
             reg != volumes_.end() && reg->second.id == key.volume_id;
-        if (registration_live && cache_ && cache_->prefetch(gpu, key, bytes)) {
-          ++bricks_prefetched_;
-          bytes_prefetched_ += bytes;
+        if (registration_live && cache_) {
+          // Count only actual admissions (a brick that became resident
+          // via demand staging while the transfer was in flight is a
+          // refresh, not an admission), so service- and cache-level
+          // prefetch telemetry reconcile exactly.
+          bool admitted = false;
+          (void)cache_->prefetch(gpu, key, bytes, &admitted);
+          if (admitted) {
+            ++bricks_prefetched_;
+            bytes_prefetched_ += bytes;
+          }
         }
         lane_busy_[static_cast<std::size_t>(gpu)] = 0;
         if (draining_) pump(/*try_admission=*/false);
@@ -679,7 +800,10 @@ void RenderService::pump(bool try_admission) {
       if (!chosen->render_started) {
         chosen->render_started = true;
         chosen->record.start_s = cluster_.engine().now();
+        // Zero-delta sample across any idle gap (see serve_one).
+        sample_gpu_busy();
       }
+      window_at(cluster_.engine().now()).quanta_issued += 1;
       chosen->frame->plan().issue_map_quantum(g);
       continue;
     }
@@ -714,6 +838,8 @@ void RenderService::frame_finished(ActiveFrame* active) {
   record.finish_s = cluster_.engine().now();
   record.stats = std::move(result.stats);
   if (config_.keep_images) record.image = std::move(result.image);
+  window_at(record.finish_s).frames_finished += 1;
+  sample_gpu_busy();
 
   VRMR_DEBUG("service") << "session " << active->session << " frame "
                         << record.frame_id << " latency=" << record.latency_s()
@@ -838,6 +964,28 @@ ServiceStats RenderService::stats() const {
   out.preemptions = preemptions_;
   out.bricks_prefetched = bricks_prefetched_;
   out.bytes_prefetched = bytes_prefetched_;
+
+  if (config_.stats_window_s > 0.0) {
+    // Fold GPU busy not yet attributed (work since the last frame
+    // completion, e.g. prefetch transfers) into a copy of the bins,
+    // then finalize per-window utilization.
+    std::map<std::int64_t, ServiceWindow> bins = windows_;
+    if (window_open_) {
+      spread_busy(bins, config_.stats_window_s, busy_sample_t_,
+                  cluster_.engine().now(),
+                  cluster_.total_gpu_busy() - busy_sample_);
+    }
+    const double capacity =
+        config_.stats_window_s * static_cast<double>(cluster_.total_gpus());
+    out.windows.reserve(bins.size());
+    for (auto& [bin, window] : bins) {
+      window.utilization =
+          capacity > 0.0
+              ? std::min(1.0, std::max(0.0, window.gpu_busy_s / capacity))
+              : 0.0;
+      out.windows.push_back(window);
+    }
+  }
 
   for (int s = 0; s < num_sessions(); ++s) {
     SessionStats summary = stats_for(s);

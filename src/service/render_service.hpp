@@ -66,6 +66,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -96,6 +98,37 @@ struct ServiceConfig {
   /// execution (tile streaming still active).
   PipelineMode pipeline = PipelineMode::Quantum;
 
+  /// Barrier enforcement for frames served under the Quantum pipeline
+  /// (overrides each request's RenderOptions::barrier_mode there;
+  /// Monolithic honours the request's own setting). PerReducer issues
+  /// each reducer's sort the moment its own inbox completes and chains
+  /// its reduce right after — same pixels, minimum time-to-first-tile
+  /// and earlier lane/frame completion for the scheduler.
+  mr::BarrierMode barrier_mode = mr::BarrierMode::PerReducer;
+
+  /// Batch aging: a queued Batch head that has waited at least this
+  /// long past its effective arrival competes ahead of Interactive
+  /// heads (oldest arrival wins, ties by frame_id), so a sustained
+  /// interactive burst cannot starve batch frames indefinitely —
+  /// batch queue wait is bounded near this value plus the interactive
+  /// work in flight when it ages. Aging only activates while an
+  /// arrived Interactive head is actually suppressing batch work, and
+  /// admits at most ONE batch frame per aging period (any batch
+  /// admission restarts the period) — a deep pre-aged backlog trickles
+  /// through at that rate instead of inverting priority.
+  /// Batch-vs-batch ordering stays with the configured policy. 0
+  /// disables aging (strict priority, the pre-aging behaviour).
+  /// Admitted batch frames still yield every lane to interactive
+  /// quanta at brick boundaries.
+  double batch_aging_s = 0.0;
+
+  /// Windowed service stats: bin width (simulated seconds) for the
+  /// per-window counters in ServiceStats::windows (frames finished,
+  /// quanta issued, preemptions, tiles, utilization), which expose
+  /// load and interference over time where the lifetime aggregates
+  /// average it away. 0 disables window tracking.
+  double stats_window_s = 1.0;
+
   /// Per-GPU brick residency cache (disable to reproduce the paper's
   /// stage-everything-every-frame behaviour).
   bool enable_brick_cache = true;
@@ -121,6 +154,29 @@ struct ServiceConfig {
   double cost_calibration_alpha = 0.25;
 };
 
+/// One bin of the windowed service counters: activity inside
+/// [start_s, start_s + window_s) of simulated time. Only bins with
+/// activity are materialized (sparse timeline).
+struct ServiceWindow {
+  double start_s = 0.0;
+  double window_s = 0.0;
+  int frames_finished = 0;
+  /// Stage+map quanta the scheduler issued (Quantum pipeline).
+  std::uint64_t quanta_issued = 0;
+  std::uint64_t preemptions = 0;
+  std::uint64_t tiles = 0;
+  /// GPU busy attributed to this window: busy deltas observed at frame
+  /// completions, spread uniformly over the interval since the
+  /// previous observation — exact in total, approximate within a
+  /// window (work is smeared across the interval, and the simulator
+  /// charges an operation's busy at its grant).
+  double gpu_busy_s = 0.0;
+  /// gpu_busy_s / (window_s x GPUs), clamped to [0, 1] (the smearing
+  /// above can locally overshoot capacity; totals stay exact via
+  /// gpu_busy_s).
+  double utilization = 0.0;
+};
+
 /// Service-wide statistics over every frame completed so far.
 struct ServiceStats {
   int frames_total = 0;
@@ -140,6 +196,11 @@ struct ServiceStats {
   std::uint64_t bricks_prefetched = 0;
   std::uint64_t bytes_prefetched = 0;
   BrickCacheStats cache;
+  /// Per-window counters (ServiceConfig::stats_window_s bins, sparse,
+  /// ascending start_s). Lifetime aggregates above average preemption
+  /// interference and the chaining win away; these expose them over
+  /// simulated time.
+  std::vector<ServiceWindow> windows;
   std::vector<SessionStats> sessions;  // open order, completed-only
   std::vector<FrameRecord> frames;     // completion order
 };
@@ -308,6 +369,21 @@ class RenderService final : public SessionBackend {
   void deliver_tile(ActiveFrame& active, int reducer);
   void deliver_frame(int session_index, const FrameRecord& record);
 
+  // --- windowed stats -----------------------------------------------------
+  /// The window bin containing simulated time `t` (no-op sink when
+  /// window tracking is disabled).
+  ServiceWindow& window_at(double t);
+  /// Fold the GPU-busy delta since the last sample into the window
+  /// bins, spread uniformly over [last sample, now] — called at each
+  /// frame start and completion. The full inter-sample interval is the
+  /// only sound base: the delta includes every in-flight frame's work
+  /// since the last observation, so clamping to one frame's span would
+  /// compress foreign busy into it and overshoot capacity. The start
+  /// samples are (near-)zero-delta: they close idle gaps between
+  /// serving bursts so busy never smears back across them (and no
+  /// bins materialize for the gap).
+  void sample_gpu_busy();
+
   // --- monolithic pipeline ------------------------------------------------
   void drain_monolithic(double arrival_floor_s);
   void serve_one(int session_index, double arrival_floor_s,
@@ -343,6 +419,9 @@ class RenderService final : public SessionBackend {
   std::uint64_t next_frame_id_ = 0;
   std::uint64_t serve_seq_ = 0;
   std::uint64_t layouts_built_ = 0;
+  /// Last Batch admission (any path): the aged-head override fires at
+  /// most once per batch_aging_s measured from here.
+  double last_batch_admission_s_ = std::numeric_limits<double>::lowest();
   std::vector<FrameRecord> completed_;  // completion order, lifetime
   double window_start_s_ = 0.0;  // first effective arrival served
   bool window_open_ = false;
@@ -364,6 +443,12 @@ class RenderService final : public SessionBackend {
   std::uint64_t preemptions_ = 0;
   std::uint64_t bricks_prefetched_ = 0;
   std::uint64_t bytes_prefetched_ = 0;
+
+  // Windowed stats (sparse bins keyed by floor(t / stats_window_s)).
+  std::map<std::int64_t, ServiceWindow> windows_;
+  ServiceWindow window_sink_;     // discard target when tracking is off
+  double busy_sample_t_ = 0.0;    // last GPU-busy sample point
+  double busy_sample_ = 0.0;      // cluster GPU busy at that point
 };
 
 }  // namespace vrmr::service

@@ -70,6 +70,7 @@ std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume
   config.partition = options.partition;
   config.sort = options.sort;
   config.reduce = options.reduce;
+  config.barrier_mode = options.barrier_mode;
   config.include_disk_io = options.include_disk_io;
   config.staging_hook = std::move(staging_hook);
 

@@ -49,6 +49,11 @@ struct RenderOptions {
   mr::PartitionStrategy partition = mr::PartitionStrategy::PixelRoundRobin;
   mr::SortPlacement sort = mr::SortPlacement::Auto;
   mr::ReducePlacement reduce = mr::ReducePlacement::Cpu;
+  /// Pipeline barrier enforcement (mr::BarrierMode): Global reproduces
+  /// the paper's frame-wide sync points; PerReducer issues each
+  /// reducer's sort the moment its own inbox completes and chains its
+  /// reduce right after — same pixels, minimum time-to-first-tile.
+  mr::BarrierMode barrier_mode = mr::BarrierMode::Global;
   /// Charge disk reads for every brick (out-of-core mode).
   bool include_disk_io = false;
 };

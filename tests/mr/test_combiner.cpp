@@ -87,12 +87,14 @@ struct RunResult {
 };
 
 RunResult run_sum_job(int gpus, std::uint32_t num_keys, bool with_combiner,
-                      std::unique_ptr<Combiner> (*make)() = nullptr) {
+                      std::unique_ptr<Combiner> (*make)() = nullptr,
+                      BarrierMode barrier_mode = BarrierMode::Global) {
   sim::Engine engine;
   cluster::Cluster cluster(engine, cluster::ClusterConfig::with_total_gpus(gpus));
   JobConfig cfg;
   cfg.value_size = sizeof(std::uint64_t);
   cfg.domain.num_keys = num_keys;
+  cfg.barrier_mode = barrier_mode;
   Job job(cluster, cfg);
   job.set_mapper_factory(
       [num_keys](int, gpusim::Device&) { return std::make_unique<ModuloMapper>(num_keys); });
@@ -147,6 +149,30 @@ TEST(Combiner, MayDropEverything) {
   EXPECT_TRUE(dropped.sums.empty());
   EXPECT_EQ(dropped.stats.combine_output_pairs, 0u);
   EXPECT_EQ(dropped.stats.bytes_net, 0u);
+}
+
+TEST(Combiner, DroppedSendsCascadeSafelyUnderPerReducerBarriers) {
+  // Every flush collapses to an empty payload, so every send resolves
+  // through the empty-payload path and every reducer's inbox ends
+  // empty. Under PerReducer barriers the final empty send can trigger
+  // a fully synchronous zero-pair sort+reduce cascade that finishes
+  // the frame — the routing/sort barrier stamps must land before that
+  // cascade so stage attribution stays sane (regression: t_routed was
+  // stamped after the cascade and sort_s absorbed the whole map span).
+  for (const BarrierMode mode : {BarrierMode::Global, BarrierMode::PerReducer}) {
+    const RunResult dropped = run_sum_job(4, 16, true, +[]() {
+      return std::unique_ptr<Combiner>(std::make_unique<DropAllCombiner>());
+    }, mode);
+    EXPECT_TRUE(dropped.sums.empty());
+    EXPECT_GT(dropped.stats.t_routed, 0.0) << to_string(mode);
+    EXPECT_GE(dropped.stats.t_sorted, dropped.stats.t_routed) << to_string(mode);
+    EXPECT_GE(dropped.stats.runtime_s, dropped.stats.t_sorted) << to_string(mode);
+    EXPECT_GE(dropped.stats.stage.sort_s, 0.0) << to_string(mode);
+    EXPECT_GE(dropped.stats.stage.reduce_s, 0.0) << to_string(mode);
+    // The sort phase of an all-empty frame is a zero-length cascade,
+    // not the whole pre-routing span.
+    EXPECT_LT(dropped.stats.stage.sort_s, dropped.stats.t_routed) << to_string(mode);
+  }
 }
 
 TEST(Combiner, WorksWithTinySendBuffers) {
