@@ -154,16 +154,16 @@ int main() {
                           "backlog depth\n");
   bench::maybe_print_csv("preemption_latency", table);
   // Machine-readable trajectory point: the deepest backlog's numbers.
-  bench::write_json_summary(
-      "preemption",
+  // Zero quantum p95 is a perfect run: serialize like the gate treats
+  // it (infinite speedup -> null in the JSON, not 0.0).
+  const double deepest_speedup =
+      deepest_quantum.p95 > 0.0 ? deepest_mono.p95 / deepest_quantum.p95
+                                : std::numeric_limits<double>::infinity();
+  bench::write_gate_summary(
+      "preemption", deepest_speedup, 2.0, bar_met,
       {{"backlog", static_cast<double>(backlogs.back())},
        {"wait_p95_monolithic_s", deepest_mono.p95},
        {"wait_p95_quantum_s", deepest_quantum.p95},
-       // Zero quantum p95 is a perfect run: serialize like the gate
-       // treats it (infinite speedup -> null in the JSON, not 0.0).
-       {"p95_speedup", deepest_quantum.p95 > 0.0
-                           ? deepest_mono.p95 / deepest_quantum.p95
-                           : std::numeric_limits<double>::infinity()},
        {"first_tile_gap_quantum_s", deepest_quantum.mean_first_tile_gap}});
   return bar_met ? 0 : 1;
 }

@@ -72,6 +72,20 @@ inline void write_json_summary(
   out << "\n}\n";
 }
 
+/// Gating benches all publish the same result triple — the measured
+/// speedup (or ratio), the threshold it is gated against, and whether
+/// the gate passed — so the CI summary step can parse one shape out of
+/// every BENCH_*.json. Appends {gate_speedup, gate_threshold,
+/// gate_pass (1/0)} to `metrics` and writes the summary.
+inline void write_gate_summary(
+    const std::string& name, double speedup, double threshold, bool pass,
+    std::vector<std::pair<std::string, double>> metrics) {
+  metrics.emplace_back("gate_speedup", speedup);
+  metrics.emplace_back("gate_threshold", threshold);
+  metrics.emplace_back("gate_pass", pass ? 1.0 : 0.0);
+  write_json_summary(name, metrics);
+}
+
 inline void maybe_print_csv(const std::string& name, const Table& table) {
   if (!csv_mode()) return;
   if (const char* path = csv_path()) {

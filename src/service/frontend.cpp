@@ -15,6 +15,13 @@ ServiceFrontend::ServiceFrontend(FrontendConfig config)
   VRMR_CHECK_MSG(config_.shards >= 1, "frontend needs at least one shard");
   VRMR_CHECK_MSG(config_.gpus_per_shard >= 1,
                  "frontend shards need at least one GPU");
+  VRMR_CHECK_MSG(config_.cache_policy_per_shard.empty() ||
+                     static_cast<int>(config_.cache_policy_per_shard.size()) ==
+                         config_.shards,
+                 "cache_policy_per_shard must be empty or name one policy "
+                 "per shard ("
+                     << config_.shards << "), got "
+                     << config_.cache_policy_per_shard.size());
   shards_.reserve(static_cast<std::size_t>(config_.shards));
   for (int s = 0; s < config_.shards; ++s) {
     Shard shard;
@@ -23,8 +30,13 @@ ServiceFrontend::ServiceFrontend(FrontendConfig config)
         *shard.engine,
         cluster::ClusterConfig::with_total_gpus(
             config_.gpus_per_shard, config_.hw, config_.max_gpus_per_node));
+    ServiceConfig service_config = config_.service;
+    if (!config_.cache_policy_per_shard.empty()) {
+      service_config.cache_policy =
+          config_.cache_policy_per_shard[static_cast<std::size_t>(s)];
+    }
     shard.service =
-        std::make_unique<RenderService>(*shard.cluster, config_.service);
+        std::make_unique<RenderService>(*shard.cluster, service_config);
     shards_.push_back(std::move(shard));
   }
 }

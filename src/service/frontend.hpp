@@ -45,6 +45,13 @@ struct FrontendConfig {
   int max_gpus_per_node = 4;
   /// Per-shard RenderService configuration (policy, cache, ...).
   ServiceConfig service;
+  /// Optional per-shard brick-cache policy override: when non-empty it
+  /// must name one policy per shard, and shard i's RenderService runs
+  /// with cache_policy_per_shard[i] instead of service.cache_policy —
+  /// e.g. Arc on the shards that host mixed interactive+batch traffic
+  /// while a batch-only shard keeps plain Lru. Empty (default): every
+  /// shard uses service.cache_policy.
+  std::vector<CachePolicy> cache_policy_per_shard;
 };
 
 struct ShardStats {

@@ -99,7 +99,7 @@ RenderService::RenderService(cluster::Cluster& cluster, ServiceConfig config)
             ? config_.cache_capacity_override
             : BrickCache::capacity_for(cluster_.config().hw.gpu,
                                        config_.cache_reserve_bytes);
-    cache_.emplace(cluster_.total_gpus(), capacity);
+    cache_.emplace(cluster_.total_gpus(), capacity, config_.cache_policy);
   }
   lane_busy_.assign(static_cast<std::size_t>(cluster_.total_gpus()), 0);
 }

@@ -133,6 +133,13 @@ struct ServiceConfig {
   /// stage-everything-every-frame behaviour).
   bool enable_brick_cache = true;
 
+  /// Admission/eviction policy for the brick cache. Lru (default) is
+  /// the original recency-only cache; Arc is the ghost-list adaptive
+  /// replacement cache — scan-resistant, so a Batch session's one-pass
+  /// full-volume sweep cannot flush an Interactive session's
+  /// twice-touched working set (bench_cache_policies gates the win).
+  CachePolicy cache_policy = CachePolicy::Lru;
+
   /// Stage predicted next bricks of orbit-hinted sessions on lanes the
   /// current frame leaves idle (Quantum pipeline with cache only).
   bool enable_prefetch = true;

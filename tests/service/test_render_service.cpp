@@ -458,7 +458,10 @@ TEST(RenderService, ChangedDimsWithoutInvalidationRejected) {
   EXPECT_EQ(h.service->registration_generation(), before + 1);
   s.submit(request_for(*slot, 0.0));
   h.service->drain();
-  const FrameRecord& fresh = h.service->stats().frames.back();
+  // frames() is the zero-copy view — stats() returns by value, and a
+  // reference into that temporary would dangle past the full expression
+  // (caught by the ASan CI job).
+  const FrameRecord& fresh = h.service->frames().back();
   EXPECT_EQ(fresh.cache_hits, 0u);
 
   // A frame QUEUED before the reshape carries a layout built from the
