@@ -117,6 +117,15 @@ RunResult run(service::CachePolicy policy, int gpus) {
   config.cache_capacity_override = capacity;
   config.keep_images = true;
   service::RenderService service(cluster, config);
+  // VRMR_TRACE: each policy run is its own trace process (independent
+  // simulated timelines).
+  if (obs::TraceRecorder* recorder = bench::trace_recorder()) {
+    static int next_pid = 0;
+    service.set_trace(recorder, next_pid);
+    recorder->set_process_name(next_pid, std::string(to_string(policy)) +
+                                             " cache A/B");
+    ++next_pid;
+  }
 
   service::Session live =
       service.open_session("orbit", service::Priority::Interactive);
@@ -257,5 +266,6 @@ int main() {
        {"batch_makespan_lru_s", lru.batch_makespan_s},
        {"batch_makespan_arc_s", arc.batch_makespan_s},
        {"batch_makespan_ratio", makespan_ratio}});
+  bench::write_trace();
   return gate_met ? 0 : 1;
 }

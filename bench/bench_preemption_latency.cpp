@@ -65,6 +65,16 @@ RunResult run(service::PipelineMode mode, int backlog, int gpus) {
   // barrier-mode comparison.
   config.barrier_mode = mr::BarrierMode::Global;
   service::RenderService service(cluster, config);
+  // VRMR_TRACE: each (pipeline, backlog) run is its own trace process
+  // (independent simulated timelines).
+  if (obs::TraceRecorder* recorder = bench::trace_recorder()) {
+    static int next_pid = 0;
+    service.set_trace(recorder, next_pid);
+    recorder->set_process_name(next_pid, std::string(to_string(mode)) +
+                                             " backlog " +
+                                             std::to_string(backlog));
+    ++next_pid;
+  }
 
   service::Session batch = service.open_session("batch", service::Priority::Batch);
   service::Session live =
@@ -165,5 +175,6 @@ int main() {
        {"wait_p95_monolithic_s", deepest_mono.p95},
        {"wait_p95_quantum_s", deepest_quantum.p95},
        {"first_tile_gap_quantum_s", deepest_quantum.mean_first_tile_gap}});
+  bench::write_trace();
   return bar_met ? 0 : 1;
 }

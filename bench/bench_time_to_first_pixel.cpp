@@ -17,6 +17,8 @@
 // scale, with pixel-identical frames in both modes. A BENCH_ttfp.json
 // summary records the headline metrics for cross-PR trajectory.
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -42,7 +44,8 @@ struct Scene {
   bool headline = false;  // the acceptance-gated row
 };
 
-ModeResult run_mode(mr::BarrierMode mode, const Scene& scene) {
+ModeResult run_mode(mr::BarrierMode mode, const Scene& scene,
+                    bool footprints = true) {
   const volren::Volume volume =
       volren::datasets::by_name(scene.dataset, scene.dims);
   sim::Engine engine;
@@ -57,6 +60,18 @@ ModeResult run_mode(mr::BarrierMode mode, const Scene& scene) {
   options.elevation = 0.3f;
   options.partition = mr::PartitionStrategy::Striped;
   options.barrier_mode = mode;
+  options.screen_footprints = footprints;
+  // VRMR_TRACE: each plan-level run records as its own trace process
+  // (runs use independent simulated timelines).
+  if (obs::TraceRecorder* recorder = bench::trace_recorder()) {
+    static int next_pid = 0;
+    options.trace.recorder = recorder;
+    options.trace.pid = next_pid++;
+    recorder->set_process_name(
+        options.trace.pid,
+        scene.dataset + " " + to_string(mode) +
+            (footprints ? "" : " no-footprints"));
+  }
 
   const volren::BrickLayout layout =
       volren::choose_layout(volume, options, scene.gpus);
@@ -65,12 +80,21 @@ ModeResult run_mode(mr::BarrierMode mode, const Scene& scene) {
   const mr::JobStats stats = frame->plan().run_to_completion();
 
   ModeResult result;
-  result.first_tile_s = frame->plan().tile_finish_s(0);
-  result.last_tile_s = result.first_tile_s;
-  for (int r = 1; r < frame->num_tiles(); ++r) {
+  // First tile = first tile with contributing mappers: a stripe no
+  // brick projects into is background known before any map quantum
+  // (with footprints it finishes at ~t0), which would make the TTFP
+  // ratio measure culling instead of pixel latency.
+  result.first_tile_s = std::numeric_limits<double>::infinity();
+  result.last_tile_s = 0.0;
+  for (int r = 0; r < frame->num_tiles(); ++r) {
     const double t = frame->plan().tile_finish_s(r);
-    result.first_tile_s = std::min(result.first_tile_s, t);
+    if (frame->plan().reducer_contributors(r) > 0) {
+      result.first_tile_s = std::min(result.first_tile_s, t);
+    }
     result.last_tile_s = std::max(result.last_tile_s, t);
+  }
+  if (!std::isfinite(result.first_tile_s)) {  // fully culled frame
+    result.first_tile_s = result.last_tile_s;
   }
   result.runtime_s = stats.runtime_s;
   result.stats = stats;
@@ -122,6 +146,24 @@ int main() {
       headline_chained = chained.first_tile_s;
       headline_spread_global = global.last_tile_s - global.first_tile_s;
       headline_spread_chained = chained.last_tile_s - chained.first_tile_s;
+      // Per-(mapper, reducer) final-flush readiness rides on screen
+      // footprints: each pair's outbox flushes at its last contributing
+      // brick's partition instead of the mapper's last brick overall.
+      // That must never regress TTFP (same flush count per pair, each
+      // at an earlier-or-equal time) — and pixels must be identical
+      // (footprints are exactly the kernel's launch rects).
+      const ModeResult no_fp =
+          run_mode(mr::BarrierMode::PerReducer, scene, /*footprints=*/false);
+      const volren::ImageDiff fp_diff =
+          volren::compare_images(no_fp.image, chained.image);
+      const bool fp_ok = fp_diff.max_abs == 0.0 &&
+                         chained.first_tile_s <= no_fp.first_tile_s;
+      if (!fp_ok) {
+        std::cout << "ACCEPTANCE MISSED: screen footprints regressed TTFP ("
+                  << chained.first_tile_s << "s with vs " << no_fp.first_tile_s
+                  << "s without) or changed pixels\n";
+      }
+      gate_met = gate_met && fp_ok;
     } else {
       gate_met = gate_met && identical;
     }
@@ -152,5 +194,6 @@ int main() {
        {"first_tile_per_reducer_s", headline_chained},
        {"tile_spread_global_s", headline_spread_global},
        {"tile_spread_per_reducer_s", headline_spread_chained}});
+  bench::write_trace();
   return gate_met ? 0 : 1;
 }

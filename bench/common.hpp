@@ -17,7 +17,9 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/trace.hpp"
 #include "sim/engine.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 #include "util/units.hpp"
 #include "volren/datasets.hpp"
@@ -44,6 +46,28 @@ inline bool csv_mode() {
   return (env != nullptr && env[0] == '1') || csv_path() != nullptr;
 }
 
+/// VRMR_TRACE=<path>: flight-recorder export for a bench run. The
+/// benches attach this recorder to their serving layers and write the
+/// Chrome trace-event JSON at exit (open in Perfetto). Unset (the
+/// default, and how the gates run in CI) returns nullptr — the benches
+/// then exercise and measure the recorder-off zero-cost path.
+inline obs::TraceRecorder* trace_recorder() {
+  const char* env = std::getenv("VRMR_TRACE");
+  if (env == nullptr || env[0] == '\0') return nullptr;
+  static obs::TraceRecorder recorder;
+  return &recorder;
+}
+
+/// Export the VRMR_TRACE trace (no-op when unset); call once at exit.
+inline void write_trace() {
+  const char* env = std::getenv("VRMR_TRACE");
+  if (env == nullptr || env[0] == '\0') return;
+  if (trace_recorder()->write_file(env)) {
+    std::cout << "trace: " << trace_recorder()->size() << " events -> " << env
+              << "\n";
+  }
+}
+
 /// Machine-readable bench summary: writes BENCH_<name>.json (cwd, or
 /// $VRMR_BENCH_JSON_DIR when set) with the scale tag and a flat metric
 /// map, so the perf trajectory stays comparable across PRs without
@@ -57,7 +81,7 @@ inline void write_json_summary(
                                : "BENCH_" + name + ".json";
   std::ofstream out(path);
   if (!out) {
-    std::cerr << "write_json_summary: cannot open " << path << "\n";
+    VRMR_ERROR("bench") << "write_json_summary: cannot open " << path;
     return;
   }
   out.precision(17);
@@ -91,7 +115,8 @@ inline void maybe_print_csv(const std::string& name, const Table& table) {
   if (const char* path = csv_path()) {
     std::ofstream out(path, std::ios::app);
     if (!out) {
-      std::cerr << "VRMR_CSV_PATH: cannot open " << path << " for append\n";
+      VRMR_ERROR("bench") << "VRMR_CSV_PATH: cannot open " << path
+                          << " for append";
       return;
     }
     out << "--- csv: " << name << " ---\n" << table.to_csv() << "--- end csv ---\n";

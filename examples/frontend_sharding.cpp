@@ -30,6 +30,14 @@ int main(int argc, char** argv) {
   config.service.policy = service::SchedulingPolicy::RoundRobin;
   service::ServiceFrontend frontend(config);
 
+  // VRMR_TRACE=<path>: flight-recorder export of the whole farm —
+  // shard i records as trace process i; open the file in Perfetto.
+  obs::TraceRecorder recorder;
+  const char* trace_path = std::getenv("VRMR_TRACE");
+  if (trace_path != nullptr && trace_path[0] != '\0') {
+    frontend.set_trace(&recorder);
+  }
+
   volren::RenderOptions options;
   options.image_width = 128;
   options.image_height = 128;
@@ -94,5 +102,10 @@ int main(int argc, char** argv) {
             << "carol hit " << Table::num(100.0 * carol.stats().cache_hit_rate(), 1)
             << "% of her bricks warm on shard " << frontend.shard_of(carol)
             << " (alice's)\n";
+  if (trace_path != nullptr && trace_path[0] != '\0' &&
+      recorder.write_file(trace_path)) {
+    std::cout << "trace: " << recorder.size() << " events -> " << trace_path
+              << "\n";
+  }
   return 0;
 }

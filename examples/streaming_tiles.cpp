@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "vrmr.hpp"
+#include "util/log.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
@@ -104,7 +105,8 @@ int main(int argc, char** argv) {
     const bool streamed_early = gpus == 1 ? frame.first_tile_s <= frame.finish_s
                                           : frame.first_tile_s < frame.finish_s;
     if (frame.tiles != gpus || !streamed_early) {
-      std::cerr << "tile streaming violated for frame " << frame.frame_id << "\n";
+      VRMR_ERROR("example") << "tile streaming violated for frame "
+                            << frame.frame_id;
       return 1;
     }
   }

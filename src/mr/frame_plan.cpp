@@ -15,6 +15,11 @@ struct FramePlan::GpuState {
   // Streaming send buffers, one per reducer (§3.1.2 buffered sends).
   std::vector<KvBuffer> outbox;
   std::unique_ptr<Combiner> combiner;  // optional mapper-side partial reduce
+  /// Per-reducer count of this GPU's chunks whose footprint owner mask
+  /// includes that reducer. Decremented as each chunk's partition
+  /// completes; hitting zero finalizes the (mapper, reducer) pair
+  /// (pair_final) — the per-pair refinement of the final flush.
+  std::vector<int> contrib;
   int pending_partitions = 0;  // partition tasks still queued on the CPU
   bool lane_busy = false;      // a stage+map quantum currently in flight
   bool issued_all = false;     // every chunk has entered the pipeline
@@ -26,11 +31,19 @@ struct FramePlan::ReducerState {
   KvBuffer inbox;
   SortedGroups groups;
   /// Sends flushed toward this reducer whose payloads have not landed
-  /// yet (combine + fabric transit). With routing_resolved_, a zero
-  /// here means the inbox is complete — the PerReducer readiness.
+  /// yet (combine + fabric transit). With final_pairs == num GPUs, a
+  /// zero here means the inbox is complete — the PerReducer readiness.
   std::uint64_t sends_pending = 0;
+  /// (mapper, reducer) pairs finalized toward this reducer: mappers
+  /// that have partitioned their last chunk whose footprint could
+  /// contribute here. Without footprints a mapper finalizes all its
+  /// pairs at its final flush, which makes this gate equivalent to the
+  /// old all-mappers routing_resolved_ gate.
+  int final_pairs = 0;
   bool ready = false;        // sort quantum issuable (mode-specific)
   double ready_s = 0.0;      // absolute engine time ready flipped
+  double sort_issue_s = 0.0; // absolute engine time sort was issued
+  double sort_done_s = 0.0;  // absolute engine time sort completed
   bool sort_issued = false;
   bool sort_completed = false;
   bool reduce_issued = false;
@@ -56,6 +69,16 @@ void FramePlan::add_chunk(std::unique_ptr<Chunk> chunk, int gpu) {
                            << " B); brick the input smaller");
   chunks_.push_back(std::move(chunk));
   chunk_gpu_.push_back(gpu < 0 ? -1 : gpu);
+  footprints_.push_back(Footprint{});
+}
+
+void FramePlan::set_chunk_footprint(int chunk_index, int x0, int y0, int x1,
+                                    int y1) {
+  VRMR_CHECK_MSG(!started_, "cannot set footprints after start()");
+  VRMR_CHECK(chunk_index >= 0 &&
+             chunk_index < static_cast<int>(footprints_.size()));
+  footprints_[static_cast<std::size_t>(chunk_index)] =
+      Footprint{x0, y0, x1, y1, true};
 }
 
 void FramePlan::start() {
@@ -82,9 +105,37 @@ void FramePlan::start() {
     }
     gpus_.push_back(std::move(state));
   }
+  // Per-chunk conservative reducer owner masks: the partitioner's owner
+  // set of the chunk's screen footprint; all-ones without a footprint.
+  std::uint64_t culled = 0;
+  chunk_masks_.assign(chunks_.size(), {});
+  for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    const Footprint& fp = footprints_[i];
+    auto& mask = chunk_masks_[i];
+    if (!fp.set) {
+      mask.assign(static_cast<std::size_t>(num_gpus), 1);
+    } else if (fp.x1 <= fp.x0 || fp.y1 <= fp.y0) {
+      mask.assign(static_cast<std::size_t>(num_gpus), 0);  // off-screen
+    } else {
+      partitioner_->owners_in_rect(fp.x0, fp.y0, fp.x1, fp.y1, mask);
+    }
+  }
+
   int deal = 0;
   for (std::size_t i = 0; i < chunks_.size(); ++i) {
+    // Dealing positions advance for EVERY chunk, culled or not, so the
+    // brick -> GPU mapping (and thus residency-cache hits) is identical
+    // with and without footprints.
     const int g = chunk_gpu_[i] >= 0 ? chunk_gpu_[i] : (deal++ % num_gpus);
+    const auto& mask = chunk_masks_[i];
+    const bool on_screen =
+        std::any_of(mask.begin(), mask.end(), [](std::uint8_t m) { return m != 0; });
+    if (!on_screen) {
+      // Empty footprint: the kernel's launch rect is empty, it can emit
+      // nothing — skip staging and mapping entirely.
+      ++culled;
+      continue;
+    }
     gpus_[static_cast<std::size_t>(g)]->chunk_indices.push_back(static_cast<int>(i));
   }
 
@@ -103,6 +154,7 @@ void FramePlan::start() {
   stats_.num_gpus = num_gpus;
   stats_.num_nodes = cluster_.num_nodes();
   stats_.num_chunks = static_cast<int>(chunks_.size());
+  stats_.chunks_culled = culled;
   stats_.per_gpu.resize(static_cast<std::size_t>(num_gpus));
   stats_.per_reducer.resize(static_cast<std::size_t>(num_gpus));
 
@@ -114,14 +166,64 @@ void FramePlan::start() {
   sorts_remaining_ = num_gpus;
   reduces_remaining_ = num_gpus;
 
-  // GPUs that were dealt no chunks retire their mapper immediately —
-  // their (empty) final flush cannot complete routing on its own
-  // because some other GPU holds chunks.
+  // Per-(mapper, reducer) contribution counts, and the pairs that are
+  // final before any work runs (chunkless GPUs; reducers outside every
+  // footprint dealt to a GPU).
+  bool any_reducer_final_at_start = false;
+  reducer_contributors_.assign(static_cast<std::size_t>(num_gpus), 0);
   for (int g = 0; g < num_gpus; ++g) {
     auto& gs = *gpus_[static_cast<std::size_t>(g)];
-    if (gs.chunk_indices.empty()) {
-      gs.issued_all = true;
-      maybe_final_flush(g);
+    gs.contrib.assign(static_cast<std::size_t>(num_gpus), 0);
+    for (const int ci : gs.chunk_indices) {
+      const auto& mask = chunk_masks_[static_cast<std::size_t>(ci)];
+      for (int r = 0; r < num_gpus; ++r) {
+        gs.contrib[static_cast<std::size_t>(r)] += mask[static_cast<std::size_t>(r)];
+      }
+    }
+    for (int r = 0; r < num_gpus; ++r) {
+      if (gs.contrib[static_cast<std::size_t>(r)] == 0) {
+        auto& rs = *reducers_[static_cast<std::size_t>(r)];
+        if (++rs.final_pairs == num_gpus) any_reducer_final_at_start = true;
+      } else {
+        ++reducer_contributors_[static_cast<std::size_t>(r)];
+      }
+    }
+  }
+
+  // GPUs that were dealt no chunks retire their mapper immediately —
+  // their (empty) final flush cannot complete routing on its own
+  // because some other GPU holds chunks. The exception is a fully
+  // culled frame (every chunk off-screen): retiring the last mapper
+  // would then cascade sort+reduce and finish the frame synchronously
+  // INSIDE start(), breaking the "issues nothing" contract drivers
+  // rely on — defer the retire sweep to a fresh engine event.
+  const bool all_culled = std::all_of(
+      gpus_.begin(), gpus_.end(),
+      [](const std::unique_ptr<GpuState>& gs) { return gs->chunk_indices.empty(); });
+  if (all_culled) {
+    cluster_.engine().schedule_after(0.0, [this] {
+      for (int g = 0; g < static_cast<int>(gpus_.size()); ++g) {
+        auto& gs = *gpus_[static_cast<std::size_t>(g)];
+        gs.issued_all = true;
+        maybe_final_flush(g);
+      }
+    });
+  } else {
+    for (int g = 0; g < num_gpus; ++g) {
+      auto& gs = *gpus_[static_cast<std::size_t>(g)];
+      if (gs.chunk_indices.empty()) {
+        gs.issued_all = true;
+        maybe_final_flush(g);
+      }
+    }
+    // Reducers no footprint can reach are ready before any map quantum
+    // runs — deferred for the same issues-nothing reason.
+    if (per_reducer_barriers() && any_reducer_final_at_start) {
+      cluster_.engine().schedule_after(0.0, [this] {
+        for (int r = 0; r < static_cast<int>(reducers_.size()); ++r) {
+          maybe_reducer_ready(r);
+        }
+      });
     }
   }
 }
@@ -145,6 +247,12 @@ void FramePlan::issue_map_quantum(int gpu) {
   VRMR_CHECK_MSG(!gs.lane_busy, "gpu " << gpu << " lane already busy");
   gs.lane_busy = true;
   const int ci = gs.chunk_indices[gs.cursor++];
+  if (auto* tr = config_.trace.recorder) {
+    tr->begin(cluster_.engine().now(), config_.trace.pid, gpu, "map", "map",
+              {{"chunk", chunks_[static_cast<std::size_t>(ci)]->label()},
+               {"session", std::to_string(config_.trace.session)},
+               {"frame", std::to_string(config_.trace.frame_id)}});
+  }
   begin_staging(gpu, ci);
 }
 
@@ -214,13 +322,13 @@ void FramePlan::after_h2d(int g, int chunk_index) {
   stats_.gpu_busy_s += duration;
 
   cluster_.gpu_stream(g).acquire(
-      duration, [this, g, out](sim::SimTime, sim::SimTime end) {
+      duration, [this, g, chunk_index, out](sim::SimTime, sim::SimTime end) {
         stats_.t_map_done = std::max(stats_.t_map_done, end - t0_);
-        after_kernel(g, out);
+        after_kernel(g, chunk_index, out);
       });
 }
 
-void FramePlan::after_kernel(int g, std::shared_ptr<KvBuffer> out) {
+void FramePlan::after_kernel(int g, int chunk_index, std::shared_ptr<KvBuffer> out) {
   // D2H of the emitted pairs (fragments + placeholders — placeholders
   // are still resident on the device at this point, §3.1.1).
   const int node = cluster_.node_of_gpu(g);
@@ -231,7 +339,7 @@ void FramePlan::after_kernel(int g, std::shared_ptr<KvBuffer> out) {
   stats_.gpu_busy_s += duration;
   const std::array<sim::Resource*, 2> rs = {&cluster_.pcie(node), &cluster_.gpu_stream(g)};
   sim::Resource::acquire_multi(
-      rs, duration, [this, g, node, out](sim::SimTime, sim::SimTime) {
+      rs, duration, [this, g, node, chunk_index, out](sim::SimTime, sim::SimTime) {
         // GPU is free again: the quantum ends here (the paper's overlap
         // of communication with further ray casting) while the CPU
         // partitions this chunk's output in parallel.
@@ -242,8 +350,8 @@ void FramePlan::after_kernel(int g, std::shared_ptr<KvBuffer> out) {
             cluster_.config().hw.cpu.partition_rate_pairs_per_s;
         stats_.cpu_busy_s += partition_time;
         cluster_.cpu(node).acquire(partition_time,
-                                   [this, g, out](sim::SimTime, sim::SimTime) {
-                                     partition_and_send(g, out);
+                                   [this, g, chunk_index, out](sim::SimTime, sim::SimTime) {
+                                     partition_and_send(g, chunk_index, out);
                                    });
         lane_freed(g);
       });
@@ -252,6 +360,9 @@ void FramePlan::after_kernel(int g, std::shared_ptr<KvBuffer> out) {
 void FramePlan::lane_freed(int g) {
   auto& gs = *gpus_[static_cast<std::size_t>(g)];
   gs.lane_busy = false;
+  if (auto* tr = config_.trace.recorder) {
+    tr->end(cluster_.engine().now(), config_.trace.pid, g);  // closes "map"
+  }
   if (gs.cursor >= gs.chunk_indices.size()) {
     gs.issued_all = true;
     maybe_final_flush(g);
@@ -262,10 +373,12 @@ void FramePlan::lane_freed(int g) {
   }
 }
 
-void FramePlan::partition_and_send(int g, std::shared_ptr<KvBuffer> out) {
+void FramePlan::partition_and_send(int g, int chunk_index,
+                                   std::shared_ptr<KvBuffer> out) {
   auto& gs = *gpus_[static_cast<std::size_t>(g)];
   const int num_reducers = static_cast<int>(reducers_.size());
   auto& pg = stats_.per_gpu[static_cast<std::size_t>(g)];
+  const auto& mask = chunk_masks_[static_cast<std::size_t>(chunk_index)];
 
   for (std::size_t i = 0; i < out->size(); ++i) {
     const std::uint32_t key = out->key(i);
@@ -278,8 +391,11 @@ void FramePlan::partition_and_send(int g, std::shared_ptr<KvBuffer> out) {
                    "emitted key " << key << " outside dense domain [0, "
                                   << config_.domain.num_keys << ")");
     ++stats_.fragments;
-    gs.outbox[static_cast<std::size_t>(partitioner_->owner(key))].append(key,
-                                                                         out->value(i));
+    const int owner = partitioner_->owner(key);
+    // Footprint conservativeness: every emitted key must belong to a
+    // reducer the chunk's declared footprint admits.
+    VRMR_DCHECK(mask[static_cast<std::size_t>(owner)] != 0);
+    gs.outbox[static_cast<std::size_t>(owner)].append(key, out->value(i));
   }
 
   // Buffered streaming sends (§3.1.2): flush any destination buffer
@@ -292,8 +408,41 @@ void FramePlan::partition_and_send(int g, std::shared_ptr<KvBuffer> out) {
 
   --partitions_in_flight_;
   --gs.pending_partitions;
+
+  // Per-pair finality: this was the last of g's chunks able to reach r.
+  // Flush-only here; readiness marking waits until after the barrier
+  // bookkeeping below so that when this completion also resolves the
+  // whole routing barrier, t_routed is stamped before any zero-pair
+  // cascade a readiness mark could trigger (same stamp-before-readiness
+  // ordering maybe_finish_routing documents).
+  bool any_pair_final = false;
+  for (int r = 0; r < num_reducers; ++r) {
+    if (mask[static_cast<std::size_t>(r)] &&
+        --gs.contrib[static_cast<std::size_t>(r)] == 0) {
+      any_pair_final = true;
+      pair_final(g, r);
+    }
+  }
+
   maybe_final_flush(g);
   maybe_finish_routing();
+
+  if (any_pair_final && per_reducer_barriers()) {
+    for (int r = 0; r < num_reducers; ++r) {
+      if (mask[static_cast<std::size_t>(r)] &&
+          gs.contrib[static_cast<std::size_t>(r)] == 0) {
+        maybe_reducer_ready(r);
+      }
+    }
+  }
+}
+
+void FramePlan::pair_final(int g, int r) {
+  auto& rs = *reducers_[static_cast<std::size_t>(r)];
+  ++rs.final_pairs;
+  // Early flush only under PerReducer barriers: Global mode keeps the
+  // paper's message schedule (threshold + final flush) event-for-event.
+  if (per_reducer_barriers()) flush_outbox(g, r);
 }
 
 void FramePlan::flush_outbox(int g, int r) {
@@ -307,6 +456,17 @@ void FramePlan::flush_outbox(int g, int r) {
   // and reducer r's inbox open for this payload specifically.
   ++sends_in_flight_;
   ++reducers_[static_cast<std::size_t>(r)]->sends_pending;
+
+  std::uint64_t trace_id = 0;
+  if (auto* tr = config_.trace.recorder) {
+    trace_id = tr->next_async_id();
+    tr->async_begin(cluster_.engine().now(), config_.trace.pid, trace_id, "send",
+                    "send",
+                    {{"from", std::to_string(g)},
+                     {"to", std::to_string(r)},
+                     {"pairs", std::to_string(payload->size())},
+                     {"frame", std::to_string(config_.trace.frame_id)}});
+  }
 
   if (gs.combiner != nullptr) {
     // Mapper-side partial reduce: group this buffer by key and let the
@@ -331,19 +491,24 @@ void FramePlan::flush_outbox(int g, int r) {
     stats_.cpu_busy_s += duration;
     const int node = cluster_.node_of_gpu(g);
     cluster_.cpu(node).acquire(duration,
-                               [this, g, r, combined](sim::SimTime, sim::SimTime) {
-                                 send_payload(g, r, combined);
+                               [this, g, r, combined, trace_id](sim::SimTime, sim::SimTime) {
+                                 send_payload(g, r, combined, trace_id);
                                });
     return;
   }
-  send_payload(g, r, payload);
+  send_payload(g, r, payload, trace_id);
 }
 
-void FramePlan::send_payload(int g, int r, std::shared_ptr<KvBuffer> payload) {
+void FramePlan::send_payload(int g, int r, std::shared_ptr<KvBuffer> payload,
+                             std::uint64_t send_trace_id) {
   if (payload->empty()) {
     // A combiner may legitimately collapse a buffer to nothing.
     --sends_in_flight_;
     --reducers_[static_cast<std::size_t>(r)]->sends_pending;
+    if (auto* tr = config_.trace.recorder) {
+      tr->async_end(cluster_.engine().now(), config_.trace.pid, send_trace_id,
+                    "send", "send");
+    }
     // Barrier bookkeeping first: if this was the last send, the
     // routing barrier stamps (and sweeps readiness, r included) before
     // any zero-pair cascade this reducer's readiness could trigger.
@@ -364,10 +529,14 @@ void FramePlan::send_payload(int g, int r, std::shared_ptr<KvBuffer> payload) {
                          static_cast<double>(bytes) /
                              cluster_.fabric().model().bandwidth_Bps;
   }
-  cluster_.fabric().send(src_node, dst_node, bytes, [this, r, payload] {
+  cluster_.fabric().send(src_node, dst_node, bytes, [this, r, payload, send_trace_id] {
     reducers_[static_cast<std::size_t>(r)]->inbox.append_buffer(*payload);
     --sends_in_flight_;
     --reducers_[static_cast<std::size_t>(r)]->sends_pending;
+    if (auto* tr = config_.trace.recorder) {
+      tr->async_end(cluster_.engine().now(), config_.trace.pid, send_trace_id,
+                    "send", "send");
+    }
     // Barrier bookkeeping first (see the empty-payload branch); the
     // drain transition's sweep still marks this reducer ready before
     // on_sorts_ready fires, preserving the ready-then-sorts_ready
@@ -431,9 +600,17 @@ void FramePlan::maybe_finish_routing() {
 }
 
 void FramePlan::maybe_reducer_ready(int r) {
-  if (!per_reducer_barriers() || !routing_resolved_) return;
+  if (!per_reducer_barriers()) return;
   auto& rs = *reducers_[static_cast<std::size_t>(r)];
-  if (rs.ready || rs.sends_pending != 0) return;
+  // Ready when every (mapper, r) pair is final — each mapper has
+  // partitioned (and flushed) the last chunk that could reach r — and
+  // every flushed send has landed. Without footprints, pairs finalize
+  // at each mapper's final flush, making this the old "all mappers
+  // finished partitioning" gate exactly.
+  if (rs.ready || rs.final_pairs != static_cast<int>(gpus_.size()) ||
+      rs.sends_pending != 0) {
+    return;
+  }
   mark_reducer_ready(r);
   if (greedy_ || eager_barriers_) issue_sort_quantum(r);
 }
@@ -442,6 +619,12 @@ void FramePlan::mark_reducer_ready(int r) {
   auto& rs = *reducers_[static_cast<std::size_t>(r)];
   rs.ready = true;
   rs.ready_s = cluster_.engine().now();
+  if (auto* tr = config_.trace.recorder) {
+    tr->instant(rs.ready_s, config_.trace.pid, config_.trace.reducer_tid_base + r,
+                "reducer_ready", "barrier",
+                {{"pairs", std::to_string(rs.inbox.size())},
+                 {"frame", std::to_string(config_.trace.frame_id)}});
+  }
   if (reducer_ready_cb_) reducer_ready_cb_(r);
 }
 
@@ -453,6 +636,14 @@ bool FramePlan::reducer_ready(int reducer) const {
 
 double FramePlan::reducer_ready_s(int reducer) const {
   return reducers_.at(static_cast<std::size_t>(reducer))->ready_s;
+}
+
+double FramePlan::sort_issue_s(int reducer) const {
+  return reducers_.at(static_cast<std::size_t>(reducer))->sort_issue_s;
+}
+
+double FramePlan::sort_done_s(int reducer) const {
+  return reducers_.at(static_cast<std::size_t>(reducer))->sort_done_s;
 }
 
 bool FramePlan::sort_pending(int reducer) const {
@@ -469,6 +660,13 @@ void FramePlan::issue_sort_quantum(int r) {
                                << ")");
   VRMR_CHECK_MSG(!rs.sort_issued, "sort quantum " << r << " already issued");
   rs.sort_issued = true;
+  rs.sort_issue_s = cluster_.engine().now();
+  if (auto* tr = config_.trace.recorder) {
+    tr->begin(rs.sort_issue_s, config_.trace.pid,
+              config_.trace.reducer_tid_base + r, "sort", "sort",
+              {{"pairs", std::to_string(rs.inbox.size())},
+               {"frame", std::to_string(config_.trace.frame_id)}});
+  }
 
   const auto& hw = cluster_.config().hw;
   const std::uint64_t pairs = rs.inbox.size();
@@ -520,7 +718,13 @@ void FramePlan::issue_sort_quantum(int r) {
 }
 
 void FramePlan::sort_done(int r) {
-  reducers_[static_cast<std::size_t>(r)]->sort_completed = true;
+  auto& rs_done = *reducers_[static_cast<std::size_t>(r)];
+  rs_done.sort_completed = true;
+  rs_done.sort_done_s = cluster_.engine().now();
+  if (auto* tr = config_.trace.recorder) {
+    tr->end(rs_done.sort_done_s, config_.trace.pid,
+            config_.trace.reducer_tid_base + r);  // closes "sort"
+  }
   // Stamp the sort barrier BEFORE the completion callback or chaining:
   // a zero-pair reduce issued from either completes synchronously, and
   // when this was the last sort that cascade finishes the frame —
@@ -571,6 +775,12 @@ void FramePlan::issue_reduce_quantum(int r) {
 
   const auto& hw = cluster_.config().hw;
   const std::uint64_t pairs = rs.groups.sorted.size();
+  if (auto* tr = config_.trace.recorder) {
+    tr->begin(cluster_.engine().now(), config_.trace.pid,
+              config_.trace.reducer_tid_base + r, "reduce", "reduce",
+              {{"pairs", std::to_string(pairs)},
+               {"frame", std::to_string(config_.trace.frame_id)}});
+  }
 
   // Functional reduce.
   rs.reducer->begin(r);
@@ -624,6 +834,10 @@ void FramePlan::issue_reduce_quantum(int r) {
 
 void FramePlan::reduce_done(int r) {
   tile_finish_s_[static_cast<std::size_t>(r)] = cluster_.engine().now();
+  if (auto* tr = config_.trace.recorder) {
+    tr->end(tile_finish_s_[static_cast<std::size_t>(r)], config_.trace.pid,
+            config_.trace.reducer_tid_base + r);  // closes "reduce"
+  }
   if (tile_cb_) tile_cb_(r);
   if (--reduces_remaining_ == 0) {
     finished_ = true;
@@ -634,6 +848,10 @@ void FramePlan::reduce_done(int r) {
 
 double FramePlan::tile_finish_s(int reducer) const {
   return tile_finish_s_.at(static_cast<std::size_t>(reducer));
+}
+
+int FramePlan::reducer_contributors(int reducer) const {
+  return reducer_contributors_.at(static_cast<std::size_t>(reducer));
 }
 
 void FramePlan::finalize_stats() {

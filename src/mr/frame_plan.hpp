@@ -89,6 +89,25 @@ class FramePlan {
   void add_chunk(std::unique_ptr<Chunk> chunk, int gpu = -1);
   int num_chunks() const { return static_cast<int>(chunks_.size()); }
 
+  /// Declare the conservative screen footprint of the chunk added as
+  /// `chunk_index`: the pixel rect [x0,x1)×[y0,y1) outside which the
+  /// chunk's map kernel emits nothing but placeholders (the renderer
+  /// passes the kernel's own launch rect, camera.project_box of the
+  /// brick's world box, so the bound is exact). Two effects:
+  ///   * an EMPTY rect culls the chunk — it is never staged or mapped
+  ///     (stats().chunks_culled counts them; dealing positions of the
+  ///     other chunks are unchanged, so residency caches still predict
+  ///     placement);
+  ///   * under PerReducer barriers, once GPU g has partitioned the last
+  ///     of its chunks whose footprint touches reducer r's key range,
+  ///     the (g, r) send buffer flushes early and counts as final — a
+  ///     reducer no longer waits for mappers that cannot contribute to
+  ///     it (per-(mapper, reducer) final-flush readiness).
+  /// Emitted keys are CHECKed (debug builds) against the footprint's
+  /// owner set. Chunks without a footprint conservatively contribute to
+  /// every reducer; Global mode only culls, never flushes early.
+  void set_chunk_footprint(int chunk_index, int x0, int y0, int x1, int y1);
+
   // --- driver hooks (install before start()) ------------------------------
   /// GPU `gpu`'s stream is free again after a stage+map quantum (its
   /// D2H finished; partition/sends continue inside the plan). THE
@@ -161,6 +180,10 @@ class FramePlan {
   bool reducer_ready(int reducer) const;
   /// Absolute engine time `reducer` became ready (0 until it did).
   double reducer_ready_s(int reducer) const;
+  /// Absolute engine times `reducer`'s sort quantum was issued /
+  /// completed (0 until then) — critical-path boundaries.
+  double sort_issue_s(int reducer) const;
+  double sort_done_s(int reducer) const;
   bool sort_pending(int reducer) const;
   void issue_sort_quantum(int reducer);
 
@@ -172,9 +195,20 @@ class FramePlan {
   int num_reducers() const { return static_cast<int>(reducers_.size()); }
   bool finished() const { return finished_; }
 
+  /// Engine time start() anchored the plan at (t0 of the relative
+  /// JobStats phase stamps).
+  double t0_s() const { return t0_; }
+
   /// Absolute engine time reducer `r`'s tile completed (finalized
   /// frames only; the last tile's time equals the frame finish).
   double tile_finish_s(int reducer) const;
+
+  /// Number of mappers that can contribute fragments to reducer `r`
+  /// (pairs whose chunk footprints touch r's key range, counted at
+  /// start()). 0 means a background-only tile: with footprints seeded
+  /// it goes final before any map quantum, so latency metrics (TTFP)
+  /// should measure the first tile with contributors instead.
+  int reducer_contributors(int reducer) const;
 
   /// Finalized statistics; valid once finished().
   const JobStats& stats() const;
@@ -192,13 +226,18 @@ class FramePlan {
   void begin_staging(int gpu, int chunk_index);
   void after_disk(int gpu, int chunk_index);
   void after_h2d(int gpu, int chunk_index);
-  void after_kernel(int gpu, std::shared_ptr<KvBuffer> out);
+  void after_kernel(int gpu, int chunk_index, std::shared_ptr<KvBuffer> out);
   void lane_freed(int gpu);
-  void partition_and_send(int gpu, std::shared_ptr<KvBuffer> out);
+  void partition_and_send(int gpu, int chunk_index, std::shared_ptr<KvBuffer> out);
   void flush_outbox(int gpu, int reducer);
-  void send_payload(int gpu, int reducer, std::shared_ptr<KvBuffer> payload);
+  void send_payload(int gpu, int reducer, std::shared_ptr<KvBuffer> payload,
+                    std::uint64_t send_trace_id);
   void maybe_final_flush(int gpu);
   void maybe_finish_routing();
+  /// The (gpu, reducer) pair went final: gpu partitioned the last chunk
+  /// that could contribute to reducer. Flushes the pair's outbox early
+  /// under PerReducer barriers (Global keeps the paper's schedule).
+  void pair_final(int gpu, int reducer);
   void maybe_reducer_ready(int reducer);
   void mark_reducer_ready(int reducer);
   void sort_done(int reducer);
@@ -216,6 +255,15 @@ class FramePlan {
 
   std::vector<std::unique_ptr<Chunk>> chunks_;
   std::vector<int> chunk_gpu_;  // explicit assignment or -1
+
+  struct Footprint {
+    int x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+    bool set = false;
+  };
+  std::vector<Footprint> footprints_;  // parallel to chunks_
+  /// Conservative per-chunk reducer owner masks (computed at start()
+  /// from footprints + partitioner; all-ones without a footprint).
+  std::vector<std::vector<std::uint8_t>> chunk_masks_;
 
   std::vector<std::unique_ptr<GpuState>> gpus_;
   std::vector<std::unique_ptr<ReducerState>> reducers_;
@@ -241,6 +289,7 @@ class FramePlan {
   int sorts_remaining_ = 0;
   int reduces_remaining_ = 0;
   std::vector<double> tile_finish_s_;
+  std::vector<int> reducer_contributors_;  // frozen at start()
 
   double t0_ = 0.0;
   bool started_ = false;

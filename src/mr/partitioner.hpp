@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -45,6 +46,18 @@ class Partitioner {
 
   /// Which reducer owns `key`. Must be pure and total on the domain.
   virtual int owner(std::uint32_t key) const = 0;
+
+  /// Conservative owner set of the pixel rect [x0,x1)×[y0,y1): set
+  /// mask[r] = 1 for every reducer that MAY own a key in the rect (a
+  /// superset is fine; missing an actual owner is not). The base class
+  /// answers "all reducers", always safe. FramePlan uses this with
+  /// per-chunk screen footprints to finalize (mapper, reducer) pairs
+  /// early — see FramePlan::set_chunk_footprint.
+  virtual void owners_in_rect(int x0, int y0, int x1, int y1,
+                              std::vector<std::uint8_t>& mask) const {
+    (void)x0; (void)y0; (void)x1; (void)y1;
+    mask.assign(static_cast<std::size_t>(num_partitions_), 1);
+  }
 
  private:
   int num_partitions_;

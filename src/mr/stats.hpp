@@ -63,6 +63,9 @@ struct JobStats {
   // staging was skipped because they were already GPU-resident, and the
   // transfer bytes that skipping avoided.
   std::uint64_t chunks_resident = 0;
+  /// Chunks never issued because their screen footprint was empty
+  /// (FramePlan::set_chunk_footprint with an off-screen rect).
+  std::uint64_t chunks_culled = 0;
   std::uint64_t bytes_h2d_saved = 0;
   std::uint64_t bytes_disk_saved = 0;
   std::uint64_t bytes_disk = 0;

@@ -1,0 +1,100 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mr/frame_plan.hpp"
+#include "util/check.hpp"
+
+namespace vrmr::obs {
+
+const char* to_string(PathSegment segment) {
+  switch (segment) {
+    case PathSegment::QueueWait: return "queue_wait";
+    case PathSegment::StageMap: return "stage_map";
+    case PathSegment::Send: return "send";
+    case PathSegment::SortWait: return "sort_wait";
+    case PathSegment::Sort: return "sort";
+    case PathSegment::Reduce: return "reduce";
+    case PathSegment::Delivery: return "delivery";
+  }
+  return "?";
+}
+
+PathSegment CriticalPath::dominant() const {
+  int best = 0;
+  double best_s = -1.0;
+  for (int i = 0; i < kNumPathSegments; ++i) {
+    const double s = boundary_s[static_cast<std::size_t>(i) + 1] -
+                     boundary_s[static_cast<std::size_t>(i)];
+    if (s > best_s) {
+      best_s = s;
+      best = i;
+    }
+  }
+  return static_cast<PathSegment>(best);
+}
+
+std::string CriticalPath::to_string() const {
+  if (!valid) return "<invalid critical path>";
+  const double total = total_s();
+  std::string out;
+  char buf[96];
+  for (int i = 0; i < kNumPathSegments; ++i) {
+    const auto seg = static_cast<PathSegment>(i);
+    const double s = segment_s(seg);
+    std::snprintf(buf, sizeof(buf), "%s%s %.3fms (%.0f%%)", i ? " | " : "",
+                  obs::to_string(seg), s * 1e3,
+                  total > 0.0 ? 100.0 * s / total : 0.0);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof(buf), " | r*=%d dominant=%s", critical_reducer,
+                obs::to_string(dominant()));
+  out += buf;
+  return out;
+}
+
+CriticalPath analyze_plan(const mr::FramePlan& plan, double arrival_s,
+                          double start_s, double finish_s) {
+  CriticalPath path;
+  if (!plan.finished() || plan.num_reducers() == 0) return path;
+
+  // The critical reducer: the tile that finished last. Every other
+  // reducer's chain completed earlier, so this chain *is* the frame.
+  int critical = 0;
+  for (int r = 1; r < plan.num_reducers(); ++r) {
+    if (plan.tile_finish_s(r) > plan.tile_finish_s(critical)) critical = r;
+  }
+  path.critical_reducer = critical;
+
+  // Raw absolute boundaries along r*'s dependency chain. t_map_done is
+  // plan-relative; everything else is already absolute engine time.
+  const double raw[kNumPathSegments + 1] = {
+      arrival_s,
+      start_s,
+      plan.t0_s() + plan.stats().t_map_done,
+      plan.reducer_ready_s(critical),
+      plan.sort_issue_s(critical),
+      plan.sort_done_s(critical),
+      plan.tile_finish_s(critical),
+      finish_s,
+  };
+
+  // Monotone forward clamp: per-(mapper, reducer) final flushes can
+  // make r* ready before the globally last map quantum ends; clamping
+  // collapses the affected segment to zero while keeping the interval
+  // partition exact (t7 - t0 == sum of segments, by construction).
+  path.boundary_s[0] = raw[0];
+  for (int i = 1; i <= kNumPathSegments; ++i) {
+    path.boundary_s[static_cast<std::size_t>(i)] = std::max(
+        path.boundary_s[static_cast<std::size_t>(i) - 1], raw[i]);
+  }
+  // The frame cannot be delivered before it finished; a finish stamp
+  // below the tile time would mean the caller passed stamps from a
+  // different frame.
+  VRMR_CHECK(path.boundary_s[kNumPathSegments] == finish_s);
+  path.valid = true;
+  return path;
+}
+
+}  // namespace vrmr::obs

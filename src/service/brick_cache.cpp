@@ -183,12 +183,13 @@ void BrickCache::arc_trim_ghosts(Shard& shard) {
 }
 
 bool BrickCache::arc_lookup_or_admit(Shard& shard, const BrickKey& key,
-                                     std::uint64_t bytes) {
+                                     std::uint64_t bytes, LookupOutcome* outcome) {
   const auto it = shard.index.find(key);
   if (it != shard.index.end() &&
       (it->second.list == ListId::T1 || it->second.list == ListId::T2)) {
     ++stats_.hits;
     stats_.bytes_saved += bytes;
+    if (outcome != nullptr) outcome->hit = true;
     if (it->second.list == ListId::T1) {
       ++stats_.t1_hits;
       if (it->second.it->speculative) {
@@ -217,6 +218,10 @@ bool BrickCache::arc_lookup_or_admit(Shard& shard, const BrickKey& key,
     const bool from_b2 = it->second.list == ListId::B2;
     if (from_b2) ++stats_.b2_ghost_hits;
     else ++stats_.b1_ghost_hits;
+    if (outcome != nullptr) {
+      outcome->ghost_b1 = !from_b2;
+      outcome->ghost_b2 = from_b2;
+    }
     arc_adapt(shard, bytes, /*toward_recency=*/!from_b2);
     (void)remove(shard, key);
     if (bytes > capacity_) {  // unreachable for real ghosts; stay safe
@@ -274,14 +279,19 @@ bool BrickCache::arc_prefetch(Shard& shard, const BrickKey& key,
 
 // --- shared entry points -----------------------------------------------------
 
-bool BrickCache::lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t bytes) {
+bool BrickCache::lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t bytes,
+                                 LookupOutcome* outcome) {
   Shard& shard = shard_at(gpu);
-  if (policy_ == CachePolicy::Arc) return arc_lookup_or_admit(shard, key, bytes);
+  if (outcome != nullptr) *outcome = LookupOutcome{};
+  if (policy_ == CachePolicy::Arc) {
+    return arc_lookup_or_admit(shard, key, bytes, outcome);
+  }
 
   if (lru_touch(shard, key)) {
     // Hit: recency refreshed. The brick's size is immutable per key.
     ++stats_.hits;
     stats_.bytes_saved += bytes;
+    if (outcome != nullptr) outcome->hit = true;
     return true;
   }
   ++stats_.misses;

@@ -138,12 +138,24 @@ class BrickCache {
   static std::uint64_t capacity_for(const gpusim::DeviceProps& props,
                                     std::uint64_t reserve_bytes);
 
+  /// Per-lookup classification for trace/telemetry consumers. Under Lru
+  /// only `hit` is meaningful; under Arc a miss whose key the ghost
+  /// directory remembers reports which ghost list it hit (mutually
+  /// exclusive, and both false on a cold miss).
+  struct LookupOutcome {
+    bool hit = false;
+    bool ghost_b1 = false;
+    bool ghost_b2 = false;
+  };
+
   /// The staging-time query: returns true when (key) is already
   /// resident on `gpu` (recency/frequency refreshed per policy + hit),
   /// otherwise admits it — evicting per policy until it fits — and
   /// returns false (miss). Bricks larger than the whole per-GPU budget
-  /// are never admitted and never evict anything.
-  bool lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t bytes);
+  /// are never admitted and never evict anything. `outcome` (optional)
+  /// reports the classification for flight-recorder cache events.
+  bool lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t bytes,
+                       LookupOutcome* outcome = nullptr);
 
   /// Non-mutating residency probe (no recency touch, no accounting).
   /// Ghost entries are not resident.
@@ -279,7 +291,8 @@ class BrickCache {
   /// Nudge p by the byte-weighted ARC learning rule and keep
   /// stats_.arc_p_bytes (the cross-shard sum) in sync.
   void arc_adapt(Shard& shard, std::uint64_t bytes, bool toward_recency);
-  bool arc_lookup_or_admit(Shard& shard, const BrickKey& key, std::uint64_t bytes);
+  bool arc_lookup_or_admit(Shard& shard, const BrickKey& key, std::uint64_t bytes,
+                           LookupOutcome* outcome);
   bool arc_prefetch(Shard& shard, const BrickKey& key, std::uint64_t bytes,
                     bool* admitted);
 

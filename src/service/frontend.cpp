@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <utility>
 
 #include "util/check.hpp"
@@ -201,6 +202,12 @@ void ServiceFrontend::invalidate_volume(const volren::Volume* volume) {
   for (Shard& shard : shards_) shard.service->invalidate_volume(volume);
 }
 
+void ServiceFrontend::set_trace(obs::TraceRecorder* recorder) {
+  for (int s = 0; s < num_shards(); ++s) {
+    shards_[static_cast<std::size_t>(s)].service->set_trace(recorder, s);
+  }
+}
+
 FrontendStats ServiceFrontend::stats() const {
   FrontendStats out;
   std::uint64_t hits = 0;
@@ -223,6 +230,40 @@ FrontendStats ServiceFrontend::stats() const {
       hits + misses > 0
           ? static_cast<double>(hits) / static_cast<double>(hits + misses)
           : 0.0;
+
+  // Time-aligned farm windows: shards share bin boundaries (same
+  // stats_window_s on parallel simulated timelines), so merging keys on
+  // the bin index — llround is exact for start_s values the shards
+  // themselves computed as bin * width. Counters sum (each farm bin
+  // partitions exactly into the shard bins it merged); utilization is
+  // re-derived over the farm's capacity.
+  const double width = config_.service.stats_window_s;
+  if (width > 0.0) {
+    std::map<std::int64_t, ServiceWindow> merged;
+    for (const ShardStats& detail : out.shards) {
+      for (const ServiceWindow& w : detail.service.windows) {
+        ServiceWindow& m = merged[std::llround(w.start_s / width)];
+        m.start_s = w.start_s;
+        m.window_s = width;
+        m.frames_finished += w.frames_finished;
+        m.quanta_issued += w.quanta_issued;
+        m.preemptions += w.preemptions;
+        m.tiles += w.tiles;
+        m.gpu_busy_s += w.gpu_busy_s;
+      }
+    }
+    const double capacity = width * static_cast<double>(config_.shards) *
+                            static_cast<double>(config_.gpus_per_shard);
+    out.windows.reserve(merged.size());
+    for (auto& [bin, window] : merged) {
+      (void)bin;
+      window.utilization =
+          capacity > 0.0
+              ? std::min(1.0, std::max(0.0, window.gpu_busy_s / capacity))
+              : 0.0;
+      out.windows.push_back(window);
+    }
+  }
   return out;
 }
 

@@ -69,6 +69,12 @@ struct FrontendStats {
   double fps = 0.0;  // frames_total / makespan
   double cache_hit_rate = 0.0;  // hits / (hits+misses) across shards
   std::uint64_t bytes_h2d_saved = 0;
+  /// Time-aligned farm windows: every shard's ServiceStats::windows
+  /// merged by bin (shards share bin boundaries — same stats_window_s,
+  /// parallel simulated timelines), counters summed, utilization over
+  /// the FARM's capacity (window_s x shards x gpus_per_shard). A bin's
+  /// counters partition exactly into the per-shard bins it merged.
+  std::vector<ServiceWindow> windows;
   std::vector<ShardStats> shards;
 };
 
@@ -88,6 +94,11 @@ class ServiceFrontend final : public SessionBackend {
 
   /// Drain every shard's queue (each on its own simulated timeline).
   void drain();
+
+  /// Attach one flight recorder to every shard: shard i records as
+  /// trace process i, so a single exported file opens the whole farm
+  /// in Perfetto with one process block per shard. nullptr detaches.
+  void set_trace(obs::TraceRecorder* recorder);
 
   /// Cross-shard aggregate statistics, queryable at any time.
   FrontendStats stats() const;

@@ -62,6 +62,20 @@ void spread_busy(std::map<std::int64_t, ServiceWindow>& bins, double width,
   }
 }
 
+/// Quantile summary of a registry histogram (zero-filled when absent
+/// or empty — the class completed no frames yet).
+LatencyQuantiles quantiles_from(const obs::LogHistogram* histogram) {
+  LatencyQuantiles q;
+  if (histogram == nullptr || histogram->count() == 0) return q;
+  q.count = histogram->count();
+  q.mean_s = histogram->mean();
+  q.p50_s = histogram->quantile(0.50);
+  q.p95_s = histogram->quantile(0.95);
+  q.p99_s = histogram->quantile(0.99);
+  q.p999_s = histogram->quantile(0.999);
+  return q;
+}
+
 /// Decomposition signature for BrickKey::layout_id: brick dims + ghost
 /// pin the brick extents for a given volume (axes are < 2^20 voxels).
 std::uint64_t layout_signature(const volren::BrickLayout& layout) {
@@ -111,6 +125,24 @@ Session RenderService::open_session(SessionProfile profile) {
   state->profile = std::move(profile);
   sessions_.push_back(std::move(state));
   return Session(this, num_sessions() - 1);
+}
+
+void RenderService::set_trace(obs::TraceRecorder* recorder, int pid) {
+  trace_ = recorder;
+  trace_pid_ = pid;
+  if (recorder == nullptr) return;
+  // Metadata up front so every track is named even in a partial trace.
+  recorder->set_process_name(pid, "shard" + std::to_string(pid));
+  recorder->set_thread_name(pid, obs::kServiceTid, "service");
+  for (int g = 0; g < cluster_.total_gpus(); ++g) {
+    recorder->set_thread_name(pid, g, "gpu" + std::to_string(g) + " lane");
+    // At most one frame per priority class is active, so one reducer
+    // track per class suffices (bases match make_active_frame).
+    recorder->set_thread_name(pid, 1000 + g,
+                              "interactive reducer " + std::to_string(g));
+    recorder->set_thread_name(pid, 2000 + g,
+                              "batch reducer " + std::to_string(g));
+  }
 }
 
 void RenderService::check_volume_compatible(const volren::Volume* volume) const {
@@ -428,12 +460,22 @@ mr::StagingHook RenderService::make_staging_hook(const Pending& pending) {
   // submit and serve re-keys the address (and re-checks dims).
   const std::uint64_t vid = register_volume(pending.request.volume).id;
   const std::uint64_t lid = pending.layout_sig;
-  BrickCache* cache = &*cache_;
-  return [cache, vid, lid](int gpu, const mr::Chunk& chunk) {
+  // `this` is safe to capture: the hook lives inside a plan the service
+  // owns, and the service outlives every active frame.
+  return [this, vid, lid](int gpu, const mr::Chunk& chunk) {
     const auto* brick = dynamic_cast<const volren::BrickChunk*>(&chunk);
     if (brick == nullptr) return false;  // non-brick chunks are never cached
-    return cache->lookup_or_admit(gpu, BrickKey{vid, brick->info().id, lid},
-                                  chunk.device_bytes());
+    BrickCache::LookupOutcome outcome;
+    const bool hit = cache_->lookup_or_admit(
+        gpu, BrickKey{vid, brick->info().id, lid}, chunk.device_bytes(), &outcome);
+    if (trace_ != nullptr) {
+      obs::TraceArgs args{{"brick", std::to_string(brick->info().id)}};
+      if (outcome.ghost_b1) args.emplace_back("ghost", "b1");
+      if (outcome.ghost_b2) args.emplace_back("ghost", "b2");
+      trace_->instant(cluster_.engine().now(), trace_pid_, gpu,
+                      hit ? "cache_hit" : "cache_miss", "cache", std::move(args));
+    }
+    return hit;
   };
 }
 
@@ -478,6 +520,28 @@ void RenderService::calibrate(int session_index, const FrameRecord& record,
   SessionState& session = *sessions_[static_cast<std::size_t>(session_index)];
   session.cost_scale =
       (1.0 - alpha) * session.cost_scale + alpha * (observed / raw_cost_s);
+}
+
+void RenderService::observe_completion(ActiveFrame& active) {
+  FrameRecord& record = active.record;
+  // Exact latency decomposition along the last-finishing reducer's
+  // dependency chain (segments sum to finish - arrival by construction).
+  record.critical_path = obs::analyze_plan(
+      active.frame->plan(), record.arrival_s, record.start_s, record.finish_s);
+
+  const std::string cls =
+      active.priority == Priority::Interactive ? "interactive" : "batch";
+  metrics_.histogram(cls + ".queue_wait_s").observe(record.queue_wait_s());
+  metrics_.histogram(cls + ".service_s").observe(record.service_s());
+  if (record.tiles > 0) {
+    metrics_.histogram(cls + ".first_pixel_s")
+        .observe(record.first_tile_s - record.arrival_s);
+  }
+
+  if (trace_ != nullptr) {
+    trace_->async_end(record.finish_s, trace_pid_,
+                      frame_trace_id(record.frame_id), "frame", "frame");
+  }
 }
 
 void RenderService::deliver_tile(ActiveFrame& active, int reducer) {
@@ -530,7 +594,16 @@ std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
   // Any batch admission restarts the aging period (the aged-head
   // override in pick_next is rate-limited against this stamp).
   if (active->priority == Priority::Batch) {
-    last_batch_admission_s_ = cluster_.engine().now();
+    const double now = cluster_.engine().now();
+    if (trace_ != nullptr && config_.batch_aging_s > 0.0 &&
+        now - active->pending.effective_arrival_s() >= config_.batch_aging_s) {
+      trace_->instant(
+          now, trace_pid_, obs::kServiceTid, "batch_aged", "sched",
+          {{"frame", std::to_string(active->pending.frame_id)},
+           {"waited_s",
+            std::to_string(now - active->pending.effective_arrival_s())}});
+    }
+    last_batch_admission_s_ = now;
   }
 
   FrameRecord& record = active->record;
@@ -550,6 +623,27 @@ std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
   volren::RenderOptions options = active->pending.request.options;
   if (config_.pipeline == PipelineMode::Quantum) {
     options.barrier_mode = config_.barrier_mode;
+  }
+  if (trace_ != nullptr) {
+    const double now = cluster_.engine().now();
+    const bool interactive = active->priority == Priority::Interactive;
+    options.trace.recorder = trace_;
+    options.trace.pid = trace_pid_;
+    options.trace.session = session_index;
+    options.trace.frame_id = record.frame_id;
+    options.trace.priority = interactive ? 0 : 1;
+    // Distinct reducer-track bases per class: at most one frame per
+    // class is active, so the two never interleave on a track.
+    options.trace.reducer_tid_base = interactive ? 1000 : 2000;
+    const obs::TraceArgs attribution{
+        {"session", std::to_string(session_index)},
+        {"frame", std::to_string(record.frame_id)},
+        {"class", to_string(active->priority)}};
+    trace_->instant(now, trace_pid_, obs::kServiceTid, "admit", "sched",
+                    attribution);
+    // The frame's end-to-end arrow: admission -> delivery.
+    trace_->async_begin(now, trace_pid_, frame_trace_id(record.frame_id),
+                        "frame", "frame", attribution);
   }
   active->frame = volren::plan_frame(cluster_, *active->pending.request.volume,
                                      options, make_staging_hook(active->pending),
@@ -586,6 +680,7 @@ void RenderService::serve_one(int session_index, double arrival_floor_s,
   if (config_.keep_images) record.image = std::move(result.image);
   window_at(record.finish_s).frames_finished += 1;
   sample_gpu_busy();
+  observe_completion(*active);
 
   VRMR_DEBUG("service") << "session " << session_index << " frame "
                         << record.frame_id << " latency=" << record.latency_s()
@@ -674,6 +769,10 @@ void RenderService::try_admit() {
     if (batch_active) {
       ++preemptions_;
       window_at(now).preemptions += 1;
+      if (trace_ != nullptr) {
+        trace_->instant(now, trace_pid_, obs::kServiceTid, "preempt", "sched",
+                        {{"by_session", std::to_string(pick)}});
+      }
     }
     admit(pick, predicted_cost_s);
   }
@@ -727,6 +826,14 @@ bool RenderService::try_prefetch(int gpu) {
       }
       issued = 1;
       lane_busy_[static_cast<std::size_t>(gpu)] = 1;
+      if (trace_ != nullptr) {
+        // Safe on the lane track: lane_busy_ keeps map quanta off this
+        // lane until the staging lands, so the span never interleaves.
+        trace_->begin(cluster_.engine().now(), trace_pid_, gpu, "prefetch",
+                      "prefetch",
+                      {{"brick", std::to_string(brick.id)},
+                       {"session", std::to_string(s)}});
+      }
       // Stage it exactly like a frame would: optional disk read, then
       // a synchronous H2D occupying the node's PCIe link and the GPU
       // stream. Admission into the cache happens at transfer
@@ -753,6 +860,9 @@ bool RenderService::try_prefetch(int gpu) {
             ++bricks_prefetched_;
             bytes_prefetched_ += bytes;
           }
+        }
+        if (trace_ != nullptr) {
+          trace_->end(cluster_.engine().now(), trace_pid_, gpu);
         }
         lane_busy_[static_cast<std::size_t>(gpu)] = 0;
         if (draining_) pump(/*try_admission=*/false);
@@ -840,6 +950,7 @@ void RenderService::frame_finished(ActiveFrame* active) {
   if (config_.keep_images) record.image = std::move(result.image);
   window_at(record.finish_s).frames_finished += 1;
   sample_gpu_busy();
+  observe_completion(*active);
 
   VRMR_DEBUG("service") << "session " << active->session << " frame "
                         << record.frame_id << " latency=" << record.latency_s()
@@ -986,6 +1097,15 @@ ServiceStats RenderService::stats() const {
       out.windows.push_back(window);
     }
   }
+
+  const auto fill_class = [this](const std::string& cls, PriorityLatencies* out) {
+    out->queue_wait = quantiles_from(metrics_.find_histogram(cls + ".queue_wait_s"));
+    out->first_pixel =
+        quantiles_from(metrics_.find_histogram(cls + ".first_pixel_s"));
+    out->service = quantiles_from(metrics_.find_histogram(cls + ".service_s"));
+  };
+  fill_class("interactive", &out.interactive);
+  fill_class("batch", &out.batch);
 
   for (int s = 0; s < num_sessions(); ++s) {
     SessionStats summary = stats_for(s);

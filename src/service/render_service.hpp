@@ -76,6 +76,8 @@
 
 #include "cluster/cluster.hpp"
 #include "mr/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/brick_cache.hpp"
 #include "service/session.hpp"
 #include "volren/bricking.hpp"
@@ -184,6 +186,26 @@ struct ServiceWindow {
   double utilization = 0.0;
 };
 
+/// Quantile summary of one latency histogram (obs::LogHistogram, so
+/// each quantile is within one ~9% log bucket of the exact sample).
+struct LatencyQuantiles {
+  std::uint64_t count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double p999_s = 0.0;
+};
+
+/// Per-priority-class latency decomposition: queue wait, time to first
+/// pixel (effective arrival -> first streamed tile) and service time —
+/// the per-class SLO view the lifetime aggregates average away.
+struct PriorityLatencies {
+  LatencyQuantiles queue_wait;
+  LatencyQuantiles first_pixel;
+  LatencyQuantiles service;
+};
+
 /// Service-wide statistics over every frame completed so far.
 struct ServiceStats {
   int frames_total = 0;
@@ -208,6 +230,11 @@ struct ServiceStats {
   /// interference and the chaining win away; these expose them over
   /// simulated time.
   std::vector<ServiceWindow> windows;
+  /// Per-class latency quantiles from the service's metrics registry
+  /// (histograms "interactive.queue_wait_s" etc.; zero-count when the
+  /// class completed nothing).
+  PriorityLatencies interactive;
+  PriorityLatencies batch;
   std::vector<SessionStats> sessions;  // open order, completed-only
   std::vector<FrameRecord> frames;     // completion order
 };
@@ -254,6 +281,18 @@ class RenderService final : public SessionBackend {
   void session_on_tile(int session, TileCallback callback) override;
   SessionStats session_stats(int session) const override;
   const SessionProfile& session_profile(int session) const override;
+
+  // --- observability ------------------------------------------------------
+  /// Attach a flight recorder: every subsequent frame's quanta, sends,
+  /// scheduling decisions and cache events record under trace process
+  /// `pid` (the shard index under a frontend; one track per GPU lane).
+  /// Emits the track-naming metadata immediately. nullptr detaches.
+  void set_trace(obs::TraceRecorder* recorder, int pid = 0);
+  obs::TraceRecorder* trace() const { return trace_; }
+  /// Unified metrics registry: per-class latency histograms
+  /// ("interactive.queue_wait_s", "batch.service_s", ...), populated as
+  /// frames complete.
+  const obs::Registry& metrics() const { return metrics_; }
 
   // --- introspection (frontend placement, tests) -------------------------
   const BrickCache* cache() const { return cache_ ? &*cache_ : nullptr; }
@@ -373,6 +412,15 @@ class RenderService final : public SessionBackend {
                                                  double predicted_cost_s);
   /// EWMA update from a completed frame's observed service time.
   void calibrate(int session_index, const FrameRecord& record, double raw_cost_s);
+  /// Completion-time observability shared by both pipelines: critical
+  /// path from the finished plan, per-class latency histograms, and the
+  /// frame's async trace span end. Requires record stamps to be final.
+  void observe_completion(ActiveFrame& active);
+  /// Async-span id of a frame's end-to-end trace arrow: stable across
+  /// shards because the shard index (pid) is baked in.
+  std::uint64_t frame_trace_id(std::uint64_t frame_id) const {
+    return static_cast<std::uint64_t>(trace_pid_) * 1'000'000ULL + frame_id;
+  }
   void deliver_tile(ActiveFrame& active, int reducer);
   void deliver_frame(int session_index, const FrameRecord& record);
 
@@ -450,6 +498,11 @@ class RenderService final : public SessionBackend {
   std::uint64_t preemptions_ = 0;
   std::uint64_t bricks_prefetched_ = 0;
   std::uint64_t bytes_prefetched_ = 0;
+
+  // Observability: flight recorder (null = record nothing) + metrics.
+  obs::TraceRecorder* trace_ = nullptr;
+  int trace_pid_ = 0;
+  obs::Registry metrics_;
 
   // Windowed stats (sparse bins keyed by floor(t / stats_window_s)).
   std::map<std::int64_t, ServiceWindow> windows_;

@@ -29,6 +29,7 @@
 #include <string>
 
 #include "mr/stats.hpp"
+#include "obs/critical_path.hpp"
 #include "util/check.hpp"
 #include "volren/composite_reducer.hpp"
 #include "volren/image.hpp"
@@ -92,6 +93,11 @@ struct FrameRecord {
   int tiles = 0;           // tiles delivered for this frame
   double first_tile_s = 0.0;  // completion time of the frame's first tile
   mr::JobStats stats;
+  /// Critical-path decomposition of latency_s(): seven segments (queue
+  /// wait, stage+map, send, sort wait, sort, reduce, delivery) along
+  /// the last-finishing reducer's dependency chain, summing EXACTLY to
+  /// finish_s - arrival_s (obs::analyze_plan; valid once served).
+  obs::CriticalPath critical_path;
   volren::Image image;  // only populated when ServiceConfig::keep_images
 
   double latency_s() const { return finish_s - arrival_s; }

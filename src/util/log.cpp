@@ -1,5 +1,7 @@
 #include "util/log.hpp"
 
+#include <cctype>
+#include <cstdlib>
 #include <iostream>
 
 namespace vrmr {
@@ -7,6 +9,34 @@ namespace vrmr {
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
+}
+
+namespace {
+
+bool parse_level(const char* text, LogLevel* out) {
+  if (text == nullptr || *text == '\0') return false;
+  std::string lower;
+  for (const char* p = text; *p; ++p) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  if (lower.size() == 1 && lower[0] >= '0' && lower[0] <= '5') {
+    *out = static_cast<LogLevel>(lower[0] - '0');
+    return true;
+  }
+  if (lower == "trace") { *out = LogLevel::Trace; return true; }
+  if (lower == "debug") { *out = LogLevel::Debug; return true; }
+  if (lower == "info") { *out = LogLevel::Info; return true; }
+  if (lower == "warn" || lower == "warning") { *out = LogLevel::Warn; return true; }
+  if (lower == "error") { *out = LogLevel::Error; return true; }
+  if (lower == "off" || lower == "none") { *out = LogLevel::Off; return true; }
+  return false;
+}
+
+}  // namespace
+
+Logger::Logger() {
+  LogLevel level = LogLevel::Warn;
+  if (parse_level(std::getenv("VRMR_LOG_LEVEL"), &level)) level_ = level;
 }
 
 namespace {

@@ -1,7 +1,9 @@
 #pragma once
 
 // Minimal leveled, thread-safe logger. Quiet by default (Warn) so tests
-// and benches stay readable; examples raise the level explicitly.
+// and benches stay readable; examples raise the level explicitly, and
+// the VRMR_LOG_LEVEL environment variable (trace|debug|info|warn|error|
+// off, or 0-5) overrides the default at startup.
 
 #include <mutex>
 #include <sstream>
@@ -22,7 +24,7 @@ class Logger {
   void write(LogLevel level, const std::string& component, const std::string& message);
 
  private:
-  Logger() = default;
+  Logger();  // reads VRMR_LOG_LEVEL
   LogLevel level_ = LogLevel::Warn;
   std::mutex mutex_;
 };

@@ -73,6 +73,7 @@ std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume
   config.barrier_mode = options.barrier_mode;
   config.include_disk_io = options.include_disk_io;
   config.staging_hook = std::move(staging_hook);
+  config.trace = options.trace;
 
   auto planned = std::unique_ptr<PlannedFrame>(new PlannedFrame());
   planned->plan_ = std::make_unique<mr::FramePlan>(cluster, std::move(config));
@@ -102,8 +103,17 @@ std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume
         ert, background, &(*pieces)[static_cast<std::size_t>(r)]);
   });
 
+  int chunk_index = 0;
   for (const BrickInfo& info : layout.bricks()) {
     planned->plan_->add_chunk(std::make_unique<BrickChunk>(volume, info));
+    if (options.screen_footprints) {
+      // Exactly the rect cast_brick launches over: off-screen bricks
+      // emit nothing, and every emitted key lands inside the rect.
+      const PixelRect rect = frame.camera.project_box(info.world_box);
+      planned->plan_->set_chunk_footprint(chunk_index, rect.x0, rect.y0, rect.x1,
+                                          rect.y1);
+    }
+    ++chunk_index;
   }
   return planned;
 }

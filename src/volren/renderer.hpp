@@ -14,6 +14,7 @@
 #include "cluster/cluster.hpp"
 #include "mr/frame_plan.hpp"
 #include "mr/job.hpp"
+#include "obs/trace.hpp"
 #include "volren/composite_reducer.hpp"
 #include "volren/raycast.hpp"
 #include "volren/volume.hpp"
@@ -56,6 +57,19 @@ struct RenderOptions {
   mr::BarrierMode barrier_mode = mr::BarrierMode::Global;
   /// Charge disk reads for every brick (out-of-core mode).
   bool include_disk_io = false;
+
+  /// Seed each brick's FramePlan footprint with its screen-space
+  /// projection (camera.project_box). Off-screen bricks are culled
+  /// before staging, and PerReducer frames flush each (mapper, reducer)
+  /// outbox the moment that pair's last contributing brick partitions —
+  /// pixels are identical either way (the footprint is exactly the map
+  /// kernel's launch rect).
+  bool screen_footprints = true;
+
+  // --- observability --------------------------------------------------------
+  /// Flight-recorder attribution; trace.recorder == nullptr (default)
+  /// records nothing. Copied into the frame's JobConfig.
+  obs::TraceContext trace;
 };
 
 struct RenderResult {

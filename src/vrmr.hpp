@@ -23,6 +23,8 @@
 //   volren   — the volume renderer built on mr
 //   service  — session handles, frame scheduler, per-GPU brick cache,
 //              sharded multi-cluster frontend
+//   obs      — flight recorder (Chrome trace-event export), metrics
+//              registry, per-frame critical-path attribution
 
 // Substrates.
 #include "cluster/cluster.hpp"
@@ -54,3 +56,9 @@
 #include "service/frontend.hpp"
 #include "service/render_service.hpp"
 #include "service/session.hpp"
+
+// Observability (attach with RenderService::set_trace /
+// ServiceFrontend::set_trace; zero-cost when detached).
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"

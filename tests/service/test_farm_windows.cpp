@@ -1,0 +1,132 @@
+// Farm-window tests: FrontendStats::windows merges every shard's
+// ServiceStats::windows into time-aligned farm bins — counters must
+// partition exactly (each farm bin is the sum of the shard bins it
+// merged, totals reconcile with the lifetime aggregates), bins stay
+// aligned to the shared stats_window_s grid, and utilization is
+// re-derived over the farm's capacity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+
+#include "service/frontend.hpp"
+#include "volren/datasets.hpp"
+
+namespace vrmr::service {
+namespace {
+
+volren::RenderOptions tiny_options() {
+  volren::RenderOptions options;
+  options.image_width = 32;
+  options.image_height = 32;
+  return options;
+}
+
+FrontendStats run_farm(double window_s) {
+  FrontendConfig config;
+  config.shards = 2;
+  config.gpus_per_shard = 2;
+  config.service.stats_window_s = window_s;
+  service::ServiceFrontend frontend(config);
+
+  // Distinct volumes so the two sessions place on different shards
+  // (least outstanding cost), giving both shards real windows.
+  const volren::Volume skull = volren::datasets::skull({24, 24, 24});
+  const volren::Volume supernova = volren::datasets::supernova({32, 32, 32});
+  Session a = frontend.open_session("a", Priority::Interactive);
+  Session b = frontend.open_session("b", Priority::Batch);
+  volren::RenderOptions batch_options = tiny_options();
+  batch_options.target_bricks = 8;
+  a.submit_orbit(skull, tiny_options(), 6, 0.0, 0.001);
+  b.submit_orbit(supernova, batch_options, 4, 0.0, 0.0);
+  frontend.drain();
+  return frontend.stats();
+}
+
+TEST(FarmWindows, MergedBinsPartitionTheShardBinsExactly) {
+  const double width = 0.002;
+  const FrontendStats stats = run_farm(width);
+  ASSERT_EQ(stats.shards.size(), 2u);
+  ASSERT_GT(stats.windows.size(), 1u) << "expected a multi-window run";
+  for (const ShardStats& shard : stats.shards) {
+    ASSERT_FALSE(shard.service.windows.empty())
+        << "both shards must have served frames";
+  }
+
+  // Rebuild the merge by bin index and compare field by field: every
+  // shard bin lands in exactly one farm bin, nothing is dropped or
+  // double-counted.
+  std::map<std::int64_t, ServiceWindow> expected;
+  for (const ShardStats& shard : stats.shards) {
+    for (const ServiceWindow& w : shard.service.windows) {
+      ServiceWindow& m = expected[std::llround(w.start_s / width)];
+      m.start_s = w.start_s;
+      m.frames_finished += w.frames_finished;
+      m.quanta_issued += w.quanta_issued;
+      m.preemptions += w.preemptions;
+      m.tiles += w.tiles;
+      m.gpu_busy_s += w.gpu_busy_s;
+    }
+  }
+  ASSERT_EQ(stats.windows.size(), expected.size());
+  auto it = expected.begin();
+  double last_start = -std::numeric_limits<double>::infinity();
+  for (const ServiceWindow& w : stats.windows) {
+    const ServiceWindow& e = it->second;
+    EXPECT_DOUBLE_EQ(w.start_s, e.start_s);
+    EXPECT_EQ(w.frames_finished, e.frames_finished);
+    EXPECT_EQ(w.quanta_issued, e.quanta_issued);
+    EXPECT_EQ(w.preemptions, e.preemptions);
+    EXPECT_EQ(w.tiles, e.tiles);
+    EXPECT_DOUBLE_EQ(w.gpu_busy_s, e.gpu_busy_s);
+    // Farm bins are aligned to the shared grid and ascend.
+    EXPECT_NEAR(w.start_s, std::llround(w.start_s / width) * width,
+                1e-9 * std::max(1.0, std::abs(w.start_s)));
+    EXPECT_DOUBLE_EQ(w.window_s, width);
+    EXPECT_GT(w.start_s, last_start);
+    last_start = w.start_s;
+    ++it;
+  }
+
+  // Totals reconcile with the farm's lifetime aggregates.
+  int frames = 0;
+  std::uint64_t tiles = 0;
+  for (const ServiceWindow& w : stats.windows) {
+    frames += w.frames_finished;
+    tiles += w.tiles;
+  }
+  EXPECT_EQ(frames, stats.frames_total);
+  std::uint64_t shard_tiles = 0;
+  for (const ShardStats& shard : stats.shards)
+    shard_tiles += shard.service.tiles_total;
+  EXPECT_EQ(tiles, shard_tiles);
+}
+
+TEST(FarmWindows, UtilizationIsOverFarmCapacity) {
+  const double width = 0.002;
+  const FrontendStats stats = run_farm(width);
+  const double capacity = width * 2.0 * 2.0;  // shards x gpus_per_shard
+  for (const ServiceWindow& w : stats.windows) {
+    EXPECT_GE(w.utilization, 0.0);
+    EXPECT_LE(w.utilization, 1.0);
+    // Where the clamp is not active the ratio is exact — a farm bin
+    // never reports a single shard's utilization.
+    if (w.gpu_busy_s <= capacity) {
+      EXPECT_DOUBLE_EQ(w.utilization, w.gpu_busy_s / capacity);
+    }
+  }
+}
+
+TEST(FarmWindows, DisabledTrackingYieldsNoFarmWindows) {
+  const FrontendStats stats = run_farm(0.0);
+  EXPECT_TRUE(stats.windows.empty());
+  for (const ShardStats& shard : stats.shards) {
+    EXPECT_TRUE(shard.service.windows.empty());
+  }
+}
+
+}  // namespace
+}  // namespace vrmr::service

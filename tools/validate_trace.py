@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file exported by obs::TraceRecorder.
+
+Checks (stdlib only, no third-party deps):
+  * the file parses as JSON with a `traceEvents` array (or is a bare array);
+  * every event has a numeric `ts`, integer `pid`/`tid`, and a string `ph`;
+  * duration events: every E closes a B on the same (pid, tid) track, and
+    timestamps are non-decreasing per track (the recorder runs on one
+    simulated clock per process);
+  * async events: every e closes a b with the same (cat, id), none left open;
+  * metadata events (ph=M) carry the name they claim to set;
+  * optional --require PREFIX flags assert at least one non-metadata event
+    whose name starts with PREFIX exists (e.g. --require preempt).
+
+Exit code 0 on success, 1 on any violation (each violation is printed).
+
+Usage:
+  python3 tools/validate_trace.py trace.json [--require PREFIX]...
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if isinstance(doc, list):
+        return doc
+    if isinstance(doc, dict) and isinstance(doc.get("traceEvents"), list):
+        return doc["traceEvents"]
+    raise ValueError("expected a JSON array or an object with 'traceEvents'")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the trace-event JSON file")
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="assert at least one event whose name starts with PREFIX",
+    )
+    args = parser.parse_args()
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        print(f"FAIL: cannot load {args.trace}: {err}")
+        return 1
+
+    errors = []
+    open_spans = {}  # (pid, tid) -> list of begin names (stack)
+    last_ts = {}  # (pid, tid) -> last timestamp seen on the track
+    open_async = {}  # (cat, id) -> count of unmatched b events
+    names_seen = set()
+
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            errors.append(f"{where}: missing phase 'ph'")
+            continue
+        pid, tid, ts = event.get("pid"), event.get("tid"), event.get("ts")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            errors.append(f"{where} (ph={ph}): pid/tid must be integers")
+            continue
+        if ph != "M" and not isinstance(ts, (int, float)):
+            errors.append(f"{where} (ph={ph}): missing numeric 'ts'")
+            continue
+        name = event.get("name")
+        if ph in ("B", "i", "b", "e", "M") and not isinstance(name, str):
+            errors.append(f"{where} (ph={ph}): missing string 'name'")
+            continue
+        if isinstance(name, str):
+            names_seen.add(name)
+
+        track = (pid, tid)
+        if ph in ("B", "E", "i", "X"):
+            if track in last_ts and ts < last_ts[track]:
+                errors.append(
+                    f"{where} ({name}): ts {ts} goes backwards on track "
+                    f"pid={pid} tid={tid} (last {last_ts[track]})"
+                )
+            last_ts[track] = ts
+
+        if ph == "B":
+            open_spans.setdefault(track, []).append(name)
+        elif ph == "E":
+            stack = open_spans.get(track)
+            if not stack:
+                errors.append(
+                    f"{where}: E with no open B on track pid={pid} tid={tid}"
+                )
+            else:
+                stack.pop()
+        elif ph in ("b", "e"):
+            cat = event.get("cat")
+            async_id = event.get("id")
+            if not isinstance(cat, str) or async_id is None:
+                errors.append(f"{where} ({name}, ph={ph}): needs 'cat' and 'id'")
+                continue
+            key = (cat, str(async_id))
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) <= 0:
+                    errors.append(
+                        f"{where} ({name}): async end with no open begin for "
+                        f"cat={cat} id={async_id}"
+                    )
+                else:
+                    open_async[key] -= 1
+
+    for (pid, tid), stack in open_spans.items():
+        for name in stack:
+            errors.append(f"unclosed span '{name}' on track pid={pid} tid={tid}")
+    for (cat, async_id), count in open_async.items():
+        if count > 0:
+            errors.append(
+                f"{count} unclosed async event(s) for cat={cat} id={async_id}"
+            )
+
+    for prefix in args.require:
+        if not any(name.startswith(prefix) for name in names_seen):
+            errors.append(f"required event prefix '{prefix}' not found")
+
+    if errors:
+        for error in errors:
+            print(f"FAIL: {error}")
+        print(f"{len(errors)} violation(s) in {len(events)} events")
+        return 1
+    print(f"OK: {len(events)} events, all tracks balanced")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
