@@ -44,6 +44,10 @@ struct FrontendConfig {
   cluster::HardwareModel hw = cluster::HardwareModel::ncsa_accelerator_cluster();
   int max_gpus_per_node = 4;
   /// Per-shard RenderService configuration (policy, cache, ...).
+  /// Adaptive quality flows through unchanged: each shard runs its own
+  /// SLO controller (service.interactive_slo_s / max_degrade_lod) and
+  /// per-session quality floors (SessionProfile::quality) ride the
+  /// profile to whichever shard placement picks.
   ServiceConfig service;
   /// Optional per-shard brick-cache policy override: when non-empty it
   /// must name one policy per shard, and shard i's RenderService runs

@@ -76,16 +76,6 @@ LatencyQuantiles quantiles_from(const obs::LogHistogram* histogram) {
   return q;
 }
 
-/// Decomposition signature for BrickKey::layout_id: brick dims + ghost
-/// pin the brick extents for a given volume (axes are < 2^20 voxels).
-std::uint64_t layout_signature(const volren::BrickLayout& layout) {
-  const Int3 d = layout.brick_dims();
-  const std::uint64_t packed = (static_cast<std::uint64_t>(d.x) << 42) |
-                               (static_cast<std::uint64_t>(d.y) << 21) |
-                               static_cast<std::uint64_t>(d.z);
-  return packed * 31u + static_cast<std::uint64_t>(layout.ghost());
-}
-
 }  // namespace
 
 const char* to_string(SchedulingPolicy policy) {
@@ -187,7 +177,10 @@ std::uint64_t RenderService::session_submit(int session, RenderRequest request) 
       volren::choose_layout(*request.volume, request.options,
                             cluster_.total_gpus()));
   ++layouts_built_;
-  pending.layout_sig = layout_signature(*pending.layout);
+  // BrickLayout::signature() keys cached payloads; it mixes volume dims
+  // too, so a pyramid level layout of one volume can never alias the
+  // base layout of a half-size volume (lod/pyramid.hpp).
+  pending.layout_sig = pending.layout->signature();
   pending.submit_dims = request.volume->dims();
   pending.submit_floor_s = cluster_.engine().now();
   pending.request = std::move(request);
@@ -241,7 +234,15 @@ void RenderService::invalidate_volume(const volren::Volume* volume) {
   ++generation_;
   const auto it = volumes_.find(volume);
   if (it == volumes_.end()) return;
-  if (cache_) cache_->invalidate_volume(it->second.id);
+  const std::uint64_t vid = it->second.id;
+  if (cache_) cache_->invalidate_volume(vid);
+  // Quality metadata is derived from the retired registration's voxels:
+  // drop pyramids/occupancy and every memoized TF classification so a
+  // re-registered volume rebuilds them from its new contents.
+  std::erase_if(quality_, [vid](const auto& entry) {
+    return entry.first.first == vid;
+  });
+  classifications_.invalidate_volume(vid);
   volumes_.erase(it);
 }
 
@@ -369,7 +370,7 @@ void RenderService::advance_clock_to(double t) {
   engine.run();
 }
 
-double RenderService::estimate_cost_s(const Pending& pending) const {
+double RenderService::estimate_cost_s(const Pending& pending, int lod) const {
   const RenderRequest& req = pending.request;
   const volren::Volume& volume = *req.volume;
   const int gpus = cluster_.total_gpus();
@@ -389,8 +390,12 @@ double RenderService::estimate_cost_s(const Pending& pending) const {
                       static_cast<double>(req.options.image_height);
   const Int3 dims = volume.dims();
   const double mean_axis = static_cast<double>(dims.x + dims.y + dims.z) / 3.0;
+  // Pyramid level `lod` steps at a 2^lod x longer voxel edge: ~2^lod
+  // fewer samples per covered ray (the fragment/network volume is
+  // unchanged — the kernel still launches the same projected rects).
   pred.total_samples = static_cast<std::uint64_t>(
-      rays * mean_axis * static_cast<double>(req.options.cast.sampling_rate));
+      rays * mean_axis * static_cast<double>(req.options.cast.sampling_rate) /
+      static_cast<double>(std::uint64_t{1} << lod));
 
   const Int3 grid = layout.grid_dims();
   const double layers =
@@ -408,21 +413,36 @@ double RenderService::estimate_cost_s(const Pending& pending) const {
   // be dealt to (mr::FramePlan deals unpinned chunks round-robin in add
   // order, so brick i lands on GPU i % gpus).
   std::uint64_t vid = 0;
-  bool cache_aware = false;
-  if (cache_.has_value()) {
-    if (const auto it = volumes_.find(req.volume); it != volumes_.end()) {
-      vid = it->second.id;
-      cache_aware = true;
+  bool registered = false;
+  if (const auto it = volumes_.find(req.volume); it != volumes_.end()) {
+    vid = it->second.id;
+    registered = true;
+  }
+  const bool cache_aware = cache_.has_value() && registered;
+  // A coarse estimate stages coarse bricks: exact level layout + cache
+  // signature when the pyramid already exists, else ~8^lod smaller
+  // bytes assumed cold (the pyramid is built at first degraded serve).
+  const lod::LodLevel* level = nullptr;
+  if (lod > 0 && registered) {
+    const auto qit = quality_.find({vid, pending.layout_sig});
+    if (qit != quality_.end() && qit->second.pyramid != nullptr &&
+        lod < qit->second.pyramid->num_levels()) {
+      level = &qit->second.pyramid->level(lod);
     }
   }
   std::uint64_t h2d = 0;
   int deal = 0;
   for (const volren::BrickInfo& brick : layout.bricks()) {
     const int gpu = deal++ % gpus;
-    const bool warm = cache_aware &&
-                      cache_->resident(gpu, BrickKey{vid, brick.id,
-                                                     pending.layout_sig});
-    if (!warm) h2d += brick.device_bytes();
+    std::uint64_t bytes = brick.device_bytes() >> (3 * lod);
+    std::uint64_t sig = pending.layout_sig;
+    if (level != nullptr) {
+      bytes = level->layout->brick(brick.id).device_bytes();
+      sig = level->cache_signature;
+    }
+    const bool warm =
+        cache_aware && cache_->resident(gpu, BrickKey{vid, brick.id, sig});
+    if (!warm) h2d += bytes;
   }
   pred.bytes_h2d = h2d;
   if (req.options.include_disk_io) pred.bytes_disk = h2d;
@@ -465,9 +485,15 @@ mr::StagingHook RenderService::make_staging_hook(const Pending& pending) {
   return [this, vid, lid](int gpu, const mr::Chunk& chunk) {
     const auto* brick = dynamic_cast<const volren::BrickChunk*>(&chunk);
     if (brick == nullptr) return false;  // non-brick chunks are never cached
+    // LOD chunks carry their level layout's signature so coarse
+    // payloads are first-class (tiny) cache entries distinct from the
+    // full-resolution brick; base chunks fall back to the memoized
+    // frame layout signature.
+    const std::uint64_t sig =
+        brick->cache_signature() != 0 ? brick->cache_signature() : lid;
     BrickCache::LookupOutcome outcome;
     const bool hit = cache_->lookup_or_admit(
-        gpu, BrickKey{vid, brick->info().id, lid}, chunk.device_bytes(), &outcome);
+        gpu, BrickKey{vid, brick->info().id, sig}, chunk.device_bytes(), &outcome);
     if (trace_ != nullptr) {
       obs::TraceArgs args{{"brick", std::to_string(brick->info().id)}};
       if (outcome.ghost_b1) args.emplace_back("ghost", "b1");
@@ -550,13 +576,16 @@ void RenderService::deliver_tile(ActiveFrame& active, int reducer) {
   const double now = active.frame->plan().tile_finish_s(reducer);
   if (active.record.tiles == 0) active.record.first_tile_s = now;
   active.record.tiles += 1;
-  SessionState& session = *sessions_[static_cast<std::size_t>(active.session)];
+  // Refinement tiles stream through the client's callback (the internal
+  // session has none of its own).
+  SessionState& session =
+      *sessions_[static_cast<std::size_t>(active.client_session)];
   session.tiles_delivered += 1;
   ++tiles_total_;
   window_at(now).tiles += 1;
   if (session.tile_callback) {
     TileRecord tile;
-    tile.session = active.session;
+    tile.session = active.client_session;
     tile.frame_id = active.record.frame_id;
     tile.reducer = reducer;
     tile.tiles_in_frame = active.frame->num_tiles();
@@ -581,12 +610,163 @@ void RenderService::deliver_frame(int session_index, const FrameRecord& record) 
   }
 }
 
+RenderService::QualityState& RenderService::quality_state(const Pending& pending,
+                                                          std::uint64_t vid) {
+  const auto key = std::make_pair(vid, pending.layout_sig);
+  auto it = quality_.find(key);
+  if (it == quality_.end()) {
+    QualityState qs;
+    // The pyramid shares the memoized frame layout; the base volume
+    // outlives serving (the Session API contract), which is the
+    // lifetime the pyramid's level wrappers need.
+    qs.pyramid = std::make_shared<const lod::LodPyramid>(*pending.request.volume,
+                                                         pending.layout);
+    if (config_.enable_occupancy_culling) {
+      const std::int64_t voxels = pending.request.volume->voxel_count();
+      const int scan_stride = voxels > config_.occupancy_max_voxels ? 4 : 1;
+      qs.occupancy = std::make_shared<const lod::OccupancyIndex>(
+          *pending.request.volume, *pending.layout, /*cell_voxels=*/8, scan_stride);
+    }
+    it = quality_.emplace(key, std::move(qs)).first;
+  }
+  return it->second;
+}
+
+void RenderService::apply_adaptive_quality(ActiveFrame& active,
+                                           const SessionState& session,
+                                           volren::RenderOptions& options,
+                                           volren::AdaptiveQuality* aq) {
+  if (!config_.enable_lod && !config_.enable_occupancy_culling) return;
+  // The session's quality floor composes with the request's own knob.
+  if (session.profile.quality < options.quality)
+    options.quality = session.profile.quality;
+
+  const bool wants_lod =
+      config_.enable_lod && (options.max_lod > 0 || options.quality < 1.0f);
+  // The SLO controller degrades only client Interactive frames: a
+  // refinement re-degrading would loop forever, and Batch work has no
+  // deadline to protect.
+  const bool slo_armed = config_.enable_lod && config_.interactive_slo_s > 0.0 &&
+                         active.priority == Priority::Interactive &&
+                         !active.pending.is_refinement;
+  if (!wants_lod && !slo_armed && !config_.enable_occupancy_culling) return;
+
+  const std::uint64_t vid = register_volume(active.pending.request.volume).id;
+  QualityState& qs = quality_state(active.pending, vid);
+
+  if (config_.enable_lod && (wants_lod || slo_armed)) {
+    active.pyramid = qs.pyramid;
+    aq->pyramid = qs.pyramid.get();
+    int level = qs.pyramid->clamp(options.max_lod);
+    if (slo_armed) {
+      const double now = cluster_.engine().now();
+      // Budget left of the deadline after the time already spent
+      // queued. Walk coarser while the calibrated estimate still blows
+      // it; a budget nothing fits gets the coarsest allowed level
+      // (best effort).
+      const double budget =
+          config_.interactive_slo_s - (now - active.record.arrival_s);
+      const int deepest =
+          std::min(config_.max_degrade_lod, qs.pyramid->num_levels() - 1);
+      int chosen = level;
+      while (chosen < deepest &&
+             session.cost_scale * estimate_cost_s(active.pending, chosen) >
+                 budget) {
+        ++chosen;
+      }
+      if (chosen > level) {
+        active.degraded = true;
+        ++frames_degraded_;
+        // Re-anchor the calibration baseline to what will actually be
+        // served: completion compares observed time against
+        // submit_cost_s, and judging a coarse serve against the
+        // full-quality estimate would collapse cost_scale and make the
+        // controller oscillate between degrading and not.
+        active.pending.submit_cost_s = estimate_cost_s(active.pending, chosen);
+        if (trace_ != nullptr) {
+          trace_->instant(now, trace_pid_, obs::kServiceTid, "slo_degrade",
+                          "sched",
+                          {{"frame", std::to_string(active.pending.frame_id)},
+                           {"lod", std::to_string(chosen)},
+                           {"budget_s", std::to_string(budget)}});
+        }
+        level = chosen;
+      }
+    }
+    options.max_lod = level;
+    active.record.lod = level;
+  }
+
+  if (config_.enable_occupancy_culling && qs.occupancy != nullptr) {
+    active.classification = classifications_.lookup_or_build(
+        vid, active.pending.layout_sig, *qs.occupancy, options.transfer);
+    aq->classification = active.classification.get();
+  }
+}
+
+void RenderService::maybe_enqueue_refinement(ActiveFrame& active) {
+  if (!active.degraded || active.pending.is_refinement) return;
+  const int client = active.client_session;
+  SessionState& client_state = *sessions_[static_cast<std::size_t>(client)];
+  int refine_index = client_state.refine_session;
+  if (refine_index < 0) {
+    // Lazily open the client's internal refinement session: Batch
+    // priority (refinements fill lanes the interactive stream leaves
+    // free, and batch aging bounds their wait under sustained load),
+    // delivering through the client's callbacks.
+    auto state = std::make_unique<SessionState>();
+    state->profile.name = client_state.profile.name + "#refine";
+    state->profile.priority = Priority::Batch;
+    state->delegate = client;
+    sessions_.push_back(std::move(state));
+    refine_index = num_sessions() - 1;
+    client_state.refine_session = refine_index;
+  }
+
+  const double now = cluster_.engine().now();
+  Pending refine;
+  // The original request — pre-degradation options, so the refinement
+  // renders the same view at the quality the client asked for. The
+  // memoized decomposition is reused (same volume, same options), so
+  // layouts_built() stays one per client-submitted frame.
+  refine.request = active.pending.request;
+  refine.request.arrival_s = now;
+  refine.frame_id = next_frame_id_++;
+  refine.layout = active.pending.layout;
+  refine.layout_sig = active.pending.layout_sig;
+  refine.submit_dims = active.pending.submit_dims;
+  refine.submit_floor_s = now;
+  refine.refines = static_cast<std::int64_t>(active.pending.frame_id);
+  refine.is_refinement = true;
+  refine.submit_cost_s = estimate_cost_s(refine);
+  ++refinements_enqueued_;
+  if (trace_ != nullptr) {
+    trace_->instant(now, trace_pid_, obs::kServiceTid, "refine_enqueue", "sched",
+                    {{"frame", std::to_string(refine.frame_id)},
+                     {"refines", std::to_string(active.pending.frame_id)},
+                     {"session", std::to_string(client)}});
+  }
+  sessions_[static_cast<std::size_t>(refine_index)]->queue.push_back(
+      std::move(refine));
+  // Mid-drain enqueue needs a scheduler event exactly like a mid-drain
+  // client submit (see session_submit).
+  if (draining_ && config_.pipeline == PipelineMode::Quantum) {
+    cluster_.engine().schedule_after(0.0, [this] {
+      if (draining_) pump();
+    });
+  }
+}
+
 std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
     int session_index, double arrival_floor_s, double predicted_cost_s) {
   SessionState& session = *sessions_[static_cast<std::size_t>(session_index)];
   check_serve_dims(session.queue.front());
   auto active = std::make_unique<ActiveFrame>();
   active->session = session_index;
+  // Refinement frames live on an internal session but deliver (and are
+  // recorded) as the client's.
+  active->client_session =
+      session.delegate >= 0 ? session.delegate : session_index;
   active->priority = session.profile.priority;
   active->pending = std::move(session.queue.front());
   session.queue.pop_front();
@@ -607,8 +787,9 @@ std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
   }
 
   FrameRecord& record = active->record;
-  record.session = session_index;
+  record.session = active->client_session;
   record.frame_id = active->pending.frame_id;
+  record.refines_frame_id = active->pending.refines;
   record.arrival_s = std::max(active->pending.effective_arrival_s(), arrival_floor_s);
   open_window(record.arrival_s);
   // SJF scored this frame against the same cache state when it picked
@@ -624,21 +805,31 @@ std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
   if (config_.pipeline == PipelineMode::Quantum) {
     options.barrier_mode = config_.barrier_mode;
   }
+  // Adaptive quality: session quality floor, SLO-budget degradation and
+  // occupancy classification — resolved before the trace arrow so the
+  // served LOD is attributable from admission on.
+  volren::AdaptiveQuality aq;
+  apply_adaptive_quality(*active, session, options, &aq);
   if (trace_ != nullptr) {
     const double now = cluster_.engine().now();
     const bool interactive = active->priority == Priority::Interactive;
     options.trace.recorder = trace_;
     options.trace.pid = trace_pid_;
-    options.trace.session = session_index;
+    options.trace.session = active->client_session;
     options.trace.frame_id = record.frame_id;
     options.trace.priority = interactive ? 0 : 1;
     // Distinct reducer-track bases per class: at most one frame per
     // class is active, so the two never interleave on a track.
     options.trace.reducer_tid_base = interactive ? 1000 : 2000;
-    const obs::TraceArgs attribution{
-        {"session", std::to_string(session_index)},
+    obs::TraceArgs attribution{
+        {"session", std::to_string(active->client_session)},
         {"frame", std::to_string(record.frame_id)},
         {"class", to_string(active->priority)}};
+    if (record.lod > 0) attribution.emplace_back("lod", std::to_string(record.lod));
+    if (record.refines_frame_id >= 0) {
+      attribution.emplace_back("refines",
+                               std::to_string(record.refines_frame_id));
+    }
     trace_->instant(now, trace_pid_, obs::kServiceTid, "admit", "sched",
                     attribution);
     // The frame's end-to-end arrow: admission -> delivery.
@@ -647,7 +838,7 @@ std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
   }
   active->frame = volren::plan_frame(cluster_, *active->pending.request.volume,
                                      options, make_staging_hook(active->pending),
-                                     *active->pending.layout);
+                                     *active->pending.layout, aq);
   return active;
 }
 
@@ -671,12 +862,20 @@ void RenderService::serve_one(int session_index, double arrival_floor_s,
 
   volren::RenderResult result = active->frame->finish();
   // The plan itself counts skipped stagings, so hit accounting is
-  // uniform whether or not a cache is wired in.
+  // uniform whether or not a cache is wired in. Culled chunks (empty
+  // screen footprint or occupancy-empty) were never demanded from the
+  // cache, so they are neither hits nor misses.
   record.cache_hits = result.stats.chunks_resident;
-  record.cache_misses =
-      static_cast<std::uint64_t>(result.stats.num_chunks) - record.cache_hits;
+  record.cache_misses = static_cast<std::uint64_t>(result.stats.num_chunks) -
+                        record.cache_hits - result.stats.chunks_culled;
   record.finish_s = engine.now();
   record.stats = std::move(result.stats);
+  // The footprint path may have dropped deeper than the admission-time
+  // floor (quality < 1); the record reports the deepest level served.
+  record.lod = std::max(record.lod, active->frame->max_level());
+  bricks_occupancy_culled_ +=
+      static_cast<std::uint64_t>(active->frame->occupancy_culled());
+  if (active->pending.is_refinement) ++refinements_served_;
   if (config_.keep_images) record.image = std::move(result.image);
   window_at(record.finish_s).frames_finished += 1;
   sample_gpu_busy();
@@ -690,7 +889,10 @@ void RenderService::serve_one(int session_index, double arrival_floor_s,
 
   calibrate(session_index, record, active->pending.submit_cost_s);
   completed_.push_back(std::move(record));
-  deliver_frame(session_index, completed_.back());
+  deliver_frame(active->client_session, completed_.back());
+  // Strictly after the preview's delivery: the refinement's own
+  // on_frame can then never precede it (src/service/README.md).
+  maybe_enqueue_refinement(*active);
 }
 
 void RenderService::drain_monolithic(double arrival_floor_s) {
@@ -943,10 +1145,16 @@ void RenderService::frame_finished(ActiveFrame* active) {
   volren::RenderResult result = active->frame->finish();
   FrameRecord& record = active->record;
   record.cache_hits = result.stats.chunks_resident;
-  record.cache_misses =
-      static_cast<std::uint64_t>(result.stats.num_chunks) - record.cache_hits;
+  record.cache_misses = static_cast<std::uint64_t>(result.stats.num_chunks) -
+                        record.cache_hits - result.stats.chunks_culled;
   record.finish_s = cluster_.engine().now();
   record.stats = std::move(result.stats);
+  // The footprint path may have dropped deeper than the admission-time
+  // floor (quality < 1); the record reports the deepest level served.
+  record.lod = std::max(record.lod, active->frame->max_level());
+  bricks_occupancy_culled_ +=
+      static_cast<std::uint64_t>(active->frame->occupancy_culled());
+  if (active->pending.is_refinement) ++refinements_served_;
   if (config_.keep_images) record.image = std::move(result.image);
   window_at(record.finish_s).frames_finished += 1;
   sample_gpu_busy();
@@ -961,7 +1169,10 @@ void RenderService::frame_finished(ActiveFrame* active) {
 
   calibrate(active->session, record, active->pending.submit_cost_s);
   completed_.push_back(std::move(record));
-  deliver_frame(active->session, completed_.back());
+  deliver_frame(active->client_session, completed_.back());
+  // Strictly after the preview's delivery: the refinement's own
+  // on_frame can then never precede it (src/service/README.md).
+  maybe_enqueue_refinement(*active);
   // Teardown and the next scheduling decision happen on a fresh engine
   // event: the finishing quantum's callback frames are still on this
   // plan's stack, so the plan cannot be destroyed (or its lanes
@@ -1075,6 +1286,11 @@ ServiceStats RenderService::stats() const {
   out.preemptions = preemptions_;
   out.bricks_prefetched = bricks_prefetched_;
   out.bytes_prefetched = bytes_prefetched_;
+  out.frames_degraded = frames_degraded_;
+  out.refinements_enqueued = refinements_enqueued_;
+  out.refinements_served = refinements_served_;
+  out.bricks_occupancy_culled = bricks_occupancy_culled_;
+  out.classifications_built = classifications_.classifications_built();
 
   if (config_.stats_window_s > 0.0) {
     // Fold GPU busy not yet attributed (work since the last frame

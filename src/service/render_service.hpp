@@ -75,6 +75,8 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "lod/occupancy.hpp"
+#include "lod/pyramid.hpp"
 #include "mr/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -161,6 +163,34 @@ struct ServiceConfig {
   /// scale <- (1-a)*scale + a*(observed/predicted) per completed
   /// frame. 0 disables calibration (pure a-priori model).
   double cost_calibration_alpha = 0.25;
+
+  // --- adaptive quality of service (src/lod) -------------------------------
+  /// Interactive frame deadline: > 0 arms the SLO controller. At
+  /// admission, an Interactive frame whose remaining deadline budget
+  /// (slo - time already queued) cannot fit the calibrated full-quality
+  /// cost estimate is served from a coarser pyramid level instead, and
+  /// a full-quality *refinement* frame for the same view is enqueued at
+  /// the preview's completion on an internal Batch-priority session —
+  /// delivered through the client's normal on_tile/on_frame callbacks
+  /// with FrameRecord::refines_frame_id linking back to the preview.
+  /// 0 disables degradation entirely (the pre-SLO behaviour).
+  double interactive_slo_s = 0.0;
+  /// Deepest pyramid level the SLO controller may degrade to (further
+  /// clamped by the pyramid's actual depth).
+  int max_degrade_lod = 2;
+  /// Build per-volume LOD pyramids on demand (the SLO controller and
+  /// requests with max_lod/quality set need one). No effect on frames
+  /// that never ask for reduced quality.
+  bool enable_lod = true;
+  /// Scan per-brick occupancy (min/max + cell thumbnail) and cull
+  /// bricks the session's transfer function maps fully transparent
+  /// before any staging. Output is bit-identical (lod/occupancy.hpp);
+  /// off by default because culled bricks change cache/staging
+  /// telemetry that replay baselines compare against.
+  bool enable_occupancy_culling = false;
+  /// Occupancy scan budget: volumes above this voxel count get a
+  /// subsampled, non-exact scan — metadata only, never culled from.
+  std::int64_t occupancy_max_voxels = std::int64_t{1} << 24;
 };
 
 /// One bin of the windowed service counters: activity inside
@@ -224,6 +254,16 @@ struct ServiceStats {
   /// Camera-aware prefetch: bricks staged speculatively on idle lanes.
   std::uint64_t bricks_prefetched = 0;
   std::uint64_t bytes_prefetched = 0;
+  /// Adaptive quality: interactive frames the SLO controller admitted
+  /// below full resolution, refinement frames enqueued/served for them,
+  /// bricks dropped by occupancy classification before staging, and
+  /// distinct TF classifications actually computed (the memoization
+  /// probe — one per (volume, layout, TF), never per frame).
+  std::uint64_t frames_degraded = 0;
+  std::uint64_t refinements_enqueued = 0;
+  std::uint64_t refinements_served = 0;
+  std::uint64_t bricks_occupancy_culled = 0;
+  std::uint64_t classifications_built = 0;
   BrickCacheStats cache;
   /// Per-window counters (ServiceConfig::stats_window_s bins, sparse,
   /// ascending start_s). Lifetime aggregates above average preemption
@@ -342,6 +382,10 @@ class RenderService final : public SessionBackend {
     /// prefetched at most once per queued frame, so cache pressure
     /// cannot make the prefetcher thrash.
     std::vector<std::uint8_t> prefetch_issued;
+    /// Refinement link: >= 0 means this frame re-renders the listed
+    /// completed frame's view at full quality (internal sessions only).
+    std::int64_t refines = -1;
+    bool is_refinement = false;
 
     /// Arrival as scheduling and telemetry see it: backdated arrivals
     /// floor at the submit clock (so FIFO order, the arrived-yet gate
@@ -361,6 +405,13 @@ class RenderService final : public SessionBackend {
     /// Online calibration: EWMA of observed service_s over the
     /// a-priori submit estimate.
     double cost_scale = 1.0;
+    /// Internal refinement session: >= 0 names the client session whose
+    /// callbacks (and FrameRecord::session) this session's frames
+    /// deliver through. -1 for every client-opened session.
+    int delegate = -1;
+    /// Client side of the link: the lazily-opened "<name>#refine"
+    /// session refinements of this session are queued on.
+    int refine_session = -1;
   };
   struct VolumeRegistration {
     std::uint64_t id = 0;          // cache key; never reused
@@ -370,11 +421,22 @@ class RenderService final : public SessionBackend {
   /// A frame admitted to the cluster: its quantum plan plus the record
   /// being accumulated. Pointer-stable (plan callbacks capture it).
   struct ActiveFrame {
-    int session = -1;
+    int session = -1;  // queue-owning session (internal for refinements)
+    /// Delivery target: the session whose callbacks receive tiles and
+    /// the frame, and the index stamped into records. Equals `session`
+    /// except for refinement frames (delegate resolved at admission).
+    int client_session = -1;
     Priority priority = Priority::Batch;
     Pending pending;
     FrameRecord record;
     std::unique_ptr<volren::PlannedFrame> frame;
+    /// Keep the adaptive-quality inputs alive for the frame's lifetime:
+    /// LOD chunks reference pyramid level volumes/layouts.
+    std::shared_ptr<const lod::LodPyramid> pyramid;
+    std::shared_ptr<const lod::TfClassification> classification;
+    /// SLO controller served this below the requested quality; a
+    /// refinement is enqueued at completion.
+    bool degraded = false;
     bool render_started = false;  // first quantum issued (start_s set)
     bool done = false;            // finished; reaped on the next event
   };
@@ -392,8 +454,12 @@ class RenderService final : public SessionBackend {
   double earliest_head_arrival() const;  // +inf when all queues empty
   void advance_clock_to(double t);
   /// A-priori cost model (unscaled); scaled_cost applies the session's
-  /// online calibration.
-  double estimate_cost_s(const Pending& pending) const;
+  /// online calibration. `lod` > 0 estimates serving the frame from
+  /// that pyramid level: samples shrink ~2^lod (longer steps), staged
+  /// bytes ~8^lod, residency checked under the level's cache signature
+  /// when the pyramid exists — the signal the SLO controller walks down
+  /// until the estimate fits the deadline budget.
+  double estimate_cost_s(const Pending& pending, int lod = 0) const;
   double scaled_cost(int session_index, const Pending& pending) const;
   /// Register (or re-find) the volume under the current generation;
   /// CHECKs that registered voxel dims still match the volume's.
@@ -423,6 +489,29 @@ class RenderService final : public SessionBackend {
   }
   void deliver_tile(ActiveFrame& active, int reducer);
   void deliver_frame(int session_index, const FrameRecord& record);
+
+  // --- adaptive quality ----------------------------------------------------
+  /// Lazily-built per-(volume id, layout signature) quality metadata.
+  struct QualityState {
+    std::shared_ptr<const lod::LodPyramid> pyramid;
+    std::shared_ptr<const lod::OccupancyIndex> occupancy;
+  };
+  /// Find-or-build the quality state for a pending frame's (volume,
+  /// layout). Registers the volume; the occupancy index is scanned only
+  /// when enable_occupancy_culling is set (subsampled past the voxel
+  /// budget).
+  QualityState& quality_state(const Pending& pending, std::uint64_t vid);
+  /// SLO controller + per-request quality knobs: resolves the LOD this
+  /// admission serves at, fills `aq` (and the keep-alive refs on
+  /// `active`), flags degradation. Mutates `options` (max_lod/quality).
+  void apply_adaptive_quality(ActiveFrame& active, const SessionState& session,
+                              volren::RenderOptions& options,
+                              volren::AdaptiveQuality* aq);
+  /// Enqueue the full-quality refinement of a just-completed degraded
+  /// preview on the client's internal "#refine" session (lazily
+  /// opened). Called strictly after deliver_frame, so a refinement's
+  /// delivery can never precede its preview's.
+  void maybe_enqueue_refinement(ActiveFrame& active);
 
   // --- windowed stats -----------------------------------------------------
   /// The window bin containing simulated time `t` (no-op sink when
@@ -498,6 +587,14 @@ class RenderService final : public SessionBackend {
   std::uint64_t preemptions_ = 0;
   std::uint64_t bricks_prefetched_ = 0;
   std::uint64_t bytes_prefetched_ = 0;
+
+  // Adaptive-quality state and telemetry.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, QualityState> quality_;
+  lod::ClassificationCache classifications_;
+  std::uint64_t frames_degraded_ = 0;
+  std::uint64_t refinements_enqueued_ = 0;
+  std::uint64_t refinements_served_ = 0;
+  std::uint64_t bricks_occupancy_culled_ = 0;
 
   // Observability: flight recorder (null = record nothing) + metrics.
   obs::TraceRecorder* trace_ = nullptr;

@@ -65,6 +65,11 @@ struct SessionProfile {
   std::string name;
   Priority priority = Priority::Batch;
   std::optional<OrbitHint> orbit;
+  /// Session-wide quality floor in (0, 1], min-composed with each
+  /// request's RenderOptions::quality at admission: < 1 lets bricks
+  /// that project small render from coarser pyramid levels
+  /// (lod::select_level). 1.0 = full fidelity (the default).
+  float quality = 1.0f;
 };
 
 struct RenderRequest {
@@ -98,6 +103,15 @@ struct FrameRecord {
   /// the last-finishing reducer's dependency chain, summing EXACTLY to
   /// finish_s - arrival_s (obs::analyze_plan; valid once served).
   obs::CriticalPath critical_path;
+  /// Deepest LOD pyramid level any brick of this frame rendered at:
+  /// 0 = full resolution everywhere; > 0 = a degraded preview (SLO
+  /// controller) or a reduced-quality request.
+  int lod = 0;
+  /// When >= 0, this frame is the full-quality refinement of the listed
+  /// earlier frame of the same session (same view, lod 0). A
+  /// refinement's on_frame callback never precedes its preview's — see
+  /// src/service/README.md for the ordering guarantees.
+  std::int64_t refines_frame_id = -1;
   volren::Image image;  // only populated when ServiceConfig::keep_images
 
   double latency_s() const { return finish_s - arrival_s; }

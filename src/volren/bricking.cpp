@@ -56,6 +56,26 @@ BrickLayout::BrickLayout(Int3 volume_dims, Vec3 world_extent, Int3 brick_dims, i
   }
 }
 
+std::uint64_t BrickLayout::signature() const {
+  // FNV-1a over the shape-determining fields. Deterministic across
+  // runs (no pointers, no addresses) so replayed schedules hash alike.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(volume_dims_.x));
+  mix(static_cast<std::uint64_t>(volume_dims_.y));
+  mix(static_cast<std::uint64_t>(volume_dims_.z));
+  mix(static_cast<std::uint64_t>(brick_dims_.x));
+  mix(static_cast<std::uint64_t>(brick_dims_.y));
+  mix(static_cast<std::uint64_t>(brick_dims_.z));
+  mix(static_cast<std::uint64_t>(ghost_));
+  return h;
+}
+
 int BrickLayout::choose_brick_size(Int3 volume_dims, int target_bricks) {
   VRMR_CHECK(target_bricks >= 1);
   const int max_dim = std::max({volume_dims.x, volume_dims.y, volume_dims.z});

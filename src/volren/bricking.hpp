@@ -66,6 +66,14 @@ class BrickLayout {
     return (grid_pos.z * grid_.y + grid_pos.y) * grid_.x + grid_pos.x;
   }
 
+  /// Stable content hash over (volume dims, brick dims, ghost) — the
+  /// fields that determine every brick's stored voxel region. Used to
+  /// key cached brick payloads: LOD pyramid levels of one volume and
+  /// same-shaped layouts of *different-sized* volumes must never alias
+  /// (brick dims alone would collide a level-1 layout with a base
+  /// layout of the half-size volume).
+  std::uint64_t signature() const;
+
   /// Smallest cubic brick size that yields at least `target_bricks`
   /// bricks (within the paper's "roughly a factor of four").
   static int choose_brick_size(Int3 volume_dims, int target_bricks);

@@ -118,14 +118,26 @@ mr::MapOutcome RayCastMapper::map(gpusim::Device& device, const mr::Chunk& chunk
                                   mr::KvBuffer& out) {
   const auto* brick_chunk = dynamic_cast<const BrickChunk*>(&chunk);
   VRMR_CHECK_MSG(brick_chunk != nullptr, "RayCastMapper requires BrickChunk inputs");
-  VRMR_CHECK_MSG(&brick_chunk->volume() == volume_,
+  // LOD chunks carry their pyramid-level volume (a wrapper over the
+  // base); everything the kernel needs (world box, stored grid, dt)
+  // comes from the chunk itself, so only base-resolution chunks must
+  // match the mapper's volume.
+  VRMR_CHECK_MSG(brick_chunk->lod() > 0 || &brick_chunk->volume() == volume_,
                  "chunk belongs to a different volume");
   VRMR_CHECK_MSG(transfer_tex_ != nullptr, "init() was not called");
   VRMR_CHECK_MSG(out.value_size() == sizeof(RayFragment),
                  "job value_size must be sizeof(RayFragment) = " << sizeof(RayFragment));
 
-  BrickCastOutput cast = cast_brick(device, *volume_, brick_chunk->info(), frame_,
-                                    *transfer_tex_);
+  BrickCastOutput cast;
+  if (brick_chunk->lod_stride() > 1) {
+    FrameSetup lod_frame = frame_;
+    lod_frame.cast.lod_stride = brick_chunk->lod_stride();
+    cast = cast_brick(device, brick_chunk->volume(), brick_chunk->info(), lod_frame,
+                      *transfer_tex_);
+  } else {
+    cast = cast_brick(device, brick_chunk->volume(), brick_chunk->info(), frame_,
+                      *transfer_tex_);
+  }
   if (cast.threads > 0) {
     out.append_bulk(cast.keys, cast.fragments.data());
   }

@@ -51,6 +51,12 @@ struct RaycastSettings {
   /// (always used by tests); >1 only for paper-scale bench volumes
   /// (DESIGN.md §2).
   int decimation = 1;
+  /// LOD pyramid stride (2^level) of the volume being marched. Coarse
+  /// levels step at their own (2^level x longer) voxel edge via
+  /// step_size(), so the opacity-correction exponent — defined against
+  /// the *base* volume's per-voxel-step alpha — must scale with it.
+  /// 1 = base resolution.
+  int lod_stride = 1;
 
   /// World-space step between consecutive logical samples for `volume`.
   float step_size(const Volume& volume) const {
@@ -61,7 +67,7 @@ struct RaycastSettings {
   /// Opacity-correction exponent relative to the transfer function's
   /// per-voxel-step alpha definition.
   float opacity_correction() const {
-    return static_cast<float>(decimation) / sampling_rate;
+    return static_cast<float>(decimation * lod_stride) / sampling_rate;
   }
 };
 
@@ -71,17 +77,38 @@ class BrickChunk final : public mr::Chunk {
  public:
   BrickChunk(const Volume& volume, BrickInfo info) : volume_(&volume), info_(info) {}
 
+  /// LOD pyramid chunk: `volume` and `info` come from the pyramid
+  /// *level* (not the base), `lod`/`lod_stride` describe the level, and
+  /// `cache_signature` is the level layout's signature so cached coarse
+  /// payloads never alias full-resolution ones (0 = caller keys by its
+  /// own layout id).
+  BrickChunk(const Volume& volume, BrickInfo info, int lod, int lod_stride,
+             std::uint64_t cache_signature)
+      : volume_(&volume),
+        info_(info),
+        lod_(lod),
+        lod_stride_(lod_stride),
+        cache_signature_(cache_signature) {}
+
   std::uint64_t device_bytes() const override { return info_.device_bytes(); }
   std::string label() const override {
-    return volume_->name() + "/brick" + std::to_string(info_.id);
+    std::string name = volume_->name() + "/brick" + std::to_string(info_.id);
+    if (lod_ > 0) name += "@L" + std::to_string(lod_);
+    return name;
   }
 
   const BrickInfo& info() const { return info_; }
   const Volume& volume() const { return *volume_; }
+  int lod() const { return lod_; }
+  int lod_stride() const { return lod_stride_; }
+  std::uint64_t cache_signature() const { return cache_signature_; }
 
  private:
   const Volume* volume_;
   BrickInfo info_;
+  int lod_ = 0;
+  int lod_stride_ = 1;
+  std::uint64_t cache_signature_ = 0;
 };
 
 /// Static per-frame state shared by all of a job's mappers.

@@ -1,7 +1,10 @@
 #include "volren/renderer.hpp"
 
+#include <algorithm>
 #include <memory>
 
+#include "lod/occupancy.hpp"
+#include "lod/pyramid.hpp"
 #include "util/check.hpp"
 
 namespace vrmr::volren {
@@ -59,6 +62,15 @@ std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume
                                          const RenderOptions& options,
                                          mr::StagingHook staging_hook,
                                          const BrickLayout& layout) {
+  return plan_frame(cluster, volume, options, std::move(staging_hook), layout,
+                    AdaptiveQuality{});
+}
+
+std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume& volume,
+                                         const RenderOptions& options,
+                                         mr::StagingHook staging_hook,
+                                         const BrickLayout& layout,
+                                         const AdaptiveQuality& aq) {
   VRMR_CHECK(options.image_width > 0 && options.image_height > 0);
 
   mr::JobConfig config;
@@ -103,13 +115,50 @@ std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume
         ert, background, &(*pieces)[static_cast<std::size_t>(r)]);
   });
 
+  const lod::LodPyramid* pyramid = aq.pyramid;
+  const int base_level = pyramid != nullptr ? pyramid->clamp(options.max_lod) : 0;
+
   int chunk_index = 0;
   for (const BrickInfo& info : layout.bricks()) {
-    planned->plan_->add_chunk(std::make_unique<BrickChunk>(volume, info));
+    // Exactly the rect cast_brick launches over: off-screen bricks
+    // emit nothing, and every emitted key lands inside the rect.
+    const PixelRect rect = frame.camera.project_box(info.world_box);
+    const int projected_pixels =
+        rect.empty() ? 0 : rect.width() * rect.height();
+
+    int level = 0;
+    if (pyramid != nullptr) {
+      level = lod::select_level(*pyramid, info, projected_pixels, base_level,
+                                options.quality);
+    }
+
+    // Occupancy culling applies only to full-resolution bricks: a
+    // level-L ghost shell reaches 2^L base voxels past the core, beyond
+    // the padded region the occupancy scan bounds. cullable() already
+    // demands an exact scan and (for the fine per-cell test)
+    // decimation == 1 — see lod/occupancy.hpp for the soundness
+    // argument that makes this bit-identical.
+    if (level == 0 && aq.classification != nullptr &&
+        aq.classification->cullable(info.id, options.cast.decimation)) {
+      planned->plan_->add_chunk(std::make_unique<BrickChunk>(volume, info));
+      planned->plan_->set_chunk_footprint(chunk_index, 0, 0, 0, 0);  // empty: cull
+      ++planned->occupancy_culled_;
+      ++chunk_index;
+      continue;
+    }
+
+    if (level > 0) {
+      const lod::LodLevel& lvl = pyramid->level(level);
+      planned->plan_->add_chunk(std::make_unique<BrickChunk>(
+          *lvl.volume, lvl.layout->brick(info.id), lvl.level, lvl.stride,
+          lvl.cache_signature));
+      planned->max_level_ = std::max(planned->max_level_, level);
+    } else {
+      planned->plan_->add_chunk(std::make_unique<BrickChunk>(volume, info));
+    }
     if (options.screen_footprints) {
-      // Exactly the rect cast_brick launches over: off-screen bricks
-      // emit nothing, and every emitted key lands inside the rect.
-      const PixelRect rect = frame.camera.project_box(info.world_box);
+      // Level world boxes are bit-identical to the base brick's, so the
+      // same rect is exactly the LOD chunk's launch rect too.
       planned->plan_->set_chunk_footprint(chunk_index, rect.x0, rect.y0, rect.x1,
                                           rect.y1);
     }

@@ -19,6 +19,11 @@
 #include "volren/raycast.hpp"
 #include "volren/volume.hpp"
 
+namespace vrmr::lod {
+class LodPyramid;
+struct TfClassification;
+}  // namespace vrmr::lod
+
 namespace vrmr::volren {
 
 struct RenderOptions {
@@ -65,6 +70,18 @@ struct RenderOptions {
   /// pixels are identical either way (the footprint is exactly the map
   /// kernel's launch rect).
   bool screen_footprints = true;
+
+  // --- adaptive quality -----------------------------------------------------
+  /// LOD floor for every brick when a pyramid is supplied to plan_frame:
+  /// 0 = full resolution (clamped to the pyramid's depth). The service's
+  /// SLO controller raises this under queue pressure.
+  int max_lod = 0;
+  /// Per-brick footprint-driven refinement knob in (0, 1]: values < 1
+  /// let small-on-screen bricks drop below max_lod while they still
+  /// offer >= quality voxels per screen pixel (lod::select_level).
+  /// 1.0 keeps selection exactly at max_lod — the pixel-identity
+  /// default.
+  float quality = 1.0f;
 
   // --- observability --------------------------------------------------------
   /// Flight-recorder attribution; trace.recorder == nullptr (default)
@@ -124,6 +141,20 @@ RenderResult render_mapreduce(cluster::Cluster& cluster, const Volume& volume,
                               mr::StagingHook staging_hook,
                               const BrickLayout& layout);
 
+/// Optional adaptive-quality inputs for plan_frame. Both pointers are
+/// borrowed for the duration of the call only (levels referenced by
+/// planned chunks must outlive the frame, which the pyramid's owner —
+/// the service's per-volume quality state — guarantees).
+struct AdaptiveQuality {
+  /// LOD pyramid for (volume, layout); nullptr = no LOD (all bricks at
+  /// base resolution regardless of options.max_lod/quality).
+  const lod::LodPyramid* pyramid = nullptr;
+  /// TF-emptiness classification for (volume, layout, options.transfer);
+  /// nullptr = no occupancy culling. Only bricks selected at level 0
+  /// are culled (coarse ghost shells reach beyond the scanned region).
+  const lod::TfClassification* classification = nullptr;
+};
+
 /// A planned (not yet executed) frame: the ray-cast mapper, compositing
 /// reducers and brick chunks wired onto an mr::FramePlan, plus the
 /// per-reducer output buffers. This is the quantum-granular entry point
@@ -162,10 +193,18 @@ class PlannedFrame {
   /// plan().finished(); call once.
   RenderResult finish();
 
+  /// Bricks dropped by occupancy classification (TF-fully-transparent)
+  /// before any staging — on top of whatever screen_footprints culled.
+  int occupancy_culled() const { return occupancy_culled_; }
+  /// Deepest pyramid level any planned chunk renders at (0 = the whole
+  /// frame is full resolution).
+  int max_level() const { return max_level_; }
+
  private:
   friend std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster&, const Volume&,
                                                   const RenderOptions&, mr::StagingHook,
-                                                  const BrickLayout&);
+                                                  const BrickLayout&,
+                                                  const AdaptiveQuality&);
   PlannedFrame() = default;
 
   std::unique_ptr<mr::FramePlan> plan_;
@@ -175,6 +214,8 @@ class PlannedFrame {
   int width_ = 0, height_ = 0;
   int brick_size_ = 0, num_bricks_ = 0;
   std::uint64_t logical_voxels_ = 0;
+  int occupancy_culled_ = 0;
+  int max_level_ = 0;
   bool finished_ = false;
 };
 
@@ -186,5 +227,16 @@ std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume
                                          const RenderOptions& options,
                                          mr::StagingHook staging_hook,
                                          const BrickLayout& layout);
+
+/// As above with adaptive-quality inputs: per-brick pyramid level
+/// selection (options.max_lod / options.quality against aq.pyramid) and
+/// pre-staging occupancy culling (aq.classification). With a
+/// default-constructed AdaptiveQuality this is exactly the 5-arg
+/// overload — bit-identical planning.
+std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume& volume,
+                                         const RenderOptions& options,
+                                         mr::StagingHook staging_hook,
+                                         const BrickLayout& layout,
+                                         const AdaptiveQuality& aq);
 
 }  // namespace vrmr::volren

@@ -7,6 +7,7 @@
 // (§3.2); the map kernel uploads the baked table into a Texture1D and
 // samples it per step.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,15 @@ class TransferFunction {
   std::vector<Vec4> bake(int entries = 256) const;
 
   const std::vector<TransferPoint>& points() const { return points_; }
+
+  /// Stable content hash over the control-point table (FNV-1a over the
+  /// raw float bits). Equal signatures <=> equal point tables for all
+  /// practical purposes; occupancy classifications and (eventually)
+  /// content-addressed tile caching key on it.
+  std::uint64_t signature() const;
+
+  /// Exact point-table equality (bitwise on the floats).
+  bool operator==(const TransferFunction& other) const;
 
   // --- presets ------------------------------------------------------------
 
