@@ -27,11 +27,14 @@ void write_record(std::ofstream& out, const BrickRecord& r) {
   write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(r.padded_dims.x));
   write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(r.padded_dims.y));
   write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(r.padded_dims.z));
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(r.codec));
+  write_pod<std::uint32_t>(out, 0u);  // reserved
   write_pod<std::uint64_t>(out, r.offset);
   write_pod<std::uint64_t>(out, r.bytes);
+  write_pod<std::uint64_t>(out, r.logical_bytes);
 }
 
-BrickRecord read_record(std::ifstream& in) {
+BrickRecord read_record(std::ifstream& in, std::uint32_t version) {
   BrickRecord r;
   r.grid_pos.x = static_cast<int>(read_pod<std::uint32_t>(in));
   r.grid_pos.y = static_cast<int>(read_pod<std::uint32_t>(in));
@@ -39,14 +42,26 @@ BrickRecord read_record(std::ifstream& in) {
   r.padded_dims.x = static_cast<int>(read_pod<std::uint32_t>(in));
   r.padded_dims.y = static_cast<int>(read_pod<std::uint32_t>(in));
   r.padded_dims.z = static_cast<int>(read_pod<std::uint32_t>(in));
+  if (version >= 2) {
+    const auto codec = read_pod<std::uint32_t>(in);
+    VRMR_CHECK_MSG(codec <= static_cast<std::uint32_t>(compress::Codec::ZfpStyle),
+                   "unknown codec id " << codec);
+    r.codec = static_cast<compress::Codec>(codec);
+    (void)read_pod<std::uint32_t>(in);  // reserved
+  }
   r.offset = read_pod<std::uint64_t>(in);
   r.bytes = read_pod<std::uint64_t>(in);
+  r.logical_bytes = version >= 2 ? read_pod<std::uint64_t>(in) : r.bytes;
   return r;
 }
 
-std::uint64_t directory_bytes(int num_bricks) {
-  // 6 * u32 + 2 * u64 per record.
-  return static_cast<std::uint64_t>(num_bricks) * (6 * 4 + 2 * 8);
+std::uint64_t record_bytes(std::uint32_t version) {
+  // v1: 6 u32 + 2 u64. v2 adds codec + reserved u32 and logical u64.
+  return version >= 2 ? 8 * 4 + 3 * 8 : 6 * 4 + 2 * 8;
+}
+
+std::uint64_t directory_bytes(int num_bricks, std::uint32_t version) {
+  return static_cast<std::uint64_t>(num_bricks) * record_bytes(version);
 }
 
 constexpr std::uint64_t kFixedHeaderBytes = 4u * 8;  // 8 u32 fields
@@ -54,11 +69,17 @@ constexpr std::uint64_t kFixedHeaderBytes = 4u * 8;  // 8 u32 fields
 }  // namespace
 
 BrickFileWriter::BrickFileWriter(const std::filesystem::path& path, Int3 volume_dims,
-                                 int brick_size, int ghost, int num_bricks)
-    : out_(path, std::ios::binary | std::ios::trunc), expected_bricks_(num_bricks) {
+                                 int brick_size, int ghost, int num_bricks,
+                                 compress::Codec codec)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      expected_bricks_(num_bricks),
+      codec_(codec),
+      coder_(compress::make_codec(codec)) {
   VRMR_CHECK_MSG(out_.good(), "cannot open " << path << " for writing");
   VRMR_CHECK(volume_dims.x > 0 && volume_dims.y > 0 && volume_dims.z > 0);
   VRMR_CHECK(brick_size > 0 && ghost >= 0 && num_bricks > 0);
+  VRMR_CHECK_MSG(codec != compress::Codec::ZfpStyle,
+                 "zfp-style sizes are modeled in-sim only; VRBF stores None or Rle");
   header_.volume_dims = volume_dims;
   header_.brick_size = brick_size;
   header_.ghost = ghost;
@@ -72,7 +93,7 @@ BrickFileWriter::BrickFileWriter(const std::filesystem::path& path, Int3 volume_
   write_pod<std::uint32_t>(out_, static_cast<std::uint32_t>(brick_size));
   write_pod<std::uint32_t>(out_, static_cast<std::uint32_t>(ghost));
   write_pod<std::uint32_t>(out_, static_cast<std::uint32_t>(num_bricks));
-  const std::vector<char> zeros(directory_bytes(num_bricks), 0);
+  const std::vector<char> zeros(directory_bytes(num_bricks, kBrickFileVersion), 0);
   out_.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
 }
 
@@ -97,10 +118,21 @@ void BrickFileWriter::append_brick(Int3 grid_pos, Int3 padded_dims,
   BrickRecord rec;
   rec.grid_pos = grid_pos;
   rec.padded_dims = padded_dims;
+  rec.codec = codec_;
   rec.offset = static_cast<std::uint64_t>(out_.tellp());
-  rec.bytes = voxels.size() * sizeof(float);
-  out_.write(reinterpret_cast<const char*>(voxels.data()),
-             static_cast<std::streamsize>(rec.bytes));
+  rec.logical_bytes = voxels.size() * sizeof(float);
+  if (coder_ != nullptr) {
+    // Real encoded stream on disk (raw fallback lives inside the
+    // codec's framing, so decode needs no per-brick flag).
+    const std::vector<std::uint8_t> stream = coder_->encode(voxels);
+    rec.bytes = stream.size();
+    out_.write(reinterpret_cast<const char*>(stream.data()),
+               static_cast<std::streamsize>(stream.size()));
+  } else {
+    rec.bytes = rec.logical_bytes;
+    out_.write(reinterpret_cast<const char*>(voxels.data()),
+               static_cast<std::streamsize>(rec.bytes));
+  }
   VRMR_CHECK_MSG(out_.good(), "short write");
   header_.bricks.push_back(rec);
 }
@@ -123,7 +155,9 @@ BrickFileReader::BrickFileReader(const std::filesystem::path& path)
   const auto magic = read_pod<std::uint32_t>(in_);
   VRMR_CHECK_MSG(magic == kBrickFileMagic, "bad magic 0x" << std::hex << magic);
   const auto version = read_pod<std::uint32_t>(in_);
-  VRMR_CHECK_MSG(version == kBrickFileVersion, "unsupported version " << version);
+  VRMR_CHECK_MSG(version >= 1 && version <= kBrickFileVersion,
+                 "unsupported version " << version);
+  header_.version = version;
   header_.volume_dims.x = static_cast<int>(read_pod<std::uint32_t>(in_));
   header_.volume_dims.y = static_cast<int>(read_pod<std::uint32_t>(in_));
   header_.volume_dims.z = static_cast<int>(read_pod<std::uint32_t>(in_));
@@ -131,7 +165,8 @@ BrickFileReader::BrickFileReader(const std::filesystem::path& path)
   header_.ghost = static_cast<int>(read_pod<std::uint32_t>(in_));
   const auto count = read_pod<std::uint32_t>(in_);
   header_.bricks.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) header_.bricks.push_back(read_record(in_));
+  for (std::uint32_t i = 0; i < count; ++i)
+    header_.bricks.push_back(read_record(in_, version));
   VRMR_CHECK_MSG(in_.good(), "truncated directory");
 }
 
@@ -143,11 +178,22 @@ const BrickRecord& BrickFileReader::record(int index) const {
 
 std::vector<float> BrickFileReader::read_brick(int index) {
   const BrickRecord& rec = record(index);
-  std::vector<float> voxels(rec.bytes / sizeof(float));
   in_.seekg(static_cast<std::streamoff>(rec.offset));
-  in_.read(reinterpret_cast<char*>(voxels.data()), static_cast<std::streamsize>(rec.bytes));
+  if (rec.codec == compress::Codec::None) {
+    std::vector<float> voxels(rec.bytes / sizeof(float));
+    in_.read(reinterpret_cast<char*>(voxels.data()),
+             static_cast<std::streamsize>(rec.bytes));
+    VRMR_CHECK_MSG(in_.good(), "short read for brick " << index);
+    return voxels;
+  }
+  std::vector<std::uint8_t> stream(rec.bytes);
+  in_.read(reinterpret_cast<char*>(stream.data()),
+           static_cast<std::streamsize>(rec.bytes));
   VRMR_CHECK_MSG(in_.good(), "short read for brick " << index);
-  return voxels;
+  const std::unique_ptr<compress::BrickCodec> coder =
+      compress::make_codec(rec.codec);
+  VRMR_CHECK(coder != nullptr);
+  return coder->decode(stream, rec.logical_bytes / sizeof(float));
 }
 
 }  // namespace vrmr::io

@@ -5,42 +5,62 @@
 // The paper bricks volumes offline and streams bricks to mappers;
 // bricking time is excluded from its measurements (§5). This format is
 // the offline artifact: a self-describing header, a brick directory
-// (grid position, padded dims, byte offset/size per brick), then raw
-// little-endian float voxel payloads. Random access to any brick is a
-// single directory lookup plus one contiguous read — which is what the
-// out-of-core streamer exploits.
+// (grid position, padded dims, codec, byte offset/size per brick), then
+// per-brick payloads. Random access to any brick is a single directory
+// lookup plus one contiguous read — which is what the out-of-core
+// streamer exploits.
+//
+// Version 2 adds per-brick compression: the directory records a codec
+// id and the logical (decompressed) payload size, and RLE-coded bricks
+// store the real encoded stream — fewer disk bytes, bit-exact
+// round-trip through read_brick(). The zfp-style codec is size-MODELED
+// in the simulation only (a lossless file cannot actually shrink to the
+// modeled rate), so the writer accepts None or Rle. The reader accepts
+// v1 and v2 files; v1 records load as uncompressed.
 //
 // Layout (all integers little-endian):
-//   u32 magic 'VRBF' (0x46425256)   u32 version (1)
+//   u32 magic 'VRBF' (0x46425256)   u32 version (2)
 //   u32 dims.x dims.y dims.z        u32 brick_size (core voxels/side)
 //   u32 ghost                       u32 num_bricks
-//   num_bricks × BrickRecord { u32 grid.x,y,z; u32 dims.x,y,z; u64 offset; u64 bytes }
+//   num_bricks × BrickRecord:
+//     v1: { u32 grid.x,y,z; u32 dims.x,y,z; u64 offset; u64 bytes }
+//     v2: { u32 grid.x,y,z; u32 dims.x,y,z; u32 codec; u32 reserved;
+//           u64 offset; u64 bytes; u64 logical_bytes }
 //   payload...
 
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "compress/brick_codec.hpp"
 #include "util/vec.hpp"
 
 namespace vrmr::io {
 
 inline constexpr std::uint32_t kBrickFileMagic = 0x46425256u;  // "VRBF"
-inline constexpr std::uint32_t kBrickFileVersion = 1;
+inline constexpr std::uint32_t kBrickFileVersion = 2;
 
 struct BrickRecord {
   Int3 grid_pos;        // brick coordinates within the brick grid
   Int3 padded_dims;     // stored voxels incl. ghost shell (edge-clamped)
+  /// Payload coding. Rle payloads hold the codec's encoded stream
+  /// (which falls back to raw bytes internally when incompressible —
+  /// decode handles both); None payloads hold raw little-endian floats.
+  compress::Codec codec = compress::Codec::None;
   std::uint64_t offset = 0;  // absolute file offset of the payload
-  std::uint64_t bytes = 0;   // payload size (padded_dims.volume()*4)
+  std::uint64_t bytes = 0;   // STORED payload size (what one read costs)
+  /// Decompressed size (padded_dims.volume()*4); == bytes for None.
+  std::uint64_t logical_bytes = 0;
 };
 
 struct BrickFileHeader {
   Int3 volume_dims;
   int brick_size = 0;  // core voxels per side
   int ghost = 0;
+  std::uint32_t version = kBrickFileVersion;  // as read from the file
   std::vector<BrickRecord> bricks;
 };
 
@@ -48,8 +68,11 @@ struct BrickFileHeader {
 /// every brick (any order), finalize (writes the directory).
 class BrickFileWriter {
  public:
+  /// `codec` must be None or Rle (zfp-style sizes are modeled in-sim
+  /// only; a lossless file cannot store them).
   BrickFileWriter(const std::filesystem::path& path, Int3 volume_dims, int brick_size,
-                  int ghost, int num_bricks);
+                  int ghost, int num_bricks,
+                  compress::Codec codec = compress::Codec::None);
   ~BrickFileWriter();
 
   BrickFileWriter(const BrickFileWriter&) = delete;
@@ -64,10 +87,12 @@ class BrickFileWriter {
   std::ofstream out_;
   BrickFileHeader header_;
   int expected_bricks_;
+  compress::Codec codec_;
+  std::unique_ptr<compress::BrickCodec> coder_;  // null for None
   bool finalized_ = false;
 };
 
-/// Random-access reader over a VRBF file.
+/// Random-access reader over a VRBF file (v1 or v2).
 class BrickFileReader {
  public:
   explicit BrickFileReader(const std::filesystem::path& path);
@@ -75,7 +100,9 @@ class BrickFileReader {
   const BrickFileHeader& header() const { return header_; }
   int num_bricks() const { return static_cast<int>(header_.bricks.size()); }
 
-  /// Reads brick `index`'s voxel payload.
+  /// Reads brick `index`'s voxel payload, decoding compressed bricks —
+  /// always returns the logical voxels, bit-exact with what was
+  /// appended. record(index).bytes is what the read itself moved.
   std::vector<float> read_brick(int index);
 
   const BrickRecord& record(int index) const;

@@ -22,7 +22,9 @@ void BrickStreamer::load(int brick) {
   }
   std::vector<float> voxels = reader_.read_brick(brick);
   ++reads_;
-  bytes_read_ += voxels.size() * sizeof(float);
+  // Stored bytes, not logical: a compressed (VRBF v2) brick costs one
+  // read of its encoded stream, however large it decodes to.
+  bytes_read_ += reader_.record(brick).bytes;
   residency_order_.push_back(brick);
   cache_.emplace(brick, std::move(voxels));
 }

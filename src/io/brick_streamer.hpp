@@ -50,6 +50,8 @@ class BrickStreamer {
   /// Total bricks read from the file so far (each exactly once per
   /// scheduled appearance unless still cached).
   std::uint64_t reads() const { return reads_; }
+  /// STORED bytes moved off disk — for compressed (VRBF v2) files this
+  /// is the encoded stream size, smaller than the voxels delivered.
   std::uint64_t bytes_read() const { return bytes_read_; }
 
  private:

@@ -21,8 +21,22 @@ class Chunk {
   virtual std::uint64_t device_bytes() const = 0;
 
   /// Bytes read from disk when the job runs out-of-core. Defaults to
-  /// the staged size (raw voxel payload).
+  /// the staged size (raw voxel payload); compressed chunks override
+  /// this with their stored size.
   virtual std::uint64_t disk_bytes() const { return device_bytes(); }
+
+  /// Bytes that actually move when this chunk's payload travels — what
+  /// the brick cache holds, the H2D copy ships and a peer shard sends
+  /// over the fabric. Defaults to device_bytes() (uncompressed);
+  /// compressed chunks return the encoded size. device_bytes() stays
+  /// the LOGICAL size: the mapper's working set and the decompressed
+  /// texture are full-sized regardless of the wire format.
+  virtual std::uint64_t stored_bytes() const { return device_bytes(); }
+
+  /// GPU-lane seconds to expand the stored payload to device_bytes()
+  /// after the H2D copy; 0 for uncompressed chunks. FramePlan charges
+  /// this on the GPU stream between staging and the map kernel.
+  virtual double decompress_s() const { return 0.0; }
 
   virtual std::string label() const { return "chunk"; }
 };

@@ -261,11 +261,26 @@ void FramePlan::begin_staging(int g, int chunk_index) {
   if (config_.staging_hook && config_.staging_hook(g, chunk)) {
     // Already resident on this GPU (brick cache hit): skip the disk
     // read and the H2D copy entirely — the map kernel can launch as
-    // soon as the GPU stream is free.
+    // soon as the GPU stream is free. Saved-byte counters are STORED
+    // bytes: that is what the skipped transfer would have shipped (the
+    // cache holds compressed payloads, so a hit still pays its
+    // decompress quantum in after_h2d).
     stats_.chunks_resident += 1;
-    stats_.bytes_h2d_saved += chunk.device_bytes();
+    stats_.bytes_h2d_saved += chunk.stored_bytes();
     if (config_.include_disk_io) stats_.bytes_disk_saved += chunk.disk_bytes();
     after_h2d(g, chunk_index);
+    return;
+  }
+  // Peer hydration: a miss may be served from a sibling shard's warm
+  // cache instead of disk — the hook owns the (simulated) fabric
+  // transfer and resumes the plan at the H2D copy when the compressed
+  // payload lands in host memory.
+  if (config_.fetch_hook &&
+      config_.fetch_hook(g, chunk,
+                         [this, g, chunk_index] { after_disk(g, chunk_index); })) {
+    stats_.chunks_hydrated += 1;
+    stats_.bytes_hydrated += chunk.stored_bytes();
+    if (config_.include_disk_io) stats_.bytes_disk_saved += chunk.disk_bytes();
     return;
   }
   if (config_.include_disk_io) {
@@ -281,10 +296,14 @@ void FramePlan::begin_staging(int g, int chunk_index) {
 
 void FramePlan::after_disk(int g, int chunk_index) {
   // Synchronous H2D of the chunk's 3-D texture: occupies both the
-  // node's PCIe link and the GPU stream (§3.1.2).
+  // node's PCIe link and the GPU stream (§3.1.2). The copy ships the
+  // STORED payload (compressed chunks move fewer bytes; the expansion
+  // back to device_bytes() is the decompress quantum in after_h2d).
   const int node = cluster_.node_of_gpu(g);
-  const std::uint64_t bytes = chunks_[static_cast<std::size_t>(chunk_index)]->device_bytes();
+  const Chunk& chunk = *chunks_[static_cast<std::size_t>(chunk_index)];
+  const std::uint64_t bytes = chunk.stored_bytes();
   stats_.bytes_h2d += bytes;
+  stats_.bytes_logical_staged += chunk.device_bytes();
   const double duration = cluster_.config().hw.pcie.transfer_time(bytes);
   stats_.pcie_busy_s += duration;
   stats_.gpu_busy_s += duration;
@@ -296,6 +315,39 @@ void FramePlan::after_disk(int g, int chunk_index) {
 }
 
 void FramePlan::after_h2d(int g, int chunk_index) {
+  // Decompress quantum: expand the stored payload to the logical
+  // texture on this GPU's stream, strictly before the map kernel. Both
+  // staging paths land here (a cache hit holds the compressed payload
+  // too), so hits and misses pay the same expansion. Because the
+  // quantum runs on the same stream whose kernel completion stamps
+  // t_map_done, critical-path attribution folds it into StageMap with
+  // no change to the exact finish − arrival partition
+  // (obs/critical_path.hpp).
+  const Chunk& chunk = *chunks_[static_cast<std::size_t>(chunk_index)];
+  const double expand_s = chunk.decompress_s();
+  if (expand_s > 0.0) {
+    stats_.chunks_decompressed += 1;
+    stats_.decompress_s_total += expand_s;
+    stats_.gpu_busy_s += expand_s;
+    if (auto* tr = config_.trace.recorder) {
+      tr->begin(cluster_.engine().now(), config_.trace.pid, g, "decompress",
+                "compress",
+                {{"chunk", chunk.label()},
+                 {"frame", std::to_string(config_.trace.frame_id)}});
+    }
+    cluster_.gpu_stream(g).acquire(
+        expand_s, [this, g, chunk_index](sim::SimTime, sim::SimTime) {
+          if (auto* tr = config_.trace.recorder) {
+            tr->end(cluster_.engine().now(), config_.trace.pid, g);
+          }
+          run_map(g, chunk_index);
+        });
+    return;
+  }
+  run_map(g, chunk_index);
+}
+
+void FramePlan::run_map(int g, int chunk_index) {
   auto& gs = *gpus_[static_cast<std::size_t>(g)];
   const Chunk& chunk = *chunks_[static_cast<std::size_t>(chunk_index)];
 

@@ -226,6 +226,7 @@ class FramePlan {
   void begin_staging(int gpu, int chunk_index);
   void after_disk(int gpu, int chunk_index);
   void after_h2d(int gpu, int chunk_index);
+  void run_map(int gpu, int chunk_index);
   void after_kernel(int gpu, int chunk_index, std::shared_ptr<KvBuffer> out);
   void lane_freed(int gpu);
   void partition_and_send(int gpu, int chunk_index, std::shared_ptr<KvBuffer> out);

@@ -61,6 +61,17 @@ class FramePlan;
 /// must be deterministic.
 using StagingHook = std::function<bool(int gpu, const Chunk& chunk)>;
 
+/// Remote-fetch hook consulted on a staging MISS before the disk read.
+/// Return true to take ownership of delivering `chunk`'s payload into
+/// host memory on GPU `gpu`'s node — the hook must then invoke `done`
+/// exactly once (from a DES callback at the simulated delivery time),
+/// after which the plan proceeds with the normal H2D copy. Return false
+/// to decline: the plan falls back to the disk path. This is how a
+/// serving tier hydrates a cold shard from a sibling's warm cache over
+/// the fabric instead of re-reading disk (src/service/frontend.hpp).
+using FetchHook =
+    std::function<bool(int gpu, const Chunk& chunk, std::function<void()> done)>;
+
 /// How the pipeline's two dataflow barriers are enforced.
 ///
 ///   Global     — the paper's schedule: no sort starts until *every*
@@ -123,6 +134,10 @@ struct JobConfig {
   /// Optional residency test consulted before each chunk is staged
   /// (see StagingHook above). Null = always stage.
   StagingHook staging_hook;
+
+  /// Optional remote-fetch path consulted on a staging miss before the
+  /// disk read (see FetchHook above). Null = always read from disk.
+  FetchHook fetch_hook;
 
   /// Flight-recorder attribution (shard / session / frame / priority).
   /// With trace.recorder == nullptr (the default) the plan records

@@ -68,6 +68,19 @@ struct JobStats {
   std::uint64_t chunks_culled = 0;
   std::uint64_t bytes_h2d_saved = 0;
   std::uint64_t bytes_disk_saved = 0;
+  // Compression (Chunk::stored_bytes / decompress_s): chunks that paid
+  // a decompress quantum on their GPU stream, and the summed quantum
+  // time. Byte counters above are STORED bytes for compressed chunks
+  // (bytes_h2d, bytes_disk, bytes_h2d_saved, bytes_disk_saved);
+  // bytes_logical_staged is the decompressed total those chunks expand
+  // to, so stored-vs-logical reconciles per job.
+  std::uint64_t chunks_decompressed = 0;
+  double decompress_s_total = 0.0;
+  std::uint64_t bytes_logical_staged = 0;
+  // Peer hydration (JobConfig::fetch_hook): staging misses served by
+  // the hook instead of disk, and the stored bytes it delivered.
+  std::uint64_t chunks_hydrated = 0;
+  std::uint64_t bytes_hydrated = 0;
   std::uint64_t bytes_disk = 0;
   std::uint64_t bytes_h2d = 0;
   std::uint64_t bytes_d2h = 0;

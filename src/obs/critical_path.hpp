@@ -23,6 +23,16 @@
 // raw)): with per-(mapper, reducer) final-flush readiness, r* can
 // become ready *before* the globally last map quantum ends, in which
 // case the Send segment collapses to zero instead of going negative.
+//
+// Compressed serving (ServiceConfig::compression != None) folds into
+// StageMap by construction: the decompress quantum is charged on the
+// SAME gpu stream whose map-kernel completion stamps t2, strictly
+// before the kernel (hit path: decompress -> map; miss path: disk ->
+// H2D -> decompress -> map). No new boundary is introduced, so the
+// seven segments still partition finish - arrival exactly — StageMap
+// simply absorbs the expansion time, the same way it already absorbs
+// disk and H2D. Per-frame decompress seconds are reported separately
+// in mr::JobStats::decompress_s_total.
 
 #include <array>
 #include <cstdint>

@@ -80,6 +80,7 @@ void BrickCache::insert_mru(Shard& shard, ListId to, Entry entry) {
 
 void BrickCache::count_eviction(const Entry& victim) {
   stats_.bytes_evicted += victim.bytes;
+  stats_.logical_bytes_evicted += victim.logical_bytes;
   ++stats_.evictions;
 }
 
@@ -93,7 +94,8 @@ bool BrickCache::lru_touch(Shard& shard, const BrickKey& key) {
 }
 
 bool BrickCache::lru_insert_evicting(Shard& shard, const BrickKey& key,
-                                     std::uint64_t bytes) {
+                                     std::uint64_t bytes,
+                                     std::uint64_t logical_bytes) {
   if (bytes > capacity_) {
     // Would displace the whole shard for a single brick; not worth it.
     ++stats_.rejected_oversized;
@@ -102,8 +104,10 @@ bool BrickCache::lru_insert_evicting(Shard& shard, const BrickKey& key,
   while (shard.t1_bytes + bytes > capacity_) {
     count_eviction(pop_lru(shard, ListId::T1));
   }
-  insert_mru(shard, ListId::T1, Entry{key, bytes, false});
+  insert_mru(shard, ListId::T1, Entry{key, bytes, logical_bytes, false});
   ++stats_.insertions;
+  stats_.stored_bytes_admitted += bytes;
+  stats_.logical_bytes_admitted += logical_bytes;
   return true;
 }
 
@@ -156,7 +160,7 @@ void BrickCache::arc_replace(Shard& shard, bool b2_ghost_path) {
   // trace — B1/B2 record only the demand stream's history.
   if (!victim.speculative) {
     insert_mru(shard, take_t1 ? ListId::B1 : ListId::B2,
-               Entry{victim.key, victim.bytes, false});
+               Entry{victim.key, victim.bytes, victim.logical_bytes, false});
   }
 }
 
@@ -183,12 +187,15 @@ void BrickCache::arc_trim_ghosts(Shard& shard) {
 }
 
 bool BrickCache::arc_lookup_or_admit(Shard& shard, const BrickKey& key,
-                                     std::uint64_t bytes, LookupOutcome* outcome) {
+                                     std::uint64_t bytes,
+                                     std::uint64_t logical_bytes,
+                                     LookupOutcome* outcome) {
   const auto it = shard.index.find(key);
   if (it != shard.index.end() &&
       (it->second.list == ListId::T1 || it->second.list == ListId::T2)) {
     ++stats_.hits;
     stats_.bytes_saved += bytes;
+    stats_.logical_bytes_saved += logical_bytes;
     if (outcome != nullptr) outcome->hit = true;
     if (it->second.list == ListId::T1) {
       ++stats_.t1_hits;
@@ -229,8 +236,10 @@ bool BrickCache::arc_lookup_or_admit(Shard& shard, const BrickKey& key,
       return false;
     }
     arc_make_room(shard, bytes, from_b2);
-    insert_mru(shard, ListId::T2, Entry{key, bytes, false});
+    insert_mru(shard, ListId::T2, Entry{key, bytes, logical_bytes, false});
     ++stats_.insertions;
+    stats_.stored_bytes_admitted += bytes;
+    stats_.logical_bytes_admitted += logical_bytes;
     arc_trim_ghosts(shard);
     return false;
   }
@@ -241,14 +250,17 @@ bool BrickCache::arc_lookup_or_admit(Shard& shard, const BrickKey& key,
     return false;
   }
   arc_make_room(shard, bytes, /*b2_ghost_path=*/false);
-  insert_mru(shard, ListId::T1, Entry{key, bytes, false});
+  insert_mru(shard, ListId::T1, Entry{key, bytes, logical_bytes, false});
   ++stats_.insertions;
+  stats_.stored_bytes_admitted += bytes;
+  stats_.logical_bytes_admitted += logical_bytes;
   arc_trim_ghosts(shard);
   return false;
 }
 
 bool BrickCache::arc_prefetch(Shard& shard, const BrickKey& key,
-                              std::uint64_t bytes, bool* admitted) {
+                              std::uint64_t bytes, std::uint64_t logical_bytes,
+                              bool* admitted) {
   const auto it = shard.index.find(key);
   if (it != shard.index.end() &&
       (it->second.list == ListId::T1 || it->second.list == ListId::T2)) {
@@ -268,8 +280,11 @@ bool BrickCache::arc_prefetch(Shard& shard, const BrickKey& key,
     (void)remove(shard, key);
   }
   arc_make_room(shard, bytes, /*b2_ghost_path=*/false);
-  insert_mru(shard, ListId::T1, Entry{key, bytes, /*speculative=*/true});
+  insert_mru(shard, ListId::T1, Entry{key, bytes, logical_bytes,
+                                      /*speculative=*/true});
   ++stats_.insertions;
+  stats_.stored_bytes_admitted += bytes;
+  stats_.logical_bytes_admitted += logical_bytes;
   ++stats_.prefetch_admissions;
   stats_.bytes_prefetched += bytes;
   arc_trim_ghosts(shard);
@@ -280,33 +295,39 @@ bool BrickCache::arc_prefetch(Shard& shard, const BrickKey& key,
 // --- shared entry points -----------------------------------------------------
 
 bool BrickCache::lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t bytes,
-                                 LookupOutcome* outcome) {
+                                 LookupOutcome* outcome,
+                                 std::uint64_t logical_bytes) {
   Shard& shard = shard_at(gpu);
+  if (logical_bytes == 0) logical_bytes = bytes;  // uncompressed caller
   if (outcome != nullptr) *outcome = LookupOutcome{};
   if (policy_ == CachePolicy::Arc) {
-    return arc_lookup_or_admit(shard, key, bytes, outcome);
+    return arc_lookup_or_admit(shard, key, bytes, logical_bytes, outcome);
   }
 
   if (lru_touch(shard, key)) {
     // Hit: recency refreshed. The brick's size is immutable per key.
     ++stats_.hits;
     stats_.bytes_saved += bytes;
+    stats_.logical_bytes_saved += logical_bytes;
     if (outcome != nullptr) outcome->hit = true;
     return true;
   }
   ++stats_.misses;
-  (void)lru_insert_evicting(shard, key, bytes);
+  (void)lru_insert_evicting(shard, key, bytes, logical_bytes);
   return false;
 }
 
 bool BrickCache::prefetch(int gpu, const BrickKey& key, std::uint64_t bytes,
-                          bool* admitted) {
+                          bool* admitted, std::uint64_t logical_bytes) {
   Shard& shard = shard_at(gpu);
+  if (logical_bytes == 0) logical_bytes = bytes;  // uncompressed caller
   if (admitted != nullptr) *admitted = false;
-  if (policy_ == CachePolicy::Arc) return arc_prefetch(shard, key, bytes, admitted);
+  if (policy_ == CachePolicy::Arc) {
+    return arc_prefetch(shard, key, bytes, logical_bytes, admitted);
+  }
 
   if (lru_touch(shard, key)) return true;
-  if (!lru_insert_evicting(shard, key, bytes)) return false;
+  if (!lru_insert_evicting(shard, key, bytes, logical_bytes)) return false;
   ++stats_.prefetch_admissions;
   stats_.bytes_prefetched += bytes;
   if (admitted != nullptr) *admitted = true;
@@ -369,6 +390,15 @@ void BrickCache::reset_stats() {
 
 std::uint64_t BrickCache::resident_bytes(int gpu) const {
   return shard_at(gpu).resident();
+}
+
+std::uint64_t BrickCache::resident_logical_bytes(int gpu) const {
+  const Shard& shard = shard_at(gpu);
+  std::uint64_t bytes = 0;
+  for (const std::list<Entry>* list : {&shard.t1, &shard.t2}) {
+    for (const Entry& entry : *list) bytes += entry.logical_bytes;
+  }
+  return bytes;
 }
 
 std::size_t BrickCache::resident_bricks(int gpu) const {

@@ -90,6 +90,21 @@ struct BrickCacheStats {
   std::uint64_t rejected_oversized = 0;  // bricks larger than the whole budget
   std::uint64_t bytes_saved = 0;         // H2D bytes skipped by hits
   std::uint64_t bytes_evicted = 0;
+  // --- logical vs stored (compressed payloads) ---------------------------
+  // The cache budgets, admits and evicts STORED bytes (`bytes` as
+  // passed by callers — the compressed payload is what VRAM holds), so
+  // every pre-existing counter above is stored bytes. The logical
+  // counters below track the decompressed size each entry expands to:
+  // logical_bytes_admitted / stored_bytes_admitted is the residency
+  // multiplier compression buys, and (logical_bytes_admitted −
+  // logical_bytes_evicted) reconciles with resident_logical_bytes()
+  // summed over shards (invalidate_volume withdraws entries without
+  // counting them in either, mirroring bytes_evicted). Uncompressed
+  // callers leave logical == stored.
+  std::uint64_t logical_bytes_admitted = 0;
+  std::uint64_t stored_bytes_admitted = 0;
+  std::uint64_t logical_bytes_evicted = 0;
+  std::uint64_t logical_bytes_saved = 0;  // logical size of hit payloads
   /// Bricks admitted by the prefetcher (prefetch()) rather than by a
   /// frame's staging miss. Not counted as misses: the demand stream's
   /// hit rate stays comparable with and without prefetching.
@@ -154,8 +169,12 @@ class BrickCache {
   /// returns false (miss). Bricks larger than the whole per-GPU budget
   /// are never admitted and never evict anything. `outcome` (optional)
   /// reports the classification for flight-recorder cache events.
+  /// `bytes` is the STORED payload (what VRAM holds — compressed when a
+  /// codec is on); `logical_bytes` its decompressed size for the
+  /// logical-vs-stored stats counters, 0 meaning "same as bytes".
   bool lookup_or_admit(int gpu, const BrickKey& key, std::uint64_t bytes,
-                       LookupOutcome* outcome = nullptr);
+                       LookupOutcome* outcome = nullptr,
+                       std::uint64_t logical_bytes = 0);
 
   /// Non-mutating residency probe (no recency touch, no accounting).
   /// Ghost entries are not resident.
@@ -177,8 +196,10 @@ class BrickCache {
   /// (optional) reports whether this call inserted it (false for a
   /// refresh or a reject) — what prefetch_admissions/bytes_prefetched
   /// count, so callers' telemetry reconciles without probing stats.
+  /// `bytes`/`logical_bytes` follow lookup_or_admit's stored/logical
+  /// convention.
   bool prefetch(int gpu, const BrickKey& key, std::uint64_t bytes,
-                bool* admitted = nullptr);
+                bool* admitted = nullptr, std::uint64_t logical_bytes = 0);
 
   /// Drop every brick of `volume_id` on every GPU (volume updated or
   /// session closed with volume eviction requested) — including its
@@ -198,6 +219,10 @@ class BrickCache {
   std::uint64_t capacity_per_gpu() const { return capacity_; }
   CachePolicy policy() const { return policy_; }
   std::uint64_t resident_bytes(int gpu) const;
+  /// Decompressed size of the shard's resident payloads — what the GPU
+  /// *renders from*, vs resident_bytes() which is what VRAM *holds*.
+  /// Their ratio is the residency multiplier compression buys.
+  std::uint64_t resident_logical_bytes(int gpu) const;
   std::size_t resident_bricks(int gpu) const;
   const BrickCacheStats& stats() const { return stats_; }
   void reset_stats();
@@ -219,7 +244,8 @@ class BrickCache {
 
   struct Entry {
     BrickKey key;
-    std::uint64_t bytes = 0;
+    std::uint64_t bytes = 0;          // stored (what the budget charges)
+    std::uint64_t logical_bytes = 0;  // decompressed size of the payload
     /// Admitted by prefetch() and not demand-touched yet (Arc, T1
     /// only): first demand touch re-arms instead of promoting, and
     /// eviction leaves no ghost.
@@ -276,7 +302,8 @@ class BrickCache {
 
   // --- Lru ---------------------------------------------------------------
   bool lru_touch(Shard& shard, const BrickKey& key);
-  bool lru_insert_evicting(Shard& shard, const BrickKey& key, std::uint64_t bytes);
+  bool lru_insert_evicting(Shard& shard, const BrickKey& key, std::uint64_t bytes,
+                           std::uint64_t logical_bytes);
 
   // --- Arc ---------------------------------------------------------------
   /// Evict one resident LRU entry: from T1 while it exceeds the target
@@ -292,9 +319,9 @@ class BrickCache {
   /// stats_.arc_p_bytes (the cross-shard sum) in sync.
   void arc_adapt(Shard& shard, std::uint64_t bytes, bool toward_recency);
   bool arc_lookup_or_admit(Shard& shard, const BrickKey& key, std::uint64_t bytes,
-                           LookupOutcome* outcome);
+                           std::uint64_t logical_bytes, LookupOutcome* outcome);
   bool arc_prefetch(Shard& shard, const BrickKey& key, std::uint64_t bytes,
-                    bool* admitted);
+                    std::uint64_t logical_bytes, bool* admitted);
 
   void count_eviction(const Entry& victim);
 

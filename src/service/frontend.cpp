@@ -40,11 +40,31 @@ ServiceFrontend::ServiceFrontend(FrontendConfig config)
         std::make_unique<RenderService>(*shard.cluster, service_config);
     shards_.push_back(std::move(shard));
   }
+  if (config_.enable_peer_hydration && config_.shards > 1) {
+    for (int s = 0; s < config_.shards; ++s) {
+      Shard& shard = shards_[static_cast<std::size_t>(s)];
+      // One fabric per shard, on that shard's engine, with one "node"
+      // per shard: hydration INTO shard s advances only s's timeline
+      // (see the Shard::fabric comment).
+      shard.fabric = std::make_unique<net::Fabric>(
+          *shard.engine, config_.hydration_fabric, config_.shards);
+      shard.service->set_hydration_source(
+          [this, s](int gpu, const volren::Volume* volume, const BrickKey& key,
+                    std::uint64_t stored_bytes, std::function<void()> done) {
+            return hydrate(s, gpu, volume, key, stored_bytes, std::move(done));
+          });
+    }
+  }
 }
 
 ServiceFrontend::~ServiceFrontend() = default;
 
 Session ServiceFrontend::open_session(SessionProfile profile) {
+  if (profile.pin_shard.has_value()) {
+    VRMR_CHECK_MSG(*profile.pin_shard >= 0 && *profile.pin_shard < num_shards(),
+                   "pin_shard " << *profile.pin_shard << " out of range for "
+                                << num_shards() << " shards");
+  }
   auto state = std::make_unique<FrontendSession>();
   state->profile = std::move(profile);
   sessions_.push_back(std::move(state));
@@ -91,6 +111,57 @@ int ServiceFrontend::place(const volren::Volume* volume) const {
   return best;
 }
 
+bool ServiceFrontend::hydrate(int shard_index, int gpu,
+                              const volren::Volume* volume, const BrickKey& key,
+                              std::uint64_t stored_bytes,
+                              std::function<void()> done) {
+  (void)gpu;  // the payload lands shard-wide; the plan picks the lane
+  // Probe siblings in ascending index order (deterministic replay).
+  // BrickKey volume ids are shard-local, so translate through each
+  // sibling's own registration before touching its cache.
+  Shard& shard = shards_[static_cast<std::size_t>(shard_index)];
+  for (int s = 0; s < num_shards(); ++s) {
+    if (s == shard_index) continue;
+    const Shard& sibling = shards_[static_cast<std::size_t>(s)];
+    const std::optional<std::uint64_t> vid =
+        sibling.service->volume_id_of(volume);
+    if (!vid.has_value()) continue;
+    const BrickCache* cache = sibling.service->cache();
+    if (cache == nullptr) continue;
+    const BrickKey sibling_key{*vid, key.brick_id, key.layout_id};
+    bool warm = false;
+    for (int g = 0; g < config_.gpus_per_shard && !warm; ++g)
+      warm = cache->resident(g, sibling_key);
+    if (!warm) continue;
+    shard.bytes_hydrated_from_peers += stored_bytes;
+    shard.bytes_disk_avoided += stored_bytes;
+    ++shard.bricks_hydrated;
+    obs::TraceRecorder* trace = trace_;
+    std::uint64_t arrow = 0;
+    if (trace != nullptr) {
+      arrow = trace->next_async_id();
+      trace->async_begin(shard.engine->now(), trace_pid_base_ + s, arrow,
+                         "hydrate", "hydration",
+                         {{"brick", std::to_string(key.brick_id)},
+                          {"bytes", std::to_string(stored_bytes)},
+                          {"to_shard", std::to_string(shard_index)}});
+    }
+    // Ship the stored payload over the requesting shard's fabric; the
+    // plan resumes (H2D onward) when the transfer lands.
+    shard.fabric->send(s, shard_index, stored_bytes,
+                       [trace, arrow, pid = trace_pid_base_ + shard_index,
+                        engine = shard.engine.get(), done = std::move(done)] {
+                         if (trace != nullptr) {
+                           trace->async_end(engine->now(), pid, arrow,
+                                            "hydrate", "hydration");
+                         }
+                         done();
+                       });
+    return true;
+  }
+  return false;  // no warm sibling: the plan falls back to disk
+}
+
 std::uint64_t ServiceFrontend::session_submit(int session, RenderRequest request) {
   VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
                  "unknown session " << session);
@@ -109,7 +180,9 @@ std::uint64_t ServiceFrontend::session_submit(int session, RenderRequest request
     // free to place elsewhere on retry after invalidate_volume.
     for (const Shard& shard : shards_)
       shard.service->check_volume_compatible(request.volume);
-    state.shard = place(request.volume);
+    state.shard = state.profile.pin_shard.has_value()
+                      ? *state.profile.pin_shard
+                      : place(request.volume);
     Shard& shard = shards_[static_cast<std::size_t>(state.shard)];
     state.inner = shard.service->open_session(state.profile);
     ++shard.sessions_placed;
@@ -202,9 +275,12 @@ void ServiceFrontend::invalidate_volume(const volren::Volume* volume) {
   for (Shard& shard : shards_) shard.service->invalidate_volume(volume);
 }
 
-void ServiceFrontend::set_trace(obs::TraceRecorder* recorder) {
+void ServiceFrontend::set_trace(obs::TraceRecorder* recorder, int pid_base) {
+  trace_ = recorder;
+  trace_pid_base_ = pid_base;
   for (int s = 0; s < num_shards(); ++s) {
-    shards_[static_cast<std::size_t>(s)].service->set_trace(recorder, s);
+    shards_[static_cast<std::size_t>(s)].service->set_trace(recorder,
+                                                            pid_base + s);
   }
 }
 
@@ -217,10 +293,16 @@ FrontendStats ServiceFrontend::stats() const {
     ShardStats detail;
     detail.shard = s;
     detail.sessions = shard.sessions_placed;
+    detail.bytes_hydrated_from_peers = shard.bytes_hydrated_from_peers;
+    detail.bytes_disk_avoided = shard.bytes_disk_avoided;
+    detail.bricks_hydrated = shard.bricks_hydrated;
     detail.service = shard.service->stats();
     out.frames_total += detail.service.frames_total;
     out.makespan_s = std::max(out.makespan_s, detail.service.makespan_s);
     out.bytes_h2d_saved += detail.service.bytes_h2d_saved;
+    out.bytes_hydrated_from_peers += detail.bytes_hydrated_from_peers;
+    out.bytes_disk_avoided += detail.bytes_disk_avoided;
+    out.bricks_hydrated += detail.bricks_hydrated;
     hits += detail.service.cache.hits;
     misses += detail.service.cache.misses;
     out.shards.push_back(std::move(detail));

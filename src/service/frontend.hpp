@@ -26,11 +26,13 @@
 // deterministic, so identical workloads replay byte-identical schedules.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "net/fabric.hpp"
 #include "service/render_service.hpp"
 #include "service/session.hpp"
 #include "sim/engine.hpp"
@@ -56,11 +58,31 @@ struct FrontendConfig {
   /// while a batch-only shard keeps plain Lru. Empty (default): every
   /// shard uses service.cache_policy.
   std::vector<CachePolicy> cache_policy_per_shard;
+  /// Shard-to-shard warm hydration: a shard missing a brick asks its
+  /// siblings' caches BEFORE reading disk, and a warm sibling ships the
+  /// stored (compressed) payload over the inter-shard fabric — a cold
+  /// shard warms from the farm instead of re-reading every brick.
+  /// Off by default: hydration reroutes misses, which shifts timings
+  /// and telemetry that replay baselines compare against. Pays off for
+  /// out-of-core serving (RenderOptions::include_disk_io), where the
+  /// fabric transfer replaces a disk read; for in-core frames it only
+  /// inserts a fabric hop before the H2D copy.
+  bool enable_peer_hydration = false;
+  /// Interconnect model for hydration transfers between shards (each
+  /// shard pair is one "node" pair on a per-shard fabric instance).
+  net::FabricModel hydration_fabric;
 };
 
 struct ShardStats {
   int shard = 0;
   int sessions = 0;  // sessions placed on this shard
+  /// Peer hydration (enable_peer_hydration): stored bytes this shard
+  /// received from warm siblings instead of reading disk, and the disk
+  /// bytes those hydrations avoided (equal today — both paths move the
+  /// stored payload; kept separate so a future wire format can diverge).
+  std::uint64_t bytes_hydrated_from_peers = 0;
+  std::uint64_t bytes_disk_avoided = 0;
+  std::uint64_t bricks_hydrated = 0;
   ServiceStats service;
 };
 
@@ -73,6 +95,10 @@ struct FrontendStats {
   double fps = 0.0;  // frames_total / makespan
   double cache_hit_rate = 0.0;  // hits / (hits+misses) across shards
   std::uint64_t bytes_h2d_saved = 0;
+  /// Farm-wide peer hydration (sums of the per-shard counters).
+  std::uint64_t bytes_hydrated_from_peers = 0;
+  std::uint64_t bytes_disk_avoided = 0;
+  std::uint64_t bricks_hydrated = 0;
   /// Time-aligned farm windows: every shard's ServiceStats::windows
   /// merged by bin (shards share bin boundaries — same stats_window_s,
   /// parallel simulated timelines), counters summed, utilization over
@@ -93,16 +119,21 @@ class ServiceFrontend final : public SessionBackend {
   /// Admit a session. Shard placement is deferred to its first submit.
   Session open_session(SessionProfile profile);
   Session open_session(std::string name, Priority priority = Priority::Batch) {
-    return open_session(SessionProfile{std::move(name), priority, std::nullopt});
+    SessionProfile profile;
+    profile.name = std::move(name);
+    profile.priority = priority;
+    return open_session(std::move(profile));
   }
 
   /// Drain every shard's queue (each on its own simulated timeline).
   void drain();
 
   /// Attach one flight recorder to every shard: shard i records as
-  /// trace process i, so a single exported file opens the whole farm
-  /// in Perfetto with one process block per shard. nullptr detaches.
-  void set_trace(obs::TraceRecorder* recorder);
+  /// trace process pid_base + i, so a single exported file opens the
+  /// whole farm in Perfetto with one process block per shard (pass a
+  /// nonzero pid_base when other timelines already share the
+  /// recorder). nullptr detaches.
+  void set_trace(obs::TraceRecorder* recorder, int pid_base = 0);
 
   /// Cross-shard aggregate statistics, queryable at any time.
   FrontendStats stats() const;
@@ -129,7 +160,16 @@ class ServiceFrontend final : public SessionBackend {
     std::unique_ptr<sim::Engine> engine;
     std::unique_ptr<cluster::Cluster> cluster;
     std::unique_ptr<RenderService> service;
+    /// Hydration transfers INTO this shard run on its own engine (a
+    /// sibling's residency probe is pure bookkeeping; only the
+    /// requesting shard's timeline advances — the bulk-synchronous
+    /// approximation the frontend's parallel-timelines model already
+    /// makes for placement).
+    std::unique_ptr<net::Fabric> fabric;
     int sessions_placed = 0;
+    std::uint64_t bytes_hydrated_from_peers = 0;
+    std::uint64_t bytes_disk_avoided = 0;
+    std::uint64_t bricks_hydrated = 0;
   };
   struct FrontendSession {
     SessionProfile profile;
@@ -140,6 +180,13 @@ class ServiceFrontend final : public SessionBackend {
   };
 
   int place(const volren::Volume* volume) const;  // deterministic choice
+  /// The HydrationSource installed on every shard: probe siblings for a
+  /// warm copy of (volume -> their id, key.brick_id, key.layout_id) and
+  /// ship it over the requesting shard's fabric. Returns false (disk
+  /// fallback) when no sibling holds the brick.
+  bool hydrate(int shard_index, int gpu, const volren::Volume* volume,
+               const BrickKey& key, std::uint64_t stored_bytes,
+               std::function<void()> done);
   /// Wrap a client callback so delivered records carry the
   /// frontend-wide session index, not the shard-local one.
   static FrameCallback translate(int session, FrameCallback callback);
@@ -148,6 +195,10 @@ class ServiceFrontend final : public SessionBackend {
   FrontendConfig config_;
   std::vector<Shard> shards_;
   std::vector<std::unique_ptr<FrontendSession>> sessions_;
+  /// Kept for hydrate()'s shard-to-shard arrows (set_trace already
+  /// forwards the recorder to every shard for their own spans).
+  obs::TraceRecorder* trace_ = nullptr;
+  int trace_pid_base_ = 0;
 };
 
 }  // namespace vrmr::service

@@ -423,11 +423,24 @@ double RenderService::estimate_cost_s(const Pending& pending, int lod) const {
   // signature when the pyramid already exists, else ~8^lod smaller
   // bytes assumed cold (the pyramid is built at first degraded serve).
   const lod::LodLevel* level = nullptr;
-  if (lod > 0 && registered) {
+  // Compressed serving stages stored bytes: use the memoized plans when
+  // they exist (first compressed admission builds them; until then the
+  // estimate conservatively assumes logical sizes — the EWMA absorbs
+  // the one-frame error).
+  const compress::CompressionPlan* base_plan = nullptr;
+  const compress::CompressionPlan* level_plan = nullptr;
+  if (registered) {
     const auto qit = quality_.find({vid, pending.layout_sig});
-    if (qit != quality_.end() && qit->second.pyramid != nullptr &&
-        lod < qit->second.pyramid->num_levels()) {
-      level = &qit->second.pyramid->level(lod);
+    if (qit != quality_.end()) {
+      if (lod > 0 && qit->second.pyramid != nullptr &&
+          lod < qit->second.pyramid->num_levels()) {
+        level = &qit->second.pyramid->level(lod);
+        if (lod < static_cast<int>(qit->second.level_compression.size())) {
+          level_plan = qit->second.level_compression[static_cast<std::size_t>(lod)]
+                           .get();
+        }
+      }
+      base_plan = qit->second.compression.get();
     }
   }
   std::uint64_t h2d = 0;
@@ -437,8 +450,12 @@ double RenderService::estimate_cost_s(const Pending& pending, int lod) const {
     std::uint64_t bytes = brick.device_bytes() >> (3 * lod);
     std::uint64_t sig = pending.layout_sig;
     if (level != nullptr) {
-      bytes = level->layout->brick(brick.id).device_bytes();
+      bytes = level_plan != nullptr
+                  ? level_plan->brick(brick.id).stored_bytes
+                  : level->layout->brick(brick.id).device_bytes();
       sig = level->cache_signature;
+    } else if (lod == 0 && base_plan != nullptr) {
+      bytes = base_plan->brick(brick.id).stored_bytes;
     }
     const bool warm =
         cache_aware && cache_->resident(gpu, BrickKey{vid, brick.id, sig});
@@ -492,8 +509,12 @@ mr::StagingHook RenderService::make_staging_hook(const Pending& pending) {
     const std::uint64_t sig =
         brick->cache_signature() != 0 ? brick->cache_signature() : lid;
     BrickCache::LookupOutcome outcome;
+    // The cache budgets what VRAM holds: the stored (compressed)
+    // payload. The logical size rides along for the residency-
+    // multiplier counters (logical == stored when uncompressed).
     const bool hit = cache_->lookup_or_admit(
-        gpu, BrickKey{vid, brick->info().id, sig}, chunk.device_bytes(), &outcome);
+        gpu, BrickKey{vid, brick->info().id, sig}, chunk.stored_bytes(), &outcome,
+        chunk.device_bytes());
     if (trace_ != nullptr) {
       obs::TraceArgs args{{"brick", std::to_string(brick->info().id)}};
       if (outcome.ghost_b1) args.emplace_back("ghost", "b1");
@@ -612,24 +633,92 @@ void RenderService::deliver_frame(int session_index, const FrameRecord& record) 
 
 RenderService::QualityState& RenderService::quality_state(const Pending& pending,
                                                           std::uint64_t vid) {
-  const auto key = std::make_pair(vid, pending.layout_sig);
-  auto it = quality_.find(key);
-  if (it == quality_.end()) {
-    QualityState qs;
+  // The entry may already exist with only its compression plan filled
+  // (compression_state runs on every compressed admission): each piece
+  // builds independently on first need.
+  QualityState& qs = quality_[std::make_pair(vid, pending.layout_sig)];
+  if (qs.pyramid == nullptr) {
     // The pyramid shares the memoized frame layout; the base volume
     // outlives serving (the Session API contract), which is the
     // lifetime the pyramid's level wrappers need.
     qs.pyramid = std::make_shared<const lod::LodPyramid>(*pending.request.volume,
                                                          pending.layout);
-    if (config_.enable_occupancy_culling) {
-      const std::int64_t voxels = pending.request.volume->voxel_count();
-      const int scan_stride = voxels > config_.occupancy_max_voxels ? 4 : 1;
-      qs.occupancy = std::make_shared<const lod::OccupancyIndex>(
-          *pending.request.volume, *pending.layout, /*cell_voxels=*/8, scan_stride);
-    }
-    it = quality_.emplace(key, std::move(qs)).first;
   }
-  return it->second;
+  if (config_.enable_occupancy_culling && qs.occupancy == nullptr) {
+    const std::int64_t voxels = pending.request.volume->voxel_count();
+    const int scan_stride = voxels > config_.occupancy_max_voxels ? 4 : 1;
+    qs.occupancy = std::make_shared<const lod::OccupancyIndex>(
+        *pending.request.volume, *pending.layout, /*cell_voxels=*/8, scan_stride);
+  }
+  return qs;
+}
+
+const RenderService::QualityState* RenderService::compression_state(
+    const Pending& pending) {
+  if (config_.compression == compress::Codec::None) return nullptr;
+  const std::uint64_t vid = register_volume(pending.request.volume).id;
+  QualityState& qs = quality_[std::make_pair(vid, pending.layout_sig)];
+  const auto codec = compress::make_codec(config_.compression);
+  if (qs.compression == nullptr) {
+    // One analysis per (volume, layout): every brick's stored size and
+    // (de)compress quanta, from the occupancy thumbnails when an exact
+    // scan exists (zfp-style sizes need only the cell intervals), else
+    // from the voxels themselves.
+    qs.compression = std::make_shared<const compress::CompressionPlan>(
+        compress::analyze(*pending.request.volume, *pending.layout, *codec,
+                          qs.occupancy.get()));
+  }
+  if (qs.pyramid != nullptr && qs.level_compression.empty() &&
+      qs.pyramid->num_levels() > 1) {
+    // Coarse levels compress too (their payloads ride the same cache /
+    // disk / hydration paths). Level layouts reuse base brick ids, so
+    // each level plan indexes by the same id the planner passes.
+    qs.level_compression.resize(
+        static_cast<std::size_t>(qs.pyramid->num_levels()));
+    for (int level = 1; level < qs.pyramid->num_levels(); ++level) {
+      const lod::LodLevel& lvl = qs.pyramid->level(level);
+      qs.level_compression[static_cast<std::size_t>(level)] =
+          std::make_shared<const compress::CompressionPlan>(
+              compress::analyze(*lvl.volume, *lvl.layout, *codec));
+    }
+  }
+  return &qs;
+}
+
+void RenderService::apply_compression(ActiveFrame& active,
+                                      volren::AdaptiveQuality* aq) {
+  const QualityState* qs = compression_state(active.pending);
+  if (qs == nullptr) return;
+  // Keep-alive refs: the planned chunks read stored sizes from the
+  // plans for the frame's whole lifetime, and invalidate_volume may
+  // erase the quality entry while this frame is in flight.
+  active.compression = qs->compression;
+  active.level_compression = qs->level_compression;
+  aq->compression = active.compression.get();
+  aq->level_compression.clear();
+  for (const auto& plan : active.level_compression) {
+    aq->level_compression.push_back(plan.get());
+  }
+}
+
+mr::FetchHook RenderService::make_fetch_hook(const Pending& pending) {
+  if (!hydration_) return mr::FetchHook{};
+  const std::uint64_t vid = register_volume(pending.request.volume).id;
+  const std::uint64_t lid = pending.layout_sig;
+  // The BASE volume pointer, even for LOD chunks (a level chunk's own
+  // volume() is the shard-local pyramid level): peers key coarse
+  // payloads under (their base registration, level signature) exactly
+  // like our own staging hook does.
+  const volren::Volume* volume = pending.request.volume;
+  return [this, vid, lid, volume](int gpu, const mr::Chunk& chunk,
+                                  std::function<void()> done) {
+    const auto* brick = dynamic_cast<const volren::BrickChunk*>(&chunk);
+    if (brick == nullptr) return false;  // non-brick chunks: disk path
+    const std::uint64_t sig =
+        brick->cache_signature() != 0 ? brick->cache_signature() : lid;
+    return hydration_(gpu, volume, BrickKey{vid, brick->info().id, sig},
+                      chunk.stored_bytes(), std::move(done));
+  };
 }
 
 void RenderService::apply_adaptive_quality(ActiveFrame& active,
@@ -810,6 +899,12 @@ std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
   // served LOD is attributable from admission on.
   volren::AdaptiveQuality aq;
   apply_adaptive_quality(*active, session, options, &aq);
+  // After the quality pass: level plans must exist exactly when a
+  // pyramid may serve coarse chunks this admission. The hydration hook
+  // is independent of compression — uncompressed payloads hydrate too
+  // (stored == logical).
+  apply_compression(*active, &aq);
+  aq.fetch_hook = make_fetch_hook(active->pending);
   if (trace_ != nullptr) {
     const double now = cluster_.engine().now();
     const bool interactive = active->priority == Priority::Interactive;
@@ -1010,6 +1105,12 @@ bool RenderService::try_prefetch(int gpu) {
     if (it == volumes_.end()) continue;  // invalidated since submit
     const std::uint64_t vid = it->second.id;
     const auto& bricks = head.layout->bricks();
+    // Prefetch moves exactly what demand staging would: stored bytes
+    // (memoized per (volume, layout); a miss here builds the plan the
+    // admission would build anyway).
+    const QualityState* cqs = compression_state(head);
+    const compress::CompressionPlan* plan =
+        cqs != nullptr ? cqs->compression.get() : nullptr;
     if (head.prefetch_issued.empty()) head.prefetch_issued.assign(bricks.size(), 0);
     for (const volren::BrickInfo& brick : bricks) {
       if (brick.id % gpus != gpu) continue;  // dealt to another lane
@@ -1021,7 +1122,9 @@ bool RenderService::try_prefetch(int gpu) {
       // still queued. Only an actual transfer (or a permanent reject)
       // consumes the once-per-queued-frame budget.
       if (cache_->resident(gpu, key)) continue;
-      const std::uint64_t bytes = brick.device_bytes();
+      const std::uint64_t logical = brick.device_bytes();
+      const std::uint64_t bytes =
+          plan != nullptr ? plan->brick(brick.id).stored_bytes : logical;
       if (bytes > cache_->capacity_per_gpu()) {
         issued = 1;  // would never be admitted; stop retrying
         continue;
@@ -1043,7 +1146,7 @@ bool RenderService::try_prefetch(int gpu) {
       const int node = cluster_.node_of_gpu(gpu);
       const double h2d_s = cluster_.config().hw.pcie.transfer_time(bytes);
       const volren::Volume* volume = head.request.volume;
-      auto finish = [this, gpu, key, bytes, volume] {
+      auto finish = [this, gpu, key, bytes, logical, volume] {
         // The transfer was in flight: only admit if the volume's
         // registration still carries the id the key was built from —
         // an invalidate_volume() meanwhile retired that id, and a
@@ -1057,7 +1160,7 @@ bool RenderService::try_prefetch(int gpu) {
           // refresh, not an admission), so service- and cache-level
           // prefetch telemetry reconcile exactly.
           bool admitted = false;
-          (void)cache_->prefetch(gpu, key, bytes, &admitted);
+          (void)cache_->prefetch(gpu, key, bytes, &admitted, logical);
           if (admitted) {
             ++bricks_prefetched_;
             bytes_prefetched_ += bytes;
@@ -1335,6 +1438,10 @@ ServiceStats RenderService::stats() const {
   for (const FrameRecord& f : completed_) {
     last_finish = std::max(last_finish, f.finish_s);
     out.bytes_h2d_saved += f.stats.bytes_h2d_saved;
+    out.chunks_decompressed += f.stats.chunks_decompressed;
+    out.decompress_s_total += f.stats.decompress_s_total;
+    out.chunks_hydrated += f.stats.chunks_hydrated;
+    out.bytes_hydrated += f.stats.bytes_hydrated;
   }
   out.makespan_s = last_finish - window_start_s_;
   out.fps = out.makespan_s > 0.0 ? out.frames_total / out.makespan_s : 0.0;

@@ -66,6 +66,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <map>
 #include <memory>
@@ -75,6 +76,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "compress/brick_codec.hpp"
 #include "lod/occupancy.hpp"
 #include "lod/pyramid.hpp"
 #include "mr/stats.hpp"
@@ -191,6 +193,18 @@ struct ServiceConfig {
   /// Occupancy scan budget: volumes above this voxel count get a
   /// subsampled, non-exact scan — metadata only, never culled from.
   std::int64_t occupancy_max_voxels = std::int64_t{1} << 24;
+
+  // --- brick compression (src/compress) ------------------------------------
+  /// Codec for every byte-moving path: None (default) stages raw
+  /// logical payloads — bit-identical to the pre-compression service.
+  /// Rle/ZfpStyle analyze each (volume, layout) once (memoized with the
+  /// quality state), then disk reads, H2D transfers, cache residency
+  /// and peer hydration all move the *stored* (compressed) bytes while
+  /// a per-brick decompress quantum is charged on the GPU stream before
+  /// the map kernel. Pixels are bit-identical either way — the codecs
+  /// are lossless (rle) or modeled-size-only (zfp-style); see
+  /// src/compress/README.md.
+  compress::Codec compression = compress::Codec::None;
 };
 
 /// One bin of the windowed service counters: activity inside
@@ -264,6 +278,14 @@ struct ServiceStats {
   std::uint64_t refinements_served = 0;
   std::uint64_t bricks_occupancy_culled = 0;
   std::uint64_t classifications_built = 0;
+  /// Compressed serving (ServiceConfig::compression != None): decompress
+  /// quanta charged before map kernels, their GPU seconds, and peer
+  /// hydration — misses served from a sibling shard's cache instead of
+  /// disk (frontend-installed; see set_hydration_source).
+  std::uint64_t chunks_decompressed = 0;
+  double decompress_s_total = 0.0;
+  std::uint64_t chunks_hydrated = 0;
+  std::uint64_t bytes_hydrated = 0;
   BrickCacheStats cache;
   /// Per-window counters (ServiceConfig::stats_window_s bins, sparse,
   /// ascending start_s). Lifetime aggregates above average preemption
@@ -290,7 +312,10 @@ class RenderService final : public SessionBackend {
   /// Admit a session; the handle is the API for submit/on_frame/stats.
   Session open_session(SessionProfile profile);
   Session open_session(std::string name, Priority priority = Priority::Batch) {
-    return open_session(SessionProfile{std::move(name), priority, std::nullopt});
+    SessionProfile profile;
+    profile.name = std::move(name);
+    profile.priority = priority;
+    return open_session(std::move(profile));
   }
 
   /// Drop the volume's bricks from every GPU shard, forget its
@@ -333,6 +358,32 @@ class RenderService final : public SessionBackend {
   /// ("interactive.queue_wait_s", "batch.service_s", ...), populated as
   /// frames complete.
   const obs::Registry& metrics() const { return metrics_; }
+
+  // --- peer hydration (frontend-installed) -------------------------------
+  /// Asked on every staging miss BEFORE the disk read: does a peer hold
+  /// the brick, and if so deliver its stored payload of `stored_bytes`
+  /// to `gpu`, calling `done` exactly once (from a DES callback on this
+  /// service's engine) when the transfer lands — the plan then proceeds
+  /// with the normal H2D upload. Return false to fall back to disk.
+  /// `volume` is the base Volume the key's volume_id registers (ids are
+  /// shard-local; peers translate through their own registrations —
+  /// volume_id_of), and key.layout_id already distinguishes LOD-level
+  /// payloads. Installed by ServiceFrontend, which probes sibling
+  /// shards' caches and ships the payload over its inter-shard fabric.
+  using HydrationSource = std::function<bool(
+      int gpu, const volren::Volume* volume, const BrickKey& key,
+      std::uint64_t stored_bytes, std::function<void()> done)>;
+  void set_hydration_source(HydrationSource source) {
+    hydration_ = std::move(source);
+  }
+  /// This service's registration id for `volume`, when registered (the
+  /// id peer caches key the volume's bricks under). No registration or
+  /// dims check — a pure probe.
+  std::optional<std::uint64_t> volume_id_of(const volren::Volume* volume) const {
+    const auto it = volumes_.find(volume);
+    if (it == volumes_.end()) return std::nullopt;
+    return it->second.id;
+  }
 
   // --- introspection (frontend placement, tests) -------------------------
   const BrickCache* cache() const { return cache_ ? &*cache_ : nullptr; }
@@ -431,9 +482,12 @@ class RenderService final : public SessionBackend {
     FrameRecord record;
     std::unique_ptr<volren::PlannedFrame> frame;
     /// Keep the adaptive-quality inputs alive for the frame's lifetime:
-    /// LOD chunks reference pyramid level volumes/layouts.
+    /// LOD chunks reference pyramid level volumes/layouts, and chunks
+    /// read their stored sizes from the compression plans.
     std::shared_ptr<const lod::LodPyramid> pyramid;
     std::shared_ptr<const lod::TfClassification> classification;
+    std::shared_ptr<const compress::CompressionPlan> compression;
+    std::vector<std::shared_ptr<const compress::CompressionPlan>> level_compression;
     /// SLO controller served this below the requested quality; a
     /// refinement is enqueued at completion.
     bool degraded = false;
@@ -492,15 +546,34 @@ class RenderService final : public SessionBackend {
 
   // --- adaptive quality ----------------------------------------------------
   /// Lazily-built per-(volume id, layout signature) quality metadata.
+  /// Each piece fills independently on first need (a compression-only
+  /// admission never builds the pyramid, and vice versa).
   struct QualityState {
     std::shared_ptr<const lod::LodPyramid> pyramid;
     std::shared_ptr<const lod::OccupancyIndex> occupancy;
+    /// Per-brick compression outcomes for the base layout under
+    /// config_.compression (null until first compressed admission).
+    std::shared_ptr<const compress::CompressionPlan> compression;
+    /// Per-pyramid-level plans, indexed by level (entry 0 unused);
+    /// built together with `compression` only when the pyramid exists.
+    std::vector<std::shared_ptr<const compress::CompressionPlan>> level_compression;
   };
   /// Find-or-build the quality state for a pending frame's (volume,
   /// layout). Registers the volume; the occupancy index is scanned only
   /// when enable_occupancy_culling is set (subsampled past the voxel
   /// budget).
   QualityState& quality_state(const Pending& pending, std::uint64_t vid);
+  /// Find-or-build the memoized CompressionPlan(s) for the frame's
+  /// (volume, layout) under config_.compression — the base plan always,
+  /// plus per-level plans when the quality state already carries a
+  /// pyramid. Returns nullptr when compression is off.
+  const QualityState* compression_state(const Pending& pending);
+  /// Hand the memoized plans + the peer-hydration hook to the planner.
+  /// Runs after apply_adaptive_quality so level plans exist exactly
+  /// when a pyramid may serve coarse chunks this admission.
+  void apply_compression(ActiveFrame& active, volren::AdaptiveQuality* aq);
+  /// Adapt the installed HydrationSource to the frame's cache keys.
+  mr::FetchHook make_fetch_hook(const Pending& pending);
   /// SLO controller + per-request quality knobs: resolves the LOD this
   /// admission serves at, fills `aq` (and the keep-alive refs on
   /// `active`), flags degradation. Mutates `options` (max_lod/quality).
@@ -595,6 +668,9 @@ class RenderService final : public SessionBackend {
   std::uint64_t refinements_enqueued_ = 0;
   std::uint64_t refinements_served_ = 0;
   std::uint64_t bricks_occupancy_culled_ = 0;
+
+  // Peer hydration: frontend-installed miss interceptor (null = none).
+  HydrationSource hydration_;
 
   // Observability: flight recorder (null = record nothing) + metrics.
   obs::TraceRecorder* trace_ = nullptr;

@@ -91,10 +91,28 @@ class BrickChunk final : public mr::Chunk {
         cache_signature_(cache_signature) {}
 
   std::uint64_t device_bytes() const override { return info_.device_bytes(); }
+  /// Stored (cache / wire / disk) payload size: the compressed size
+  /// when set_compression was applied, else the logical size.
+  std::uint64_t stored_bytes() const override {
+    return stored_bytes_ > 0 ? stored_bytes_ : info_.device_bytes();
+  }
+  /// Disk delivers the stored payload too (VRBF v2 records compressed
+  /// brick streams; io/brick_file.hpp).
+  std::uint64_t disk_bytes() const override { return stored_bytes(); }
+  double decompress_s() const override { return decompress_s_; }
   std::string label() const override {
     std::string name = volume_->name() + "/brick" + std::to_string(info_.id);
     if (lod_ > 0) name += "@L" + std::to_string(lod_);
     return name;
+  }
+
+  /// Attach this brick's compression outcome (compress::CompressionPlan
+  /// entry): `stored` bytes move on every byte-touching path and
+  /// `decompress_s` is charged as a GPU-stream quantum before the map
+  /// kernel. Never called (or called with stored == 0) = uncompressed.
+  void set_compression(std::uint64_t stored, double decompress_s) {
+    stored_bytes_ = stored;
+    decompress_s_ = decompress_s;
   }
 
   const BrickInfo& info() const { return info_; }
@@ -109,6 +127,8 @@ class BrickChunk final : public mr::Chunk {
   int lod_ = 0;
   int lod_stride_ = 1;
   std::uint64_t cache_signature_ = 0;
+  std::uint64_t stored_bytes_ = 0;  // 0 = uncompressed (logical size)
+  double decompress_s_ = 0.0;
 };
 
 /// Static per-frame state shared by all of a job's mappers.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 
+#include "compress/brick_codec.hpp"
 #include "lod/occupancy.hpp"
 #include "lod/pyramid.hpp"
 #include "util/check.hpp"
@@ -85,6 +86,7 @@ std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume
   config.barrier_mode = options.barrier_mode;
   config.include_disk_io = options.include_disk_io;
   config.staging_hook = std::move(staging_hook);
+  config.fetch_hook = aq.fetch_hook;
   config.trace = options.trace;
 
   auto planned = std::unique_ptr<PlannedFrame>(new PlannedFrame());
@@ -147,14 +149,29 @@ std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume
       continue;
     }
 
+    // Pyramid levels share the base grid's brick ids, so a level plan
+    // (compress::analyze over the level volume + layout) indexes by the
+    // same id. A level without a plan stages uncompressed.
     if (level > 0) {
       const lod::LodLevel& lvl = pyramid->level(level);
-      planned->plan_->add_chunk(std::make_unique<BrickChunk>(
+      auto chunk = std::make_unique<BrickChunk>(
           *lvl.volume, lvl.layout->brick(info.id), lvl.level, lvl.stride,
-          lvl.cache_signature));
+          lvl.cache_signature);
+      if (static_cast<std::size_t>(level) < aq.level_compression.size() &&
+          aq.level_compression[static_cast<std::size_t>(level)] != nullptr) {
+        const compress::BrickCompression& bc =
+            aq.level_compression[static_cast<std::size_t>(level)]->brick(info.id);
+        chunk->set_compression(bc.stored_bytes, bc.decompress_s);
+      }
+      planned->plan_->add_chunk(std::move(chunk));
       planned->max_level_ = std::max(planned->max_level_, level);
     } else {
-      planned->plan_->add_chunk(std::make_unique<BrickChunk>(volume, info));
+      auto chunk = std::make_unique<BrickChunk>(volume, info);
+      if (aq.compression != nullptr) {
+        const compress::BrickCompression& bc = aq.compression->brick(info.id);
+        chunk->set_compression(bc.stored_bytes, bc.decompress_s);
+      }
+      planned->plan_->add_chunk(std::move(chunk));
     }
     if (options.screen_footprints) {
       // Level world boxes are bit-identical to the base brick's, so the

@@ -24,6 +24,10 @@ class LodPyramid;
 struct TfClassification;
 }  // namespace vrmr::lod
 
+namespace vrmr::compress {
+struct CompressionPlan;
+}  // namespace vrmr::compress
+
 namespace vrmr::volren {
 
 struct RenderOptions {
@@ -153,6 +157,18 @@ struct AdaptiveQuality {
   /// nullptr = no occupancy culling. Only bricks selected at level 0
   /// are culled (coarse ghost shells reach beyond the scanned region).
   const lod::TfClassification* classification = nullptr;
+  /// Per-brick compression outcomes for the BASE layout
+  /// (compress::analyze over (volume, layout)); nullptr = uncompressed
+  /// planning. Every planned base-level BrickChunk gets its stored size
+  /// and decompress quantum from plan.brick(id).
+  const compress::CompressionPlan* compression = nullptr;
+  /// Per-pyramid-level plans indexed by level (entries may be null, and
+  /// the vector may be shorter than the pyramid — such levels plan
+  /// uncompressed). Entry 0 is ignored: base bricks use `compression`.
+  std::vector<const compress::CompressionPlan*> level_compression;
+  /// Peer-hydration fetch hook, copied into the frame's JobConfig (see
+  /// mr::FetchHook): consulted on staging misses before the disk read.
+  mr::FetchHook fetch_hook;
 };
 
 /// A planned (not yet executed) frame: the ray-cast mapper, compositing

@@ -138,5 +138,74 @@ TEST_F(BrickFileTest, NonUniformPaddedDimsSupported) {
   EXPECT_EQ(reader.read_brick(1).size(), 3u * 4 * 4);
 }
 
+TEST_F(BrickFileTest, RleFileStoresFewerBytesAndRoundTripsExactly) {
+  // v2 compressed file: a uniform brick shrinks on disk, an
+  // incompressible one falls back to raw inside the codec's framing —
+  // and both read back exactly, with record(i).bytes telling what the
+  // read itself moved.
+  const Int3 dims{8, 8, 8};
+  const std::vector<float> uniform(static_cast<size_t>(dims.volume()), 0.5f);
+  const std::vector<float> noisy = random_payload(dims, 42);
+  {
+    BrickFileWriter writer(path("rle.vrbf"), Int3{16, 8, 8}, 8, 0, 2,
+                           compress::Codec::Rle);
+    writer.append_brick(Int3{0, 0, 0}, dims, uniform);
+    writer.append_brick(Int3{1, 0, 0}, dims, noisy);
+    writer.finalize();
+  }
+  BrickFileReader reader(path("rle.vrbf"));
+  EXPECT_EQ(reader.header().version, 2u);
+  const std::uint64_t logical = uniform.size() * sizeof(float);
+  EXPECT_EQ(reader.record(0).codec, compress::Codec::Rle);
+  EXPECT_EQ(reader.record(0).logical_bytes, logical);
+  EXPECT_EQ(reader.record(0).bytes, 8u);  // one (count, value) pair
+  EXPECT_EQ(reader.record(1).bytes, logical);  // raw fallback
+  EXPECT_EQ(reader.read_brick(0), uniform);
+  EXPECT_EQ(reader.read_brick(1), noisy);
+}
+
+TEST_F(BrickFileTest, WriterRejectsModeledOnlyCodec) {
+  // zfp-style sizes are simulation models; a lossless file cannot
+  // store them, so the writer refuses up front.
+  EXPECT_THROW(BrickFileWriter(path("zfp.vrbf"), Int3{4, 4, 4}, 4, 0, 1,
+                               compress::Codec::ZfpStyle),
+               vrmr::CheckError);
+}
+
+TEST_F(BrickFileTest, ReaderStillLoadsVersion1Files) {
+  // Hand-written v1 file (40-byte records, no codec/logical fields):
+  // the reader must load it with codec None and logical == stored.
+  const Int3 dims{4, 4, 4};
+  const std::vector<float> payload = random_payload(dims, 9);
+  {
+    std::ofstream out(path("v1.vrbf"), std::ios::binary);
+    auto u32 = [&out](std::uint32_t v) {
+      out.write(reinterpret_cast<const char*>(&v), 4);
+    };
+    auto u64 = [&out](std::uint64_t v) {
+      out.write(reinterpret_cast<const char*>(&v), 8);
+    };
+    u32(kBrickFileMagic);
+    u32(1);  // version
+    u32(4); u32(4); u32(4);  // volume dims
+    u32(4);  // brick_size
+    u32(0);  // ghost
+    u32(1);  // num_bricks
+    const std::uint64_t header_and_dir = 8 * 4 + (6 * 4 + 2 * 8);
+    u32(0); u32(0); u32(0);  // grid_pos
+    u32(4); u32(4); u32(4);  // padded_dims
+    u64(header_and_dir);     // offset
+    u64(payload.size() * sizeof(float));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size() * sizeof(float)));
+  }
+  BrickFileReader reader(path("v1.vrbf"));
+  EXPECT_EQ(reader.header().version, 1u);
+  ASSERT_EQ(reader.num_bricks(), 1);
+  EXPECT_EQ(reader.record(0).codec, compress::Codec::None);
+  EXPECT_EQ(reader.record(0).logical_bytes, reader.record(0).bytes);
+  EXPECT_EQ(reader.read_brick(0), payload);
+}
+
 }  // namespace
 }  // namespace vrmr::io

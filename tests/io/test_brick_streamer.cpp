@@ -104,6 +104,39 @@ TEST_F(BrickStreamerTest, RejectsBadArguments) {
   EXPECT_THROW((void)streamer.next_brick(), vrmr::CheckError);
 }
 
+TEST_F(BrickStreamerTest, CompressedFileCountsStoredBytesWithSameReads) {
+  // A compressed (v2) file changes what a read COSTS, not how many
+  // reads happen: reads() matches the raw-file schedule exactly while
+  // bytes_read() counts the encoded streams — here uniform bricks that
+  // collapse to one RLE pair each — and consumers still get the full
+  // logical payloads.
+  const fs::path packed =
+      fs::temp_directory_path() /
+      ("vrmr_streamer_rle_" + std::to_string(::getpid()) + ".vrbf");
+  {
+    BrickFileWriter writer(packed, Int3{24, 4, 4}, 4, 0, kBricks,
+                           compress::Codec::Rle);
+    for (int i = 0; i < kBricks; ++i) {
+      const std::vector<float> uniform(static_cast<size_t>(kDims.volume()),
+                                       0.125f * static_cast<float>(i));
+      writer.append_brick(Int3{i, 0, 0}, kDims, uniform);
+    }
+    writer.finalize();
+  }
+  BrickFileReader reader(packed);
+  std::vector<int> schedule(kBricks);
+  std::iota(schedule.begin(), schedule.end(), 0);
+  BrickStreamer streamer(reader, schedule, /*window=*/2);
+  for (int i = 0; i < kBricks; ++i) {
+    const std::vector<float> voxels = streamer.consume();
+    EXPECT_EQ(voxels, std::vector<float>(static_cast<size_t>(kDims.volume()),
+                                         0.125f * static_cast<float>(i)));
+  }
+  EXPECT_EQ(streamer.reads(), static_cast<std::uint64_t>(kBricks));
+  EXPECT_EQ(streamer.bytes_read(), static_cast<std::uint64_t>(kBricks) * 8u);
+  fs::remove(packed);
+}
+
 TEST_F(BrickStreamerTest, EmptyScheduleIsImmediatelyDone) {
   BrickStreamer streamer(*reader_, {}, 2);
   EXPECT_TRUE(streamer.done());

@@ -98,6 +98,23 @@ TEST(Fabric, PerMessageOverheadCharged) {
   EXPECT_NEAR(delivered_at, 1.501, 1e-9);
 }
 
+TEST(Fabric, IntraNodeSendsSkipPerMessageOverhead) {
+  // per_message_overhead_s models the NIC's per-message fixed cost
+  // (interrupt, doorbell, descriptor). An intra-node copy never
+  // touches the NIC, so a nonzero overhead must not change its timing
+  // — same 0.1001 s as with overhead zero (IntraNodeBypassesNic).
+  sim::Engine e;
+  FabricModel m = simple_model();
+  m.per_message_overhead_s = 0.5;
+  Fabric fabric(e, m, 2);
+  double delivered_at = -1.0;
+  e.schedule_at(0.0, [&] {
+    fabric.send(0, 0, 1000000, [&] { delivered_at = e.now(); });
+  });
+  e.run();
+  EXPECT_NEAR(delivered_at, 0.1001, 1e-9);
+}
+
 TEST(Fabric, CountsBytesAndMessages) {
   sim::Engine e;
   Fabric fabric(e, simple_model(), 3);

@@ -175,6 +175,40 @@ TEST(CriticalPath, BarePlanDecomposesWithPlanLevelStamps) {
                    last_tile);
 }
 
+TEST(CriticalPath, CompressedServingKeepsThePartitionExact) {
+  // Compressed serving charges a decompress quantum before every map
+  // kernel. It runs on the same stream whose completion stamps the
+  // StageMap boundary (see obs/critical_path.hpp), so the invariant is
+  // EXTENDED, not relaxed: frames really decompress, and the seven
+  // segments still partition finish - arrival exactly.
+  for (const Scene& scene : seed_scenes()) {
+    const std::string label =
+        scene.dataset + " g=" + std::to_string(scene.gpus) + " compressed";
+    const volren::Volume volume =
+        volren::datasets::by_name(scene.dataset, scene.dims);
+    sim::Engine engine;
+    cluster::Cluster cluster(
+        engine, cluster::ClusterConfig::with_total_gpus(scene.gpus));
+    service::ServiceConfig config;
+    config.compression = compress::Codec::Rle;
+    service::RenderService service(cluster, config);
+    service::Session session = service.open_session("scene");
+    service::RenderRequest request;
+    request.volume = &volume;
+    request.options = options_for(scene);
+    request.arrival_s = 0.0;
+    session.submit(request);
+    service.drain();
+
+    ASSERT_EQ(service.frames().size(), 1u) << label;
+    EXPECT_GT(service.stats().chunks_decompressed, 0u) << label;
+    EXPECT_GT(service.stats().decompress_s_total, 0.0) << label;
+    const service::FrameRecord& record = service.frames().front();
+    expect_sound(record.critical_path, record.arrival_s, record.finish_s,
+                 record.tiles, label);
+  }
+}
+
 TEST(CriticalPath, UnfinishedPlanIsInvalid) {
   const volren::Volume volume = volren::datasets::skull({16, 16, 16});
   sim::Engine engine;
