@@ -1,0 +1,79 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace vrmr::fault {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::DiskReadError: return "disk_read_error";
+    case FaultKind::FabricDrop: return "fabric_drop";
+    case FaultKind::FabricDelay: return "fabric_delay";
+    case FaultKind::LaneStall: return "lane_stall";
+    case FaultKind::LaneDeath: return "lane_death";
+    case FaultKind::ShardCrash: return "shard_crash";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  VRMR_CHECK_MSG(event.time_s >= 0.0, "fault time must be non-negative");
+  VRMR_CHECK_MSG(event.shard >= 0, "fault shard must be non-negative");
+  events_.push_back(event);
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_random(FaultKind kind, int count, double t0_s,
+                                 double t1_s, int num_shards, int num_targets,
+                                 double param_s) {
+  VRMR_CHECK(count >= 0);
+  VRMR_CHECK(t1_s >= t0_s && t0_s >= 0.0);
+  VRMR_CHECK(num_shards >= 1);
+  // One PCG stream per add_random call: inserting a call never perturbs
+  // the draws of earlier calls, and replays are exact for a given call
+  // sequence.
+  Pcg32 rng(seed_, draw_streams_++);
+  for (int i = 0; i < count; ++i) {
+    FaultEvent e;
+    e.kind = kind;
+    e.time_s = t0_s + rng.next_double() * (t1_s - t0_s);
+    e.shard = static_cast<int>(rng.next_below(static_cast<std::uint32_t>(num_shards)));
+    e.target = num_targets <= 0
+                   ? -1
+                   : static_cast<int>(
+                         rng.next_below(static_cast<std::uint32_t>(num_targets)));
+    e.param_s = param_s;
+    events_.push_back(e);
+  }
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::events() const {
+  std::vector<FaultEvent> sorted = events_;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return sorted;
+}
+
+std::vector<FaultEvent> FaultPlan::events_for(int shard) const {
+  std::vector<FaultEvent> out;
+  for (const FaultEvent& e : events()) {
+    if (e.shard == shard) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<FaultEvent> FaultPlan::events_for(int shard, FaultKind kind) const {
+  std::vector<FaultEvent> out;
+  for (const FaultEvent& e : events()) {
+    if (e.shard == shard && e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace vrmr::fault

@@ -34,7 +34,8 @@ void write_record(std::ofstream& out, const BrickRecord& r) {
   write_pod<std::uint64_t>(out, r.logical_bytes);
 }
 
-BrickRecord read_record(std::ifstream& in, std::uint32_t version) {
+BrickRecord read_record(std::ifstream& in, std::uint32_t version,
+                        std::uint32_t* bad_codec) {
   BrickRecord r;
   r.grid_pos.x = static_cast<int>(read_pod<std::uint32_t>(in));
   r.grid_pos.y = static_cast<int>(read_pod<std::uint32_t>(in));
@@ -44,9 +45,11 @@ BrickRecord read_record(std::ifstream& in, std::uint32_t version) {
   r.padded_dims.z = static_cast<int>(read_pod<std::uint32_t>(in));
   if (version >= 2) {
     const auto codec = read_pod<std::uint32_t>(in);
-    VRMR_CHECK_MSG(codec <= static_cast<std::uint32_t>(compress::Codec::ZfpStyle),
-                   "unknown codec id " << codec);
-    r.codec = static_cast<compress::Codec>(codec);
+    if (codec > static_cast<std::uint32_t>(compress::Codec::ZfpStyle)) {
+      *bad_codec = codec;
+    } else {
+      r.codec = static_cast<compress::Codec>(codec);
+    }
     (void)read_pod<std::uint32_t>(in);  // reserved
   }
   r.offset = read_pod<std::uint64_t>(in);
@@ -149,14 +152,35 @@ void BrickFileWriter::finalize() {
   finalized_ = true;
 }
 
-BrickFileReader::BrickFileReader(const std::filesystem::path& path)
-    : in_(path, std::ios::binary) {
-  VRMR_CHECK_MSG(in_.good(), "cannot open " << path);
+BrickFileReader::BrickFileReader(const std::filesystem::path& path) {
+  const std::optional<IoError> err = init(path);
+  VRMR_CHECK_MSG(!err.has_value(), err->message);
+}
+
+Expected<BrickFileReader, IoError> BrickFileReader::open(
+    const std::filesystem::path& path) {
+  BrickFileReader reader;
+  if (std::optional<IoError> err = reader.init(path)) {
+    return make_unexpected(std::move(*err));
+  }
+  return reader;
+}
+
+std::optional<IoError> BrickFileReader::init(const std::filesystem::path& path) {
+  in_.open(path, std::ios::binary);
+  if (!in_.good()) {
+    return IoError{IoError::Code::OpenFailed, "cannot open " + path.string()};
+  }
   const auto magic = read_pod<std::uint32_t>(in_);
-  VRMR_CHECK_MSG(magic == kBrickFileMagic, "bad magic 0x" << std::hex << magic);
+  if (!in_.good() || magic != kBrickFileMagic) {
+    return IoError{IoError::Code::BadMagic,
+                   "bad magic in " + path.string() + " (not a VRBF file)"};
+  }
   const auto version = read_pod<std::uint32_t>(in_);
-  VRMR_CHECK_MSG(version >= 1 && version <= kBrickFileVersion,
-                 "unsupported version " << version);
+  if (!in_.good() || version < 1 || version > kBrickFileVersion) {
+    return IoError{IoError::Code::BadVersion,
+                   "unsupported VRBF version " + std::to_string(version)};
+  }
   header_.version = version;
   header_.volume_dims.x = static_cast<int>(read_pod<std::uint32_t>(in_));
   header_.volume_dims.y = static_cast<int>(read_pod<std::uint32_t>(in_));
@@ -164,10 +188,25 @@ BrickFileReader::BrickFileReader(const std::filesystem::path& path)
   header_.brick_size = static_cast<int>(read_pod<std::uint32_t>(in_));
   header_.ghost = static_cast<int>(read_pod<std::uint32_t>(in_));
   const auto count = read_pod<std::uint32_t>(in_);
+  if (!in_.good()) {
+    return IoError{IoError::Code::TruncatedDirectory,
+                   "truncated header in " + path.string()};
+  }
   header_.bricks.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i)
-    header_.bricks.push_back(read_record(in_, version));
-  VRMR_CHECK_MSG(in_.good(), "truncated directory");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t bad_codec = 0;
+    header_.bricks.push_back(read_record(in_, version, &bad_codec));
+    if (bad_codec != 0) {
+      return IoError{IoError::Code::CorruptPayload,
+                     "unknown codec id " + std::to_string(bad_codec) +
+                         " in directory of " + path.string()};
+    }
+  }
+  if (!in_.good()) {
+    return IoError{IoError::Code::TruncatedDirectory,
+                   "truncated directory in " + path.string()};
+  }
+  return std::nullopt;
 }
 
 const BrickRecord& BrickFileReader::record(int index) const {
@@ -177,23 +216,57 @@ const BrickRecord& BrickFileReader::record(int index) const {
 }
 
 std::vector<float> BrickFileReader::read_brick(int index) {
-  const BrickRecord& rec = record(index);
+  (void)record(index);  // preserves the out-of-range CheckError contract
+  Expected<std::vector<float>, IoError> result = try_read_brick(index);
+  VRMR_CHECK_MSG(result.has_value(), result.error().message);
+  return std::move(result.value());
+}
+
+Expected<std::vector<float>, IoError> BrickFileReader::try_read_brick(int index) {
+  if (index < 0 || index >= num_bricks()) {
+    return make_unexpected(IoError{
+        IoError::Code::BadIndex,
+        "brick index " + std::to_string(index) + " out of range"});
+  }
+  const BrickRecord& rec = header_.bricks[static_cast<size_t>(index)];
+  // A prior failed read leaves the stream in a fail state; clear it so
+  // one truncated brick does not poison reads of the intact ones.
+  in_.clear();
   in_.seekg(static_cast<std::streamoff>(rec.offset));
   if (rec.codec == compress::Codec::None) {
     std::vector<float> voxels(rec.bytes / sizeof(float));
     in_.read(reinterpret_cast<char*>(voxels.data()),
              static_cast<std::streamsize>(rec.bytes));
-    VRMR_CHECK_MSG(in_.good(), "short read for brick " << index);
+    if (!in_.good()) {
+      in_.clear();
+      return make_unexpected(IoError{
+          IoError::Code::TruncatedPayload,
+          "short read for brick " + std::to_string(index)});
+    }
     return voxels;
   }
   std::vector<std::uint8_t> stream(rec.bytes);
   in_.read(reinterpret_cast<char*>(stream.data()),
            static_cast<std::streamsize>(rec.bytes));
-  VRMR_CHECK_MSG(in_.good(), "short read for brick " << index);
-  const std::unique_ptr<compress::BrickCodec> coder =
-      compress::make_codec(rec.codec);
-  VRMR_CHECK(coder != nullptr);
-  return coder->decode(stream, rec.logical_bytes / sizeof(float));
+  if (!in_.good()) {
+    in_.clear();
+    return make_unexpected(IoError{
+        IoError::Code::TruncatedPayload,
+        "short read for brick " + std::to_string(index)});
+  }
+  const std::unique_ptr<compress::BrickCodec> coder = compress::make_codec(rec.codec);
+  if (coder == nullptr) {
+    return make_unexpected(IoError{
+        IoError::Code::CorruptPayload,
+        "no codec for brick " + std::to_string(index)});
+  }
+  try {
+    return coder->decode(stream, rec.logical_bytes / sizeof(float));
+  } catch (const CheckError& e) {
+    return make_unexpected(IoError{
+        IoError::Code::CorruptPayload,
+        "brick " + std::to_string(index) + " failed to decode: " + e.what()});
+  }
 }
 
 }  // namespace vrmr::io

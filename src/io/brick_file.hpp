@@ -32,13 +32,32 @@
 #include <filesystem>
 #include <fstream>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "compress/brick_codec.hpp"
+#include "util/expected.hpp"
 #include "util/vec.hpp"
 
 namespace vrmr::io {
+
+/// Recoverable I/O failure. A corrupt or truncated VRBF file is a
+/// servable condition for the farm (fall back to a peer or degrade),
+/// not a process abort — read paths return these instead of CHECKing.
+struct IoError {
+  enum class Code {
+    OpenFailed,          // file missing or unreadable
+    BadMagic,            // not a VRBF file
+    BadVersion,          // VRBF version outside [1, kBrickFileVersion]
+    TruncatedDirectory,  // header/directory cut short
+    TruncatedPayload,    // brick payload cut short (truncated file)
+    CorruptPayload,      // payload present but fails to decode
+    BadIndex,            // brick index outside the directory
+  };
+  Code code = Code::OpenFailed;
+  std::string message;
+};
 
 inline constexpr std::uint32_t kBrickFileMagic = 0x46425256u;  // "VRBF"
 inline constexpr std::uint32_t kBrickFileVersion = 2;
@@ -95,7 +114,15 @@ class BrickFileWriter {
 /// Random-access reader over a VRBF file (v1 or v2).
 class BrickFileReader {
  public:
+  /// Throwing constructor (back-compat): CHECK-fails on a missing or
+  /// malformed file. Prefer open() where a bad file must be survivable.
   explicit BrickFileReader(const std::filesystem::path& path);
+
+  /// Recoverable open: returns the parse failure instead of throwing.
+  static Expected<BrickFileReader, IoError> open(const std::filesystem::path& path);
+
+  BrickFileReader(BrickFileReader&&) = default;
+  BrickFileReader& operator=(BrickFileReader&&) = default;
 
   const BrickFileHeader& header() const { return header_; }
   int num_bricks() const { return static_cast<int>(header_.bricks.size()); }
@@ -103,11 +130,20 @@ class BrickFileReader {
   /// Reads brick `index`'s voxel payload, decoding compressed bricks —
   /// always returns the logical voxels, bit-exact with what was
   /// appended. record(index).bytes is what the read itself moved.
+  /// Throws CheckError on a short or corrupt read (back-compat).
   std::vector<float> read_brick(int index);
+
+  /// Recoverable read: a truncated or corrupt payload comes back as an
+  /// IoError and the reader stays usable — other bricks still read.
+  Expected<std::vector<float>, IoError> try_read_brick(int index);
 
   const BrickRecord& record(int index) const;
 
  private:
+  BrickFileReader() = default;
+  /// Parses the header + directory; returns the failure, if any.
+  std::optional<IoError> init(const std::filesystem::path& path);
+
   std::ifstream in_;
   BrickFileHeader header_;
 };

@@ -13,36 +13,56 @@ BrickStreamer::BrickStreamer(BrickFileReader& reader, std::vector<int> schedule,
   fill_window();
 }
 
-void BrickStreamer::load(int brick) {
-  if (cache_.count(brick)) return;  // already resident (repeat in schedule)
+std::optional<IoError> BrickStreamer::load(int brick) {
+  if (cache_.count(brick)) return std::nullopt;  // already resident (repeat)
+  Expected<std::vector<float>, IoError> voxels = reader_.try_read_brick(brick);
+  if (!voxels.has_value()) return std::move(voxels.error());
+  // Evict only once the read succeeded — a failed read must not cost a
+  // resident brick.
   if (static_cast<int>(cache_.size()) >= window_) {
     const int victim = residency_order_.front();
     residency_order_.pop_front();
     cache_.erase(victim);
   }
-  std::vector<float> voxels = reader_.read_brick(brick);
   ++reads_;
   // Stored bytes, not logical: a compressed (VRBF v2) brick costs one
   // read of its encoded stream, however large it decodes to.
   bytes_read_ += reader_.record(brick).bytes;
   residency_order_.push_back(brick);
-  cache_.emplace(brick, std::move(voxels));
+  cache_.emplace(brick, std::move(voxels.value()));
+  return std::nullopt;
 }
 
 void BrickStreamer::fill_window() {
   // Prefetch ahead of the consumer until the window is full or the
-  // schedule ends.
+  // schedule ends. A brick that fails to read is simply not cached;
+  // the consumer re-attempts it and surfaces the error at consume time.
   while (prefetch_cursor_ < schedule_.size() &&
          static_cast<int>(cache_.size()) < window_) {
-    load(schedule_[prefetch_cursor_]);
+    (void)load(schedule_[prefetch_cursor_]);
     ++prefetch_cursor_;
   }
 }
 
 std::vector<float> BrickStreamer::consume() {
+  Expected<std::vector<float>, IoError> result = try_consume();
+  VRMR_CHECK_MSG(result.has_value(), result.error().message);
+  return std::move(result.value());
+}
+
+Expected<std::vector<float>, IoError> BrickStreamer::try_consume() {
   VRMR_CHECK_MSG(!done(), "stream exhausted");
   const int brick = schedule_[cursor_];
-  if (!cache_.count(brick)) load(brick);  // prefetch miss (repeat entry)
+  if (!cache_.count(brick)) {
+    if (std::optional<IoError> err = load(brick)) {  // prefetch miss or bad brick
+      // Corrupt brick: retire it from the schedule so the stream
+      // continues past it — the caller decides how to substitute.
+      ++cursor_;
+      if (prefetch_cursor_ < cursor_) prefetch_cursor_ = cursor_;
+      fill_window();
+      return make_unexpected(std::move(*err));
+    }
+  }
   ++cursor_;
   if (prefetch_cursor_ < cursor_) prefetch_cursor_ = cursor_;
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "io/brick_file.hpp"
@@ -42,8 +43,14 @@ class BrickStreamer {
 
   /// Take ownership of the next brick's voxels (loads + prefetches as
   /// needed). The brick leaves the resident window; a later repeat in
-  /// the schedule re-reads it.
+  /// the schedule re-reads it. Throws CheckError if the brick is
+  /// truncated or corrupt (back-compat).
   std::vector<float> consume();
+
+  /// Recoverable consume: a truncated/corrupt brick comes back as an
+  /// IoError, the bad brick is retired from the schedule, and the
+  /// stream continues past it — one bad brick never kills the stream.
+  Expected<std::vector<float>, IoError> try_consume();
 
   /// Currently resident brick count (<= window).
   std::size_t resident() const { return cache_.size(); }
@@ -56,7 +63,9 @@ class BrickStreamer {
 
  private:
   void fill_window();
-  void load(int brick);
+  /// Reads `brick` into the window; returns the read failure, if any
+  /// (the brick is simply not cached — nothing is evicted for it).
+  std::optional<IoError> load(int brick);
 
   BrickFileReader& reader_;
   std::vector<int> schedule_;

@@ -149,6 +149,7 @@ void FramePlan::start() {
     reducers_.push_back(std::move(state));
   }
   tile_finish_s_.assign(static_cast<std::size_t>(num_gpus), 0.0);
+  chunk_attempts_.assign(chunks_.size(), 0);
 
   stats_ = JobStats{};
   stats_.num_gpus = num_gpus;
@@ -247,13 +248,131 @@ void FramePlan::issue_map_quantum(int gpu) {
   VRMR_CHECK_MSG(!gs.lane_busy, "gpu " << gpu << " lane already busy");
   gs.lane_busy = true;
   const int ci = gs.chunk_indices[gs.cursor++];
+  const int attempt = ++chunk_attempts_[static_cast<std::size_t>(ci)];
   if (auto* tr = config_.trace.recorder) {
     tr->begin(cluster_.engine().now(), config_.trace.pid, gpu, "map", "map",
               {{"chunk", chunks_[static_cast<std::size_t>(ci)]->label()},
                {"session", std::to_string(config_.trace.session)},
                {"frame", std::to_string(config_.trace.frame_id)}});
   }
+  if (config_.fault_hook) {
+    const QuantumFault fault = config_.fault_hook(gpu, ci, attempt);
+    if (fault.fail) {
+      fail_quantum(gpu, ci, fault.detect_s, fault.kind);
+      return;
+    }
+  }
   begin_staging(gpu, ci);
+}
+
+void FramePlan::fail_quantum(int gpu, int chunk_index, double detect_s,
+                             const char* kind) {
+  ++stats_.quanta_failed;
+  // The lane is wedged until the failure is detected (a stuck read, a
+  // missed ack): charge the detection timeout on the GPU stream, then
+  // restore the chunk and release the lane.
+  const std::string kind_str = kind != nullptr ? kind : "quantum";
+  auto land = [this, gpu, chunk_index, kind_str] {
+    auto& gs = *gpus_[static_cast<std::size_t>(gpu)];
+    if (auto* tr = config_.trace.recorder) {
+      const double now = cluster_.engine().now();
+      tr->instant(now, config_.trace.pid, gpu, "fault." + kind_str, "fault",
+                  {{"chunk", chunks_[static_cast<std::size_t>(chunk_index)]->label()},
+                   {"attempt", std::to_string(
+                       chunk_attempts_[static_cast<std::size_t>(chunk_index)])},
+                   {"frame", std::to_string(config_.trace.frame_id)}});
+      tr->end(now, config_.trace.pid, gpu);  // closes "map"
+    }
+    // The cursor already advanced past the chunk and nothing since can
+    // have removed entries below it, so stepping back re-queues exactly
+    // this chunk as the lane's next quantum. issued_all stays false —
+    // the mapper cannot retire with a retry outstanding.
+    --gs.cursor;
+    VRMR_DCHECK(gs.chunk_indices[gs.cursor] == chunk_index);
+    gs.lane_busy = false;
+    if (quantum_failed_cb_) {
+      quantum_failed_cb_(gpu, chunk_index,
+                         chunk_attempts_[static_cast<std::size_t>(chunk_index)]);
+    }
+    if (lane_free_cb_) lane_free_cb_(gpu);
+    if (greedy_ && !gs.lane_busy && gs.cursor < gs.chunk_indices.size()) {
+      issue_map_quantum(gpu);  // immediate same-lane retry
+    }
+  };
+  if (detect_s > 0.0) {
+    cluster_.gpu_stream(gpu).acquire(
+        detect_s, [land = std::move(land)](sim::SimTime, sim::SimTime) { land(); });
+  } else {
+    cluster_.engine().schedule_after(0.0, std::move(land));
+  }
+}
+
+void FramePlan::redistribute_lane(int gpu, const std::vector<int>& survivors) {
+  VRMR_CHECK_MSG(started_, "redistribute before start()");
+  VRMR_CHECK_MSG(!finished_, "redistribute after the plan finished");
+  VRMR_CHECK_MSG(!survivors.empty(), "redistribute needs at least one survivor");
+  auto& gs = *gpus_.at(static_cast<std::size_t>(gpu));
+  for (const int s : survivors) {
+    VRMR_CHECK_MSG(s >= 0 && s < static_cast<int>(gpus_.size()) && s != gpu,
+                   "bad survivor lane " << s);
+  }
+  if (gs.cursor >= gs.chunk_indices.size()) return;  // nothing pending
+
+  // The dead lane holds pending chunks, so its mapper has not retired:
+  // the routing barrier is still open and no reducer can be ready yet
+  // for any pair the moves below reopen (proof: a moved chunk's mask
+  // bit for r implies contrib[gpu][r] >= 1, so (gpu, r) is not final
+  // and r's final_pairs < num mappers).
+  VRMR_DCHECK(!sorts_ready_);
+
+  std::vector<int> moved(gs.chunk_indices.begin() +
+                             static_cast<std::ptrdiff_t>(gs.cursor),
+                         gs.chunk_indices.end());
+  gs.chunk_indices.resize(gs.cursor);
+
+  const int num_reducers = static_cast<int>(reducers_.size());
+  for (std::size_t i = 0; i < moved.size(); ++i) {
+    const int ci = moved[i];
+    const int target = survivors[i % survivors.size()];
+    auto& gt = *gpus_[static_cast<std::size_t>(target)];
+    // Reopen a retired target mapper: it has new chunks to issue.
+    if (gt.finished) {
+      gt.finished = false;
+      ++mappers_remaining_;
+    }
+    gt.issued_all = false;
+    gt.chunk_indices.push_back(ci);
+
+    const auto& mask = chunk_masks_[static_cast<std::size_t>(ci)];
+    for (int r = 0; r < num_reducers; ++r) {
+      if (!mask[static_cast<std::size_t>(r)]) continue;
+      // Target first: a zero contribution count means the (target, r)
+      // pair was counted final — reopen it before the count goes up.
+      if (gt.contrib[static_cast<std::size_t>(r)]++ == 0) {
+        --reducers_[static_cast<std::size_t>(r)]->final_pairs;
+      }
+      // Source: this chunk will never be partitioned by `gpu`.
+      if (--gs.contrib[static_cast<std::size_t>(r)] == 0) {
+        pair_final(gpu, r);
+      }
+    }
+  }
+
+  // An idle dead lane retires its mapper now (flushing fragments its
+  // completed quanta already produced); a busy one retires via
+  // lane_freed when the in-flight quantum lands.
+  if (!gs.lane_busy && gs.cursor >= gs.chunk_indices.size()) {
+    gs.issued_all = true;
+    maybe_final_flush(gpu);
+  }
+
+  if (greedy_) {
+    for (const int s : survivors) {
+      cluster_.engine().schedule_after(0.0, [this, s] {
+        if (!lane_busy(s) && pending_map_quanta(s) > 0) issue_map_quantum(s);
+      });
+    }
+  }
 }
 
 void FramePlan::begin_staging(int g, int chunk_index) {

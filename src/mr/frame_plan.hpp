@@ -146,6 +146,15 @@ class FramePlan {
   /// quantum's callback frame is still on the stack) — defer teardown
   /// to a fresh engine event.
   void on_finished(std::function<void()> cb) { finished_cb_ = std::move(cb); }
+  /// A stage+map quantum failed (JobConfig::fault_hook said so) and its
+  /// detection timeout elapsed: the chunk is restored as the lane's
+  /// next pending quantum and the lane is free again. Fires before
+  /// on_lane_free for the same event; `attempt` counts this failure
+  /// (retry n+1 will present attempt n+1 to the fault hook). Without a
+  /// driver, greedy mode retries on the same lane immediately.
+  void on_quantum_failed(std::function<void(int gpu, int chunk_index, int attempt)> cb) {
+    quantum_failed_cb_ = std::move(cb);
+  }
 
   /// Build mapper/reducer processes, deal chunks, anchor t0 at the
   /// current engine time. GPUs with no chunks retire immediately.
@@ -171,6 +180,18 @@ class FramePlan {
   /// Issue the next chunk on `gpu`: (disk) -> H2D -> kernel -> D2H.
   /// Requires pending_map_quanta(gpu) > 0 and !lane_busy(gpu).
   void issue_map_quantum(int gpu);
+
+  /// Fail-stop recovery: move every not-yet-issued chunk of `gpu` onto
+  /// `survivors` (round-robin), preserving all per-(mapper, reducer)
+  /// dataflow bookkeeping — reducers stop waiting on the dead lane for
+  /// the moved work and start waiting on its survivors. An in-flight
+  /// quantum on `gpu` (if any) still completes there (fail-stop at the
+  /// quantum boundary); once idle the dead mapper retires, flushing the
+  /// fragments it already produced (host-side mapper state survives the
+  /// GPU's death — see src/fault/README.md). Pixels are placement-
+  /// independent, so the redistributed frame composites bit-identically.
+  /// Callable any time between start() and the routing barrier.
+  void redistribute_lane(int gpu, const std::vector<int>& survivors);
 
   // --- sort quanta ---------------------------------------------------------
   bool sorts_ready() const { return sorts_ready_; }
@@ -224,6 +245,9 @@ class FramePlan {
   struct ReducerState;
 
   void begin_staging(int gpu, int chunk_index);
+  /// Wedge `gpu`'s stream for detect_s, then restore the chunk, free
+  /// the lane, and fire on_quantum_failed (the injected-failure path).
+  void fail_quantum(int gpu, int chunk_index, double detect_s, const char* kind);
   void after_disk(int gpu, int chunk_index);
   void after_h2d(int gpu, int chunk_index);
   void run_map(int gpu, int chunk_index);
@@ -277,6 +301,7 @@ class FramePlan {
   std::function<void()> reduces_ready_cb_;
   std::function<void(int)> tile_cb_;
   std::function<void()> finished_cb_;
+  std::function<void(int, int, int)> quantum_failed_cb_;
 
   // Routing bookkeeping (identical roles to the monolithic job).
   int mappers_remaining_ = 0;
@@ -291,6 +316,7 @@ class FramePlan {
   int reduces_remaining_ = 0;
   std::vector<double> tile_finish_s_;
   std::vector<int> reducer_contributors_;  // frozen at start()
+  std::vector<int> chunk_attempts_;        // issue attempts per chunk
 
   double t0_ = 0.0;
   bool started_ = false;

@@ -72,6 +72,25 @@ using StagingHook = std::function<bool(int gpu, const Chunk& chunk)>;
 using FetchHook =
     std::function<bool(int gpu, const Chunk& chunk, std::function<void()> done)>;
 
+/// Verdict of the fault-injection hook for one stage+map quantum
+/// attempt. fail=true wedges the lane for detect_s of simulated time
+/// (the failure-detection timeout: a stuck read, a missed ack), after
+/// which the plan restores the chunk for a retry, frees the lane, and
+/// fires on_quantum_failed. `kind` labels the trace event
+/// ("fault.<kind>").
+struct QuantumFault {
+  bool fail = false;
+  double detect_s = 0.0;
+  const char* kind = "quantum";
+};
+
+/// Fault-injection hook consulted once per stage+map quantum attempt,
+/// before any staging work: (gpu, chunk_index, attempt) with attempt
+/// 1-based across retries of the same chunk. Drive it from a seeded
+/// fault::FaultPlan — it runs inside DES callbacks and must be
+/// deterministic. Null = never fail.
+using FaultHook = std::function<QuantumFault(int gpu, int chunk_index, int attempt)>;
+
 /// How the pipeline's two dataflow barriers are enforced.
 ///
 ///   Global     — the paper's schedule: no sort starts until *every*
@@ -138,6 +157,10 @@ struct JobConfig {
   /// Optional remote-fetch path consulted on a staging miss before the
   /// disk read (see FetchHook above). Null = always read from disk.
   FetchHook fetch_hook;
+
+  /// Optional fault injection consulted at each map-quantum issue (see
+  /// FaultHook above). Null = never fail.
+  FaultHook fault_hook;
 
   /// Flight-recorder attribution (shard / session / frame / priority).
   /// With trace.recorder == nullptr (the default) the plan records

@@ -81,6 +81,9 @@ struct JobStats {
   // the hook instead of disk, and the stored bytes it delivered.
   std::uint64_t chunks_hydrated = 0;
   std::uint64_t bytes_hydrated = 0;
+  /// Injected map-quantum failures (JobConfig::fault_hook): each one
+  /// wedged a lane for its detection timeout, then was retried.
+  std::uint64_t quanta_failed = 0;
   std::uint64_t bytes_disk = 0;
   std::uint64_t bytes_h2d = 0;
   std::uint64_t bytes_d2h = 0;

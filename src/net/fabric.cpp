@@ -1,5 +1,6 @@
 #include "net/fabric.hpp"
 
+#include <algorithm>
 #include <array>
 
 #include "util/check.hpp"
@@ -20,17 +21,61 @@ Fabric::Fabric(sim::Engine& engine, FabricModel model, int num_nodes)
 
 void Fabric::send(int src_node, int dst_node, std::uint64_t bytes,
                   std::function<void()> on_delivered) {
+  send_attempt(src_node, dst_node, bytes, std::move(on_delivered), nullptr);
+}
+
+void Fabric::send_reliable(int src_node, int dst_node, std::uint64_t bytes,
+                           std::function<void()> on_delivered) {
+  reliable_attempt(src_node, dst_node, bytes, std::move(on_delivered), 0);
+}
+
+void Fabric::reliable_attempt(int src_node, int dst_node, std::uint64_t bytes,
+                              std::function<void()> on_delivered, int attempt) {
+  // The delivered path gets its own copy of the callback; the dropped
+  // path re-arms with the original after an ack-timeout backoff.
+  std::function<void()> deliver = on_delivered;
+  send_attempt(
+      src_node, dst_node, bytes, std::move(deliver),
+      [this, src_node, dst_node, bytes, cb = std::move(on_delivered),
+       attempt]() mutable {
+        // Sender detects the loss by ack timeout, doubling per attempt.
+        const double timeout =
+            model_.retransmit_timeout_s *
+            static_cast<double>(std::uint64_t{1} << std::min(attempt, 16));
+        ++retransmits_;
+        engine_->schedule_after(
+            timeout, [this, src_node, dst_node, bytes, cb2 = std::move(cb),
+                      attempt]() mutable {
+              reliable_attempt(src_node, dst_node, bytes, std::move(cb2),
+                               attempt + 1);
+            });
+      });
+}
+
+void Fabric::send_attempt(int src_node, int dst_node, std::uint64_t bytes,
+                          std::function<void()> on_delivered,
+                          std::function<void()> on_dropped) {
   VRMR_CHECK(src_node >= 0 && src_node < num_nodes());
   VRMR_CHECK(dst_node >= 0 && dst_node < num_nodes());
+  FaultDecision fd;
+  if (fault_injector_) fd = fault_injector_(src_node, dst_node, bytes, messages_);
   ++messages_;
   total_bytes_ += bytes;
+  if (fd.drop) ++drops_;
 
   if (src_node == dst_node) {
     const double dt = model_.intra_node_latency_s +
-                      static_cast<double>(bytes) / model_.intra_node_bandwidth_Bps;
-    engine_->schedule_after(dt, [cb = std::move(on_delivered)] {
-      if (cb) cb();
-    });
+                      static_cast<double>(bytes) / model_.intra_node_bandwidth_Bps +
+                      fd.extra_delay_s;
+    engine_->schedule_after(
+        dt, [drop = fd.drop, cb = std::move(on_delivered),
+             dropped = std::move(on_dropped)] {
+          if (drop) {
+            if (dropped) dropped();
+          } else if (cb) {
+            cb();
+          }
+        });
     return;
   }
 
@@ -39,13 +84,21 @@ void Fabric::send(int src_node, int dst_node, std::uint64_t bytes,
                            static_cast<double>(bytes) / model_.bandwidth_Bps;
   const std::array<sim::Resource*, 2> ports = {tx_[static_cast<size_t>(src_node)].get(),
                                                rx_[static_cast<size_t>(dst_node)].get()};
-  const double latency = model_.latency_s;
+  // A dropped message still serialized on its ports — the wire did the
+  // work; only the delivery is lost.
+  const double latency = model_.latency_s + fd.extra_delay_s;
   sim::Resource::acquire_multi(
       ports, serialize,
-      [this, latency, cb = std::move(on_delivered)](sim::SimTime, sim::SimTime) {
-        engine_->schedule_after(latency, [cb2 = std::move(cb)] {
-          if (cb2) cb2();
-        });
+      [this, latency, drop = fd.drop, cb = std::move(on_delivered),
+       dropped = std::move(on_dropped)](sim::SimTime, sim::SimTime) {
+        engine_->schedule_after(
+            latency, [drop, cb2 = std::move(cb), dropped2 = std::move(dropped)] {
+              if (drop) {
+                if (dropped2) dropped2();
+              } else if (cb2) {
+                cb2();
+              }
+            });
       });
 }
 
@@ -62,6 +115,8 @@ void Fabric::reset_accounting() {
   total_bytes_ = 0;
   inter_node_bytes_ = 0;
   messages_ = 0;
+  drops_ = 0;
+  retransmits_ = 0;
   for (auto& r : tx_) r->reset_accounting();
   for (auto& r : rx_) r->reset_accounting();
 }

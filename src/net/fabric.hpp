@@ -34,7 +34,23 @@ struct FabricModel {
   double intra_node_latency_s = 1e-6;
   /// Fixed per-message software overhead charged on the sender port.
   double per_message_overhead_s = 2e-6;
+  /// Base ack timeout for send_reliable retransmits; doubles per attempt.
+  double retransmit_timeout_s = 100e-6;
 };
+
+/// Verdict of the fault injector for one message, consulted at send
+/// time. Deterministic injectors (driven by a fault::FaultPlan) make
+/// the whole fabric schedule replayable.
+struct FaultDecision {
+  bool drop = false;           // message lost in flight
+  double extra_delay_s = 0.0;  // additional wire latency
+};
+
+/// (src_node, dst_node, bytes, msg_seq) -> decision. msg_seq is the
+/// fabric-wide message ordinal (messages() before this send), so an
+/// injector can target "the Nth message" exactly.
+using FaultInjector =
+    std::function<FaultDecision(int, int, std::uint64_t, std::uint64_t)>;
 
 class Fabric {
  public:
@@ -45,8 +61,28 @@ class Fabric {
 
   /// Transfer `bytes` from src_node to dst_node; `on_delivered` fires at
   /// the simulated time the last byte reaches the destination.
+  ///
+  /// This is the unreliable datagram primitive: under an injected drop
+  /// the message still serializes on its ports (the wire did the work)
+  /// but `on_delivered` never fires. Without faults, messages between a
+  /// fixed (src, dst) pair deliver FIFO — the serial tx/rx ports order
+  /// them. Callers that must survive loss use send_reliable().
   void send(int src_node, int dst_node, std::uint64_t bytes,
             std::function<void()> on_delivered);
+
+  /// Reliable transfer: retransmits on injected drops (sender ack
+  /// timeout, exponential backoff) until the payload lands, then fires
+  /// `on_delivered` exactly once. Retransmission can reorder relative
+  /// to later sends — per-(src, dst) FIFO holds only fault-free.
+  void send_reliable(int src_node, int dst_node, std::uint64_t bytes,
+                     std::function<void()> on_delivered);
+
+  /// Installs (or clears) the fault injector consulted once per message
+  /// at send time. Keep it deterministic: drive it from a fault plan,
+  /// not wall-clock randomness.
+  void set_fault_injector(FaultInjector injector) {
+    fault_injector_ = std::move(injector);
+  }
 
   /// Serialization + latency for one message, ignoring contention
   /// (the "speed-of-light" per-message time used in §6.3 analysis).
@@ -56,19 +92,32 @@ class Fabric {
   std::uint64_t total_bytes() const { return total_bytes_; }
   std::uint64_t inter_node_bytes() const { return inter_node_bytes_; }
   std::uint64_t messages() const { return messages_; }
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t retransmits() const { return retransmits_; }
   sim::Resource& tx(int node) { return *tx_.at(static_cast<size_t>(node)); }
   sim::Resource& rx(int node) { return *rx_.at(static_cast<size_t>(node)); }
 
   void reset_accounting();
 
  private:
+  /// One transmission attempt; exactly one of on_delivered/on_dropped
+  /// fires (at delivery time or at the sender's detection of the loss).
+  void send_attempt(int src_node, int dst_node, std::uint64_t bytes,
+                    std::function<void()> on_delivered,
+                    std::function<void()> on_dropped);
+  void reliable_attempt(int src_node, int dst_node, std::uint64_t bytes,
+                        std::function<void()> on_delivered, int attempt);
+
   sim::Engine* engine_;
   FabricModel model_;
   std::vector<std::unique_ptr<sim::Resource>> tx_;
   std::vector<std::unique_ptr<sim::Resource>> rx_;
+  FaultInjector fault_injector_;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t inter_node_bytes_ = 0;
   std::uint64_t messages_ = 0;
+  std::uint64_t drops_ = 0;
+  std::uint64_t retransmits_ = 0;
 };
 
 }  // namespace vrmr::net

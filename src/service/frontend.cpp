@@ -4,6 +4,10 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <unordered_map>
 #include <utility>
 
 #include "util/check.hpp"
@@ -40,19 +44,22 @@ ServiceFrontend::ServiceFrontend(FrontendConfig config)
         std::make_unique<RenderService>(*shard.cluster, service_config);
     shards_.push_back(std::move(shard));
   }
-  if (config_.enable_peer_hydration && config_.shards > 1) {
+  if (config_.shards > 1) {
     for (int s = 0; s < config_.shards; ++s) {
       Shard& shard = shards_[static_cast<std::size_t>(s)];
       // One fabric per shard, on that shard's engine, with one "node"
       // per shard: hydration INTO shard s advances only s's timeline
-      // (see the Shard::fabric comment).
+      // (see the Shard::fabric comment). The fabric exists even when
+      // hydration is off — failover pre-pushes ride it too.
       shard.fabric = std::make_unique<net::Fabric>(
           *shard.engine, config_.hydration_fabric, config_.shards);
-      shard.service->set_hydration_source(
-          [this, s](int gpu, const volren::Volume* volume, const BrickKey& key,
-                    std::uint64_t stored_bytes, std::function<void()> done) {
-            return hydrate(s, gpu, volume, key, stored_bytes, std::move(done));
-          });
+      if (config_.enable_peer_hydration) {
+        shard.service->set_hydration_source(
+            [this, s](int gpu, const volren::Volume* volume, const BrickKey& key,
+                      std::uint64_t stored_bytes, std::function<void()> done) {
+              return hydrate(s, gpu, volume, key, stored_bytes, std::move(done));
+            });
+      }
     }
   }
 }
@@ -84,6 +91,29 @@ int ServiceFrontend::shard_of(const Session& session) const {
   return sessions_[static_cast<std::size_t>(session.index_)]->shard;
 }
 
+void ServiceFrontend::pin_shard(const Session& session, int shard) {
+  VRMR_CHECK_MSG(session.valid(), "pin_shard on an invalid Session");
+  VRMR_CHECK_MSG(static_cast<const SessionBackend*>(this) == session.backend_,
+                 "Session belongs to a different backend");
+  VRMR_CHECK_MSG(shard >= 0 && shard < num_shards(),
+                 "pin_shard " << shard << " out of range for " << num_shards()
+                              << " shards");
+  FrontendSession& state = *sessions_[static_cast<std::size_t>(session.index_)];
+  if (state.shard >= 0) {
+    // Idempotent: pinning a session to the shard it already lives on is
+    // a no-op. Moving a placed session is an error — its queued frames
+    // and brick residency live on the original shard, and half-moving
+    // them would leave the session split; only failover() relocates.
+    if (state.shard == shard) return;
+    VRMR_CHECK_MSG(false, "session '"
+                              << state.profile.name
+                              << "' is already placed on shard " << state.shard
+                              << "; cannot re-pin to shard " << shard
+                              << " (only failover moves placed sessions)");
+  }
+  state.profile.pin_shard = shard;  // repeated pins just overwrite
+}
+
 int ServiceFrontend::place(const volren::Volume* volume) const {
   // Brick affinity first: restrict to shards where the volume is warm,
   // when any. Then least outstanding predicted cost; ties break on the
@@ -99,6 +129,7 @@ int ServiceFrontend::place(const volren::Volume* volume) const {
   int best = -1;
   double best_cost = std::numeric_limits<double>::infinity();
   for (int s = 0; s < num_shards(); ++s) {
+    if (shards_[static_cast<std::size_t>(s)].service->crashed()) continue;
     if (any_warm && !warm[static_cast<std::size_t>(s)]) continue;
     const double cost =
         shards_[static_cast<std::size_t>(s)].service->outstanding_cost_s();
@@ -107,7 +138,19 @@ int ServiceFrontend::place(const volren::Volume* volume) const {
       best_cost = cost;
     }
   }
-  VRMR_CHECK(best >= 0);
+  // Warm shards may all have crashed; retry against the survivors.
+  if (best < 0 && any_warm) {
+    for (int s = 0; s < num_shards(); ++s) {
+      if (shards_[static_cast<std::size_t>(s)].service->crashed()) continue;
+      const double cost =
+          shards_[static_cast<std::size_t>(s)].service->outstanding_cost_s();
+      if (cost < best_cost) {
+        best = s;
+        best_cost = cost;
+      }
+    }
+  }
+  VRMR_CHECK_MSG(best >= 0, "no surviving shard to place on");
   return best;
 }
 
@@ -123,6 +166,9 @@ bool ServiceFrontend::hydrate(int shard_index, int gpu,
   for (int s = 0; s < num_shards(); ++s) {
     if (s == shard_index) continue;
     const Shard& sibling = shards_[static_cast<std::size_t>(s)];
+    // A crashed sibling serves nothing, hydration included (its cache
+    // is only read by failover()'s warm handoff).
+    if (sibling.service->crashed()) continue;
     const std::optional<std::uint64_t> vid =
         sibling.service->volume_id_of(volume);
     if (!vid.has_value()) continue;
@@ -147,16 +193,18 @@ bool ServiceFrontend::hydrate(int shard_index, int gpu,
                           {"to_shard", std::to_string(shard_index)}});
     }
     // Ship the stored payload over the requesting shard's fabric; the
-    // plan resumes (H2D onward) when the transfer lands.
-    shard.fabric->send(s, shard_index, stored_bytes,
-                       [trace, arrow, pid = trace_pid_base_ + shard_index,
-                        engine = shard.engine.get(), done = std::move(done)] {
-                         if (trace != nullptr) {
-                           trace->async_end(engine->now(), pid, arrow,
-                                            "hydrate", "hydration");
-                         }
-                         done();
-                       });
+    // plan resumes (H2D onward) when the transfer lands. Reliable send:
+    // an injected drop (fault plan) retransmits instead of wedging the
+    // plan forever on a done() that never fires.
+    shard.fabric->send_reliable(
+        s, shard_index, stored_bytes,
+        [trace, arrow, pid = trace_pid_base_ + shard_index,
+         engine = shard.engine.get(), done = std::move(done)] {
+          if (trace != nullptr) {
+            trace->async_end(engine->now(), pid, arrow, "hydrate", "hydration");
+          }
+          done();
+        });
     return true;
   }
   return false;  // no warm sibling: the plan falls back to disk
@@ -180,17 +228,23 @@ std::uint64_t ServiceFrontend::session_submit(int session, RenderRequest request
     // free to place elsewhere on retry after invalidate_volume.
     for (const Shard& shard : shards_)
       shard.service->check_volume_compatible(request.volume);
-    state.shard = state.profile.pin_shard.has_value()
-                      ? *state.profile.pin_shard
-                      : place(request.volume);
+    int chosen = state.profile.pin_shard.has_value() ? *state.profile.pin_shard
+                                                     : place(request.volume);
+    // A pin naming a crashed shard cannot be honored; fall back to the
+    // placement policy over the survivors rather than queueing frames a
+    // dead service will never serve.
+    if (shards_[static_cast<std::size_t>(chosen)].service->crashed())
+      chosen = place(request.volume);
+    state.shard = chosen;
     Shard& shard = shards_[static_cast<std::size_t>(state.shard)];
     state.inner = shard.service->open_session(state.profile);
     ++shard.sessions_placed;
-    if (state.pending_callback)
-      state.inner.on_frame(translate(session, std::move(state.pending_callback)));
-    if (state.pending_tile_callback)
-      state.inner.on_tile(
-          translate_tile(session, std::move(state.pending_tile_callback)));
+    // Install COPIES of the retained client callbacks: failover
+    // re-installs the originals on the replacement shard's session.
+    if (state.client_callback)
+      state.inner.on_frame(translate(session, state.client_callback));
+    if (state.client_tile_callback)
+      state.inner.on_tile(translate_tile(session, state.client_tile_callback));
     VRMR_DEBUG("frontend") << "session '" << state.profile.name
                            << "' placed on shard " << state.shard;
   }
@@ -211,11 +265,9 @@ void ServiceFrontend::session_on_frame(int session, FrameCallback callback) {
   VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
                  "unknown session " << session);
   FrontendSession& state = *sessions_[static_cast<std::size_t>(session)];
-  if (state.shard < 0) {
-    state.pending_callback = std::move(callback);
-    return;
-  }
-  state.inner.on_frame(translate(session, std::move(callback)));
+  state.client_callback = std::move(callback);
+  if (state.shard >= 0)
+    state.inner.on_frame(translate(session, state.client_callback));
 }
 
 TileCallback ServiceFrontend::translate_tile(int session, TileCallback callback) {
@@ -230,11 +282,9 @@ void ServiceFrontend::session_on_tile(int session, TileCallback callback) {
   VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
                  "unknown session " << session);
   FrontendSession& state = *sessions_[static_cast<std::size_t>(session)];
-  if (state.shard < 0) {
-    state.pending_tile_callback = std::move(callback);
-    return;
-  }
-  state.inner.on_tile(translate_tile(session, std::move(callback)));
+  state.client_tile_callback = std::move(callback);
+  if (state.shard >= 0)
+    state.inner.on_tile(translate_tile(session, state.client_tile_callback));
 }
 
 SessionStats ServiceFrontend::session_stats(int session) const {
@@ -256,14 +306,219 @@ const SessionProfile& ServiceFrontend::session_profile(int session) const {
   return sessions_[static_cast<std::size_t>(session)]->profile;
 }
 
+void ServiceFrontend::install_fault_plan(const fault::FaultPlan& plan) {
+  // Fabric events install one deterministic injector per addressed
+  // shard's fabric; everything else routes to that shard's service.
+  struct PendingFabricFault {
+    fault::FaultKind kind;
+    double time_s;
+    std::int64_t msg_seq;  // exact ordinal when >= 0 (FaultEvent::target)
+    double extra_delay_s;
+    bool consumed = false;
+  };
+  std::vector<std::vector<PendingFabricFault>> fabric_faults(
+      static_cast<std::size_t>(num_shards()));
+  for (const fault::FaultEvent& event : plan.events()) {
+    VRMR_CHECK_MSG(event.shard >= 0 && event.shard < num_shards(),
+                   "fault event addresses shard " << event.shard << " but the "
+                   "farm has " << num_shards());
+    if (event.kind == fault::FaultKind::FabricDrop ||
+        event.kind == fault::FaultKind::FabricDelay) {
+      fabric_faults[static_cast<std::size_t>(event.shard)].push_back(
+          {event.kind, event.time_s, event.target, event.param_s});
+      continue;
+    }
+    shards_[static_cast<std::size_t>(event.shard)].service->inject_fault(event);
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    auto& pending = fabric_faults[static_cast<std::size_t>(s)];
+    if (pending.empty()) continue;
+    Shard& shard = shards_[static_cast<std::size_t>(s)];
+    VRMR_CHECK_MSG(shard.fabric != nullptr,
+                   "fabric fault addresses shard " << s
+                       << " but a single-shard farm has no fabric");
+    // Each event fires once: it hits the exact message ordinal when
+    // target >= 0, else the first message sent at/after its time_s.
+    // Closure state is deterministic — replaying the same plan against
+    // the same workload reproduces the same drops bit-for-bit.
+    shard.fabric->set_fault_injector(
+        [state = std::make_shared<std::vector<PendingFabricFault>>(
+             std::move(pending)),
+         engine = shard.engine.get()](int, int, std::uint64_t,
+                                      std::uint64_t msg_seq) {
+          net::FaultDecision decision;
+          for (PendingFabricFault& fault : *state) {
+            if (fault.consumed) continue;
+            const bool hit = fault.msg_seq >= 0
+                                 ? static_cast<std::uint64_t>(fault.msg_seq) ==
+                                       msg_seq
+                                 : engine->now() >= fault.time_s;
+            if (!hit) continue;
+            fault.consumed = true;
+            if (fault.kind == fault::FaultKind::FabricDrop)
+              decision.drop = true;
+            else
+              decision.extra_delay_s += fault.extra_delay_s;
+          }
+          return decision;
+        });
+  }
+}
+
+void ServiceFrontend::failover(int crashed_shard) {
+  VRMR_CHECK_MSG(crashed_shard >= 0 && crashed_shard < num_shards(),
+                 "failover shard " << crashed_shard << " out of range");
+  Shard& crashed = shards_[static_cast<std::size_t>(crashed_shard)];
+  VRMR_CHECK_MSG(crashed.service->crashed(),
+                 "failover(" << crashed_shard << ") on a live shard");
+  if (crashed.failed_over) return;
+  crashed.failed_over = true;
+  ++failovers_;
+  const std::vector<RenderService::UnservedFrame>& unserved =
+      crashed.service->unserved_frames();
+  VRMR_WARN("frontend") << "shard " << crashed_shard << " crashed with "
+                        << unserved.size()
+                        << " unserved frame(s); failing over";
+
+  // Pass 1: re-pin every orphaned session onto the least-loaded
+  // survivor and warm the target with the crashed cache's bricks for
+  // that session's unserved volumes. Sessions move in open order
+  // (determinism); each picks its target independently so a big crash
+  // spreads over the farm instead of dogpiling one sibling.
+  std::unordered_map<int, int> inner_to_front;  // crashed-local -> frontend
+  std::vector<double> ready_s(sessions_.size(), 0.0);
+  for (int session = 0; session < num_sessions(); ++session) {
+    FrontendSession& state = *sessions_[static_cast<std::size_t>(session)];
+    if (state.shard != crashed_shard) continue;
+    const int old_inner = state.inner.index_;
+    inner_to_front[old_inner] = session;
+    int target = -1;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (int s = 0; s < num_shards(); ++s) {
+      if (shards_[static_cast<std::size_t>(s)].service->crashed()) continue;
+      const double cost =
+          shards_[static_cast<std::size_t>(s)].service->outstanding_cost_s();
+      if (cost < best_cost) {
+        target = s;
+        best_cost = cost;
+      }
+    }
+    VRMR_CHECK_MSG(target >= 0, "no surviving shard to fail over to");
+    Shard& dest = shards_[static_cast<std::size_t>(target)];
+    SessionProfile profile = state.profile;
+    profile.pin_shard.reset();  // the pinned shard is gone
+    state.shard = target;
+    state.inner = dest.service->open_session(std::move(profile));
+    ++dest.sessions_placed;
+    ++sessions_repinned_;
+    if (state.client_callback)
+      state.inner.on_frame(translate(session, state.client_callback));
+    if (state.client_tile_callback)
+      state.inner.on_tile(translate_tile(session, state.client_tile_callback));
+    if (trace_ != nullptr) {
+      trace_->instant(dest.engine->now(), trace_pid_base_ + target,
+                      obs::kServiceTid, "failover.repin", "failover",
+                      {{"session", std::to_string(session)},
+                       {"from_shard", std::to_string(crashed_shard)},
+                       {"to_shard", std::to_string(target)}});
+    }
+
+    // Warm handoff: push the crashed cache's resident copies of this
+    // session's unserved bricks to the target over its fabric, once per
+    // (volume, layout) pair. ready_s floors the re-issued frames'
+    // arrivals at a serialization-sum estimate of the handoff window —
+    // a slight overestimate (per-message latency overlaps in truth), so
+    // by then every pushed brick has landed and the frames render warm.
+    double session_ready_s = dest.engine->now();
+    if (config_.failover_prepush && dest.fabric != nullptr &&
+        crashed.service->cache() != nullptr) {
+      std::set<std::pair<const volren::Volume*, std::uint64_t>> pushed;
+      for (const RenderService::UnservedFrame& frame : unserved) {
+        if (frame.session != old_inner) continue;
+        if (frame.layout == nullptr) continue;
+        if (!pushed.insert({frame.request.volume, frame.layout_sig}).second)
+          continue;
+        const std::optional<std::uint64_t> vid =
+            crashed.service->volume_id_of(frame.request.volume);
+        if (!vid.has_value()) continue;
+        for (const volren::BrickInfo& brick : frame.layout->bricks()) {
+          const BrickKey key{*vid, brick.id, frame.layout_sig};
+          std::optional<BrickCache::Residency> payload;
+          for (int g = 0; g < config_.gpus_per_shard && !payload; ++g)
+            payload = crashed.service->cache()->payload_of(g, key);
+          if (!payload) continue;  // cold on the crashed shard too
+          const int gpu = brick.id % config_.gpus_per_shard;
+          ++bricks_prepushed_;
+          bytes_prepushed_ += payload->stored_bytes;
+          session_ready_s += dest.fabric->ideal_transfer_time(
+              crashed_shard, target, payload->stored_bytes);
+          obs::TraceRecorder* trace = trace_;
+          std::uint64_t arrow = 0;
+          if (trace != nullptr) {
+            arrow = trace->next_async_id();
+            trace->async_begin(dest.engine->now(),
+                               trace_pid_base_ + crashed_shard, arrow,
+                               "failover.push", "failover",
+                               {{"brick", std::to_string(brick.id)},
+                                {"bytes", std::to_string(payload->stored_bytes)},
+                                {"to_shard", std::to_string(target)}});
+          }
+          // send_reliable: an injected drop retransmits — the handoff
+          // completes late instead of silently shedding a brick.
+          dest.fabric->send_reliable(
+              crashed_shard, target, payload->stored_bytes,
+              [service = dest.service.get(), volume = frame.request.volume,
+               brick_id = brick.id, layout_sig = frame.layout_sig, gpu,
+               stored = payload->stored_bytes,
+               logical = payload->logical_bytes, trace, arrow,
+               pid = trace_pid_base_ + target, engine = dest.engine.get()] {
+                if (trace != nullptr) {
+                  trace->async_end(engine->now(), pid, arrow, "failover.push",
+                                   "failover");
+                }
+                service->admit_pushed_brick(volume, brick_id, layout_sig, gpu,
+                                            stored, logical);
+              });
+        }
+      }
+    }
+    ready_s[static_cast<std::size_t>(session)] = session_ready_s;
+  }
+
+  // Pass 2: re-issue the crash snapshot in global submission order
+  // (frame_id ascending — unserved_frames() is already sorted), each
+  // frame on its session's new shard, arrival floored at the handoff
+  // window so re-issued work renders against the pushed bricks.
+  for (const RenderService::UnservedFrame& frame : unserved) {
+    const auto it = inner_to_front.find(frame.session);
+    if (it == inner_to_front.end()) continue;  // not a frontend session
+    FrontendSession& state = *sessions_[static_cast<std::size_t>(it->second)];
+    RenderRequest request = frame.request;
+    request.arrival_s = std::max(
+        request.arrival_s, ready_s[static_cast<std::size_t>(it->second)]);
+    state.inner.submit(std::move(request));
+    ++frames_reissued_;
+  }
+}
+
 void ServiceFrontend::drain() {
   // A callback running on one shard may submit frames that place onto
   // an already-drained shard (brick affinity), so loop until every
-  // shard's queue is empty.
+  // shard's queue is empty. A shard that crashed mid-drain fails over
+  // on the next sweep: its sessions re-pin and its unserved frames
+  // re-issue onto survivors, which the loop then drains.
   bool any_served = true;
   while (any_served) {
     any_served = false;
-    for (Shard& shard : shards_) {
+    for (int s = 0; s < num_shards(); ++s) {
+      Shard& shard = shards_[static_cast<std::size_t>(s)];
+      if (shard.service->crashed()) {
+        if (!shard.failed_over) {
+          failover(s);
+          any_served = true;
+        }
+        continue;
+      }
       if (shard.service->queued_frames() == 0) continue;
       shard.service->drain();
       any_served = true;
@@ -307,6 +562,11 @@ FrontendStats ServiceFrontend::stats() const {
     misses += detail.service.cache.misses;
     out.shards.push_back(std::move(detail));
   }
+  out.failovers = failovers_;
+  out.sessions_repinned = sessions_repinned_;
+  out.frames_reissued = frames_reissued_;
+  out.bricks_prepushed = bricks_prepushed_;
+  out.bytes_prepushed = bytes_prepushed_;
   out.fps = out.makespan_s > 0.0 ? out.frames_total / out.makespan_s : 0.0;
   out.cache_hit_rate =
       hits + misses > 0

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "fault/fault_plan.hpp"
 #include "net/fabric.hpp"
 #include "service/render_service.hpp"
 #include "service/session.hpp"
@@ -70,7 +71,16 @@ struct FrontendConfig {
   bool enable_peer_hydration = false;
   /// Interconnect model for hydration transfers between shards (each
   /// shard pair is one "node" pair on a per-shard fabric instance).
+  /// Failover pre-pushes ride the same model.
   net::FabricModel hydration_fabric;
+  /// Warm handoff on shard failover: pre-push the crashed shard's
+  /// resident bricks for the orphaned volumes to the failover target
+  /// over the inter-shard fabric (send_reliable, so injected drops
+  /// retransmit), and admit the re-issued frames only after the
+  /// handoff window — they render warm instead of re-reading disk.
+  /// Off: failover re-pins and re-issues cold (the A/B baseline
+  /// bench_fault_tolerance gates against).
+  bool failover_prepush = true;
 };
 
 struct ShardStats {
@@ -99,6 +109,14 @@ struct FrontendStats {
   std::uint64_t bytes_hydrated_from_peers = 0;
   std::uint64_t bytes_disk_avoided = 0;
   std::uint64_t bricks_hydrated = 0;
+  /// Failover: crashed shards failed over, orphaned sessions re-pinned
+  /// to siblings, undelivered frames re-issued there, and the warm
+  /// handoff's pre-pushed brick traffic.
+  std::uint64_t failovers = 0;
+  std::uint64_t sessions_repinned = 0;
+  std::uint64_t frames_reissued = 0;
+  std::uint64_t bricks_prepushed = 0;
+  std::uint64_t bytes_prepushed = 0;
   /// Time-aligned farm windows: every shard's ServiceStats::windows
   /// merged by bin (shards share bin boundaries — same stats_window_s,
   /// parallel simulated timelines), counters summed, utilization over
@@ -148,6 +166,31 @@ class ServiceFrontend final : public SessionBackend {
   int shard_of(const Session& session) const;
   const FrontendConfig& config() const { return config_; }
 
+  // --- fault injection & failover ----------------------------------------
+  /// Install a seeded fault plan across the farm: each event is routed
+  /// to its `shard`'s RenderService (disk/lane/crash faults), except
+  /// FabricDrop/FabricDelay, which install one deterministic injector
+  /// on the target shard's inter-shard fabric — the drop/delay applies
+  /// to that shard's inbound hydration and failover-push messages,
+  /// seeded from the plan so replays are bit-identical.
+  void install_fault_plan(const fault::FaultPlan& plan);
+  /// Fail over a crashed shard: re-pin its sessions onto surviving
+  /// siblings (least outstanding cost, ties to the lowest index),
+  /// pre-push the crashed cache's warm bricks for the orphaned volumes
+  /// (warm handoff; config_.failover_prepush), and re-issue the crash
+  /// snapshot (RenderService::unserved_frames) in global submission
+  /// order. The re-issued frames arrive after the handoff window, so
+  /// they render against the pushed bricks. drain() calls this
+  /// automatically when it meets a crashed shard; idempotent.
+  void failover(int crashed_shard);
+  /// Pin an UNPLACED session to a shard ahead of its first submit.
+  /// Range-validated; idempotent — re-pinning to the same shard (or
+  /// pinning a session already placed there) is a no-op, while moving
+  /// an already-placed session is an error (its frames and brick
+  /// residency live on the original shard; only failover relocates
+  /// placed sessions).
+  void pin_shard(const Session& session, int shard);
+
   // --- SessionBackend (prefer the Session handle) ------------------------
   std::uint64_t session_submit(int session, RenderRequest request) override;
   void session_on_frame(int session, FrameCallback callback) override;
@@ -170,11 +213,15 @@ class ServiceFrontend final : public SessionBackend {
     std::uint64_t bytes_hydrated_from_peers = 0;
     std::uint64_t bytes_disk_avoided = 0;
     std::uint64_t bricks_hydrated = 0;
+    /// Set once failover() has evacuated this crashed shard.
+    bool failed_over = false;
   };
   struct FrontendSession {
     SessionProfile profile;
-    FrameCallback pending_callback;       // held until placement
-    TileCallback pending_tile_callback;   // held until placement
+    /// Client callbacks are RETAINED (not moved into the inner session):
+    /// failover re-installs them on the replacement shard's session.
+    FrameCallback client_callback;
+    TileCallback client_tile_callback;
     int shard = -1;
     Session inner;  // valid once placed
   };
@@ -199,6 +246,12 @@ class ServiceFrontend final : public SessionBackend {
   /// forwards the recorder to every shard for their own spans).
   obs::TraceRecorder* trace_ = nullptr;
   int trace_pid_base_ = 0;
+  // Failover accounting (aggregated into FrontendStats by stats()).
+  std::uint64_t failovers_ = 0;
+  std::uint64_t sessions_repinned_ = 0;
+  std::uint64_t frames_reissued_ = 0;
+  std::uint64_t bricks_prepushed_ = 0;
+  std::uint64_t bytes_prepushed_ = 0;
 };
 
 }  // namespace vrmr::service

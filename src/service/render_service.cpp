@@ -106,6 +106,8 @@ RenderService::RenderService(cluster::Cluster& cluster, ServiceConfig config)
     cache_.emplace(cluster_.total_gpus(), capacity, config_.cache_policy);
   }
   lane_busy_.assign(static_cast<std::size_t>(cluster_.total_gpus()), 0);
+  lane_dead_.assign(static_cast<std::size_t>(cluster_.total_gpus()), 0);
+  lane_retry_at_.assign(static_cast<std::size_t>(cluster_.total_gpus()), 0.0);
 }
 
 RenderService::~RenderService() = default;
@@ -592,6 +594,9 @@ void RenderService::observe_completion(ActiveFrame& active) {
 }
 
 void RenderService::deliver_tile(ActiveFrame& active, int reducer) {
+  // A crash swallows in-flight deliveries: the whole frame re-issues on
+  // the failover target (clients may then see its tiles twice).
+  if (crashed_) return;
   // Delivery runs synchronously inside the reduce-completion event, so
   // the plan's recorded tile time IS the current engine clock.
   const double now = active.frame->plan().tile_finish_s(reducer);
@@ -905,6 +910,7 @@ std::unique_ptr<RenderService::ActiveFrame> RenderService::make_active_frame(
   // (stored == logical).
   apply_compression(*active, &aq);
   aq.fetch_hook = make_fetch_hook(active->pending);
+  aq.fault_hook = make_fault_hook();
   if (trace_ != nullptr) {
     const double now = cluster_.engine().now();
     const bool interactive = active->priority == Priority::Interactive;
@@ -1034,9 +1040,20 @@ void RenderService::admit(int session_index, double predicted_cost_s) {
   plan.on_reducer_ready([this](int) {
     if (draining_) pump(/*try_admission=*/false);
   });
+  plan.on_quantum_failed([this](int gpu, int chunk_index, int attempt) {
+    quantum_failed(gpu, chunk_index, attempt);
+  });
   plan.on_tile_done([this, raw](int r) { deliver_tile(*raw, r); });
   plan.on_finished([this, raw] { frame_finished(raw); });
   plan.start();
+  // A frame admitted after lane deaths must not deal work to the
+  // blacklisted lanes: the scheduler never fills them, so quanta dealt
+  // there would deadlock the plan. Move them to survivors up front.
+  for (int g = 0; g < cluster_.total_gpus(); ++g) {
+    if (!lane_dead(g)) continue;
+    if (plan.pending_map_quanta(g) == 0) continue;
+    plan.redistribute_lane(g, surviving_lanes(g));
+  }
   active_.push_back(std::move(active));
 }
 
@@ -1190,12 +1207,19 @@ bool RenderService::try_prefetch(int gpu) {
 }
 
 void RenderService::pump(bool try_admission) {
+  if (crashed_) return;  // a crashed shard schedules nothing further
   reap();
   if (try_admission) try_admit();
 
   const int gpus = cluster_.total_gpus();
+  const double pump_now = cluster_.engine().now();
   for (int g = 0; g < gpus; ++g) {
     if (lane_busy_[static_cast<std::size_t>(g)]) continue;
+    // Fail-stopped lanes are never filled again; a lane under a retry
+    // hold-down sits out until its backoff expires (quantum_failed
+    // armed a wake at exactly that time).
+    if (lane_dead(g)) continue;
+    if (lane_held(g, pump_now)) continue;
     // Interactive quanta first: a preempting frame takes every lane as
     // it frees; the batch frame resumes when no interactive work wants
     // the lane.
@@ -1245,6 +1269,19 @@ void RenderService::pump(bool try_admission) {
 
 void RenderService::frame_finished(ActiveFrame* active) {
   active->done = true;
+  if (crashed_) {
+    // The crash already snapshotted this frame for failover re-issue:
+    // discard the completion (no record, no delivery) so the client
+    // sees its on_frame exactly once — from the target shard.
+    if (!reap_scheduled_) {
+      reap_scheduled_ = true;
+      cluster_.engine().schedule_after(0.0, [this] {
+        reap_scheduled_ = false;
+        reap();
+      });
+    }
+    return;
+  }
   volren::RenderResult result = active->frame->finish();
   FrameRecord& record = active->record;
   record.cache_hits = result.stats.chunks_resident;
@@ -1308,7 +1345,7 @@ void RenderService::schedule_wake(double t) {
 
 void RenderService::drain_quantum() {
   auto& engine = cluster_.engine();
-  while (true) {
+  while (!crashed_) {
     pump();
     if (engine.empty()) {
       reap();
@@ -1323,11 +1360,256 @@ void RenderService::drain_quantum() {
     }
     engine.run();
   }
+  if (crashed_) return;  // undelivered work is snapshotted for failover
   reap();
   VRMR_CHECK_MSG(active_.empty(), "drain ended with frames in flight");
 }
 
+void RenderService::install_fault_plan(const fault::FaultPlan& plan, int shard) {
+  for (const fault::FaultEvent& event : plan.events_for(shard)) {
+    inject_fault(event);
+  }
+}
+
+void RenderService::inject_fault(const fault::FaultEvent& event) {
+  using fault::FaultKind;
+  VRMR_CHECK_MSG(config_.pipeline == PipelineMode::Quantum,
+                 "fault injection requires the Quantum pipeline (recovery is "
+                 "quantum-granular)");
+  auto& engine = cluster_.engine();
+  // Events stamped in the past land now (a plan may be installed after
+  // the timeline advanced).
+  const double at = std::max(event.time_s, engine.now());
+  switch (event.kind) {
+    case FaultKind::DiskReadError: {
+      VRMR_CHECK_MSG(event.target < cluster_.total_gpus(),
+                     "disk-fault target lane " << event.target
+                                               << " out of range");
+      DiskFault fault;
+      fault.time_s = event.time_s;
+      fault.gpu = event.target;
+      fault.detect_s =
+          event.param_s > 0.0 ? event.param_s : config_.fault_detect_s;
+      disk_faults_.push_back(fault);
+      break;
+    }
+    case FaultKind::LaneStall: {
+      VRMR_CHECK_MSG(event.target >= 0 && event.target < cluster_.total_gpus(),
+                     "stall target lane " << event.target << " out of range");
+      const int gpu = event.target;
+      const double hold =
+          event.param_s > 0.0 ? event.param_s : config_.fault_detect_s;
+      engine.schedule_at(at, [this, gpu, hold] {
+        if (crashed_) return;
+        ++faults_injected_;
+        ++lane_stalls_;
+        if (trace_ != nullptr) {
+          trace_->instant(cluster_.engine().now(), trace_pid_, gpu,
+                          "fault.lane_stall", "fault",
+                          {{"hold_s", std::to_string(hold)}});
+        }
+        // Wedge the GPU stream: in-flight and queued quanta on this
+        // lane complete late; nothing is lost or retried.
+        cluster_.gpu_stream(gpu).acquire(hold,
+                                         [](sim::SimTime, sim::SimTime) {});
+      });
+      break;
+    }
+    case FaultKind::LaneDeath: {
+      VRMR_CHECK_MSG(event.target >= 0 && event.target < cluster_.total_gpus(),
+                     "death target lane " << event.target << " out of range");
+      engine.schedule_at(at, [this, gpu = event.target] {
+        if (!crashed_) kill_lane(gpu);
+      });
+      break;
+    }
+    case FaultKind::ShardCrash: {
+      engine.schedule_at(at, [this] { crash(); });
+      break;
+    }
+    case FaultKind::FabricDrop:
+    case FaultKind::FabricDelay:
+      // Inter-shard fabric faults are installed by the frontend on its
+      // hydration/handoff fabric (net::Fabric::set_fault_injector); a
+      // single-shard service has no such fabric to degrade.
+      break;
+  }
+}
+
+mr::FaultHook RenderService::make_fault_hook() {
+  // Always installed: a fault plan may arrive after frames were
+  // admitted, and an armed hook on a fault-free run is a no-op.
+  return [this](int gpu, int chunk_index, int attempt) {
+    (void)chunk_index;
+    (void)attempt;
+    mr::QuantumFault fault;
+    if (crashed_) return fault;
+    const double now = cluster_.engine().now();
+    for (DiskFault& pending : disk_faults_) {
+      if (pending.consumed || pending.time_s > now) continue;
+      if (pending.gpu >= 0 && pending.gpu != gpu) continue;
+      pending.consumed = true;
+      ++faults_injected_;
+      fault.fail = true;
+      fault.detect_s = pending.detect_s;
+      fault.kind = "disk_error";
+      break;
+    }
+    return fault;
+  };
+}
+
+void RenderService::quantum_failed(int gpu, int chunk_index, int attempt) {
+  ++quanta_retried_;
+  const double now = cluster_.engine().now();
+  // Exponential lane backoff: the chunk retries on this lane no sooner
+  // than base x 2^(attempt-1); the wake re-pumps when the hold expires
+  // (the plan's lane_free fires first but finds the lane held).
+  double backoff_s = 0.0;
+  if (config_.retry_backoff_s > 0.0) {
+    backoff_s =
+        config_.retry_backoff_s *
+        static_cast<double>(std::uint64_t{1} << std::min(attempt - 1, 16));
+    auto& held_until = lane_retry_at_[static_cast<std::size_t>(gpu)];
+    held_until = std::max(held_until, now + backoff_s);
+    cluster_.engine().schedule_at(held_until, [this] {
+      if (draining_ && !crashed_) pump(/*try_admission=*/false);
+    });
+  }
+  if (trace_ != nullptr) {
+    trace_->instant(now, trace_pid_, obs::kServiceTid, "retry.quantum", "fault",
+                    {{"gpu", std::to_string(gpu)},
+                     {"chunk", std::to_string(chunk_index)},
+                     {"attempt", std::to_string(attempt)},
+                     {"backoff_s", std::to_string(backoff_s)}});
+  }
+  // A lane that died while wedged on this failure keeps its restored
+  // chunk queued but will never be filled: move it to survivors.
+  if (lane_dead(gpu)) {
+    for (const auto& active : active_) {
+      if (active->done) continue;
+      if (active->frame->plan().pending_map_quanta(gpu) == 0) continue;
+      active->frame->plan().redistribute_lane(gpu, surviving_lanes(gpu));
+    }
+  }
+}
+
+std::vector<int> RenderService::surviving_lanes(int excluding) const {
+  std::vector<int> survivors;
+  for (int g = 0; g < cluster_.total_gpus(); ++g) {
+    if (g == excluding || lane_dead(g)) continue;
+    survivors.push_back(g);
+  }
+  VRMR_CHECK_MSG(!survivors.empty(),
+                 "every GPU lane has fail-stopped; nothing can serve");
+  return survivors;
+}
+
+int RenderService::dead_lanes() const {
+  int dead = 0;
+  for (const std::uint8_t d : lane_dead_) dead += d != 0 ? 1 : 0;
+  return dead;
+}
+
+void RenderService::kill_lane(int gpu) {
+  if (lane_dead(gpu)) return;  // idempotent (replayed plans)
+  lane_dead_[static_cast<std::size_t>(gpu)] = 1;
+  ++lanes_dead_;
+  ++faults_injected_;
+  const double now = cluster_.engine().now();
+  if (trace_ != nullptr) {
+    trace_->instant(now, trace_pid_, gpu, "fault.lane_death", "fault",
+                    {{"lane", std::to_string(gpu)}});
+  }
+  // Fail-stop at the quantum boundary: an in-flight quantum on the lane
+  // still lands (its host-side mapper state survives — the modeled
+  // failure is the lane's execution resource, not the mapper process),
+  // after which the scheduler never fills the lane again. Queued quanta
+  // move to the survivors now; pixels are placement-independent.
+  const std::vector<int> survivors = surviving_lanes(gpu);
+  for (const auto& active : active_) {
+    if (active->done) continue;
+    if (active->frame->plan().pending_map_quanta(gpu) == 0) continue;
+    active->frame->plan().redistribute_lane(gpu, survivors);
+  }
+  if (draining_) pump(/*try_admission=*/false);
+}
+
+void RenderService::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  ++faults_injected_;
+  const double now = cluster_.engine().now();
+
+  // Snapshot every undelivered client frame: queued heads plus frames
+  // in flight whose delivery this crash swallows. Internal refinement
+  // frames die with the shard (their previews were delivered).
+  unserved_.clear();
+  const auto snapshot = [this](int session_index, const Pending& pending) {
+    UnservedFrame lost;
+    lost.session = session_index;
+    lost.frame_id = pending.frame_id;
+    lost.request = pending.request;
+    lost.layout = pending.layout;
+    lost.layout_sig = pending.layout_sig;
+    unserved_.push_back(std::move(lost));
+  };
+  for (int s = 0; s < num_sessions(); ++s) {
+    SessionState& session = *sessions_[static_cast<std::size_t>(s)];
+    const bool internal = session.delegate >= 0;
+    for (const Pending& pending : session.queue) {
+      if (internal || pending.is_refinement) continue;
+      snapshot(s, pending);
+    }
+    session.queue.clear();  // the work now lives in unserved_
+  }
+  for (const auto& active : active_) {
+    if (active->done || active->pending.is_refinement) continue;
+    snapshot(active->session, active->pending);
+  }
+  std::sort(unserved_.begin(), unserved_.end(),
+            [](const UnservedFrame& a, const UnservedFrame& b) {
+              return a.frame_id < b.frame_id;
+            });
+
+  if (trace_ != nullptr) {
+    // The crash swallows the in-flight frames' deliveries, so the
+    // async_end that would close their admission->delivery arrows is
+    // never coming: close them here, marked crashed, to keep the
+    // export balanced (tools/validate_trace.py checks b/e pairing).
+    for (const auto& active : active_) {
+      if (active->done) continue;
+      trace_->async_end(now, trace_pid_,
+                        frame_trace_id(active->pending.frame_id), "frame",
+                        "frame");
+    }
+    trace_->instant(now, trace_pid_, obs::kServiceTid, "fault.shard_crash",
+                    "fault",
+                    {{"unserved", std::to_string(unserved_.size())}});
+  }
+  VRMR_WARN("service") << "shard " << trace_pid_ << " crashed at t=" << now
+                       << "s with " << unserved_.size()
+                       << " undelivered frames";
+}
+
+void RenderService::admit_pushed_brick(const volren::Volume* volume,
+                                       int brick_id, std::uint64_t layout_sig,
+                                       int gpu, std::uint64_t stored_bytes,
+                                       std::uint64_t logical_bytes) {
+  VRMR_CHECK_MSG(gpu >= 0 && gpu < cluster_.total_gpus(),
+                 "pushed brick targets lane " << gpu << " out of range");
+  if (!cache_) return;
+  const std::uint64_t vid = register_volume(volume).id;
+  bool admitted = false;
+  (void)cache_->prefetch(gpu, BrickKey{vid, brick_id, layout_sig},
+                         stored_bytes, &admitted, logical_bytes);
+  if (admitted) ++bricks_pushed_in_;
+}
+
 void RenderService::drain() {
+  // A crashed shard serves nothing: the frontend re-points its sessions
+  // and re-issues the snapshotted work on a sibling.
+  if (crashed_) return;
   // Reentrant drain (a callback forcing synchronous completion) is a
   // no-op: the outer drain loop is already serving everything queued,
   // and nesting would reallocate completed_ under the caller's record.
@@ -1394,6 +1676,11 @@ ServiceStats RenderService::stats() const {
   out.refinements_served = refinements_served_;
   out.bricks_occupancy_culled = bricks_occupancy_culled_;
   out.classifications_built = classifications_.classifications_built();
+  out.faults_injected = faults_injected_;
+  out.quanta_retried = quanta_retried_;
+  out.lane_stalls = lane_stalls_;
+  out.lanes_dead = lanes_dead_;
+  out.bricks_pushed_in = bricks_pushed_in_;
 
   if (config_.stats_window_s > 0.0) {
     // Fold GPU busy not yet attributed (work since the last frame

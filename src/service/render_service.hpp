@@ -77,6 +77,7 @@
 
 #include "cluster/cluster.hpp"
 #include "compress/brick_codec.hpp"
+#include "fault/fault_plan.hpp"
 #include "lod/occupancy.hpp"
 #include "lod/pyramid.hpp"
 #include "mr/stats.hpp"
@@ -205,6 +206,18 @@ struct ServiceConfig {
   /// are lossless (rle) or modeled-size-only (zfp-style); see
   /// src/compress/README.md.
   compress::Codec compression = compress::Codec::None;
+
+  // --- fault tolerance (src/fault) -----------------------------------------
+  /// Base lane hold-down after a failed map quantum: the lane that
+  /// detected the failure is kept out of the scheduler's fill pass for
+  /// retry_backoff_s x 2^(attempt-1) of simulated time before the
+  /// chunk's retry can issue there (exponential backoff; other lanes
+  /// are unaffected). 0 retries immediately at the next pump.
+  double retry_backoff_s = 200e-6;
+  /// Default failure-detection timeout for injected faults whose event
+  /// carries no param_s: how long a lane is wedged before the failure
+  /// is observed (a stuck read, a missed completion).
+  double fault_detect_s = 1e-3;
 };
 
 /// One bin of the windowed service counters: activity inside
@@ -286,6 +299,16 @@ struct ServiceStats {
   double decompress_s_total = 0.0;
   std::uint64_t chunks_hydrated = 0;
   std::uint64_t bytes_hydrated = 0;
+  /// Fault tolerance (src/fault): injected fault events consumed by
+  /// this shard, map quanta retried after an injected failure, lanes
+  /// wedged by a stall fault, lanes fail-stopped (blacklisted for the
+  /// service's lifetime), and warm bricks accepted from a peer's
+  /// failover pre-push (admit_pushed_brick).
+  std::uint64_t faults_injected = 0;
+  std::uint64_t quanta_retried = 0;
+  std::uint64_t lane_stalls = 0;
+  std::uint64_t lanes_dead = 0;
+  std::uint64_t bricks_pushed_in = 0;
   BrickCacheStats cache;
   /// Per-window counters (ServiceConfig::stats_window_s bins, sparse,
   /// ascending start_s). Lifetime aggregates above average preemption
@@ -384,6 +407,65 @@ class RenderService final : public SessionBackend {
     if (it == volumes_.end()) return std::nullopt;
     return it->second.id;
   }
+
+  // --- fault injection & recovery (src/fault) ----------------------------
+  /// Queue one seeded fault event against this shard (the event's own
+  /// `shard` field is ignored — the frontend dispatches). Routing by
+  /// kind:
+  ///   DiskReadError — the next map quantum issued at/after time_s on
+  ///     GPU `target` (-1 = any lane) fails after its detection timeout
+  ///     (param_s, default ServiceConfig::fault_detect_s); the chunk is
+  ///     restored and retried under exponential lane backoff.
+  ///   LaneStall     — GPU `target`'s stream is held busy for param_s
+  ///     (in-flight work completes late; nothing is lost).
+  ///   LaneDeath     — GPU `target` fail-stops at time_s: it is
+  ///     blacklisted for the service's lifetime, every active frame's
+  ///     queued quanta on it redistribute to surviving lanes, and later
+  ///     admissions avoid it from the start. Pixels are unchanged
+  ///     (placement-independent reduction).
+  ///   ShardCrash    — the whole service stops at time_s: no further
+  ///     admission, issue or delivery (see crashed()); undelivered work
+  ///     is snapshotted for the frontend's failover
+  ///     (unserved_frames()).
+  /// FabricDrop/FabricDelay address the inter-shard fabric and are
+  /// handled by the frontend, not here (ignored with a warning count).
+  void inject_fault(const fault::FaultEvent& event);
+  /// Convenience: inject every event of `plan` addressed to `shard`.
+  void install_fault_plan(const fault::FaultPlan& plan, int shard = 0);
+  /// True once a ShardCrash event fired. A crashed service admits,
+  /// issues and delivers nothing; drain() returns immediately.
+  bool crashed() const { return crashed_; }
+  /// One client frame the crash left undelivered: everything needed to
+  /// re-submit it on a sibling shard. Snapshot order is global
+  /// submission order (frame_id ascending).
+  struct UnservedFrame {
+    int session = -1;  ///< this service's session index
+    std::uint64_t frame_id = 0;
+    RenderRequest request;
+    /// The memoized decomposition (layouts are placement-independent,
+    /// so the target shard can reuse it for warm-brick matching).
+    std::shared_ptr<const volren::BrickLayout> layout;
+    std::uint64_t layout_sig = 0;
+  };
+  /// Undelivered client work at the crash instant: queued frames plus
+  /// in-flight frames whose delivery the crash swallowed. Internal
+  /// refinement frames are excluded (previews were delivered; the
+  /// refinements die with the shard). Empty before a crash.
+  const std::vector<UnservedFrame>& unserved_frames() const {
+    return unserved_;
+  }
+  /// Accept a warm brick pre-pushed by a peer during failover: register
+  /// `volume`, then seed the cache entry on `gpu` (stored payload
+  /// `stored_bytes`, logical size `logical_bytes`, keyed under this
+  /// shard's registration id + `layout_sig`) so the re-issued frames
+  /// hit instead of re-reading disk. Call at the simulated time the
+  /// transfer landed. No-op without a cache.
+  void admit_pushed_brick(const volren::Volume* volume, int brick_id,
+                          std::uint64_t layout_sig, int gpu,
+                          std::uint64_t stored_bytes,
+                          std::uint64_t logical_bytes);
+  /// Lanes currently blacklisted by LaneDeath faults (tests).
+  int dead_lanes() const;
 
   // --- introspection (frontend placement, tests) -------------------------
   const BrickCache* cache() const { return cache_ ? &*cache_ : nullptr; }
@@ -624,6 +706,33 @@ class RenderService final : public SessionBackend {
   void reap();
   void schedule_wake(double t);
 
+  // --- fault injection & recovery -----------------------------------------
+  /// The mr::FaultHook installed into every admitted frame: consumes
+  /// the first unconsumed DiskReadError at/after its stamp that matches
+  /// the issuing lane. Runs inside the plan's issue path.
+  mr::FaultHook make_fault_hook();
+  /// FramePlan::on_quantum_failed: count the retry, emit the
+  /// "retry.quantum" instant, arm the lane's exponential backoff
+  /// hold-down, and — if the failing lane has meanwhile died —
+  /// redistribute its restored chunks.
+  void quantum_failed(int gpu, int chunk_index, int attempt);
+  /// Fail-stop `gpu` now: blacklist it, redistribute every active
+  /// frame's queued quanta away from it, refill lanes.
+  void kill_lane(int gpu);
+  /// ShardCrash landing: stop the scheduler and snapshot undelivered
+  /// client work for the frontend's failover.
+  void crash();
+  /// Every non-dead lane except `excluding` (redistribution targets).
+  std::vector<int> surviving_lanes(int excluding) const;
+  bool lane_dead(int gpu) const {
+    return !lane_dead_.empty() && lane_dead_[static_cast<std::size_t>(gpu)];
+  }
+  /// Lane is under a retry hold-down that has not expired.
+  bool lane_held(int gpu, double now) const {
+    return !lane_retry_at_.empty() &&
+           lane_retry_at_[static_cast<std::size_t>(gpu)] > now;
+  }
+
   SessionStats stats_for(int session_index) const;
 
   cluster::Cluster& cluster_;
@@ -654,6 +763,26 @@ class RenderService final : public SessionBackend {
   double drain_floor_s_ = 0.0;   // arrival clamp for the current drain
   double next_wake_s_ = 0.0;     // armed arrival wake-up (dedupe); 0 = none
   bool reap_scheduled_ = false;
+
+  // Fault-injection & recovery state.
+  /// One injected DiskReadError waiting to fire (consumed by the fault
+  /// hook at the first matching quantum issue at/after time_s).
+  struct DiskFault {
+    double time_s = 0.0;
+    int gpu = -1;       ///< -1 = any lane
+    double detect_s = 0.0;
+    bool consumed = false;
+  };
+  std::vector<DiskFault> disk_faults_;
+  std::vector<std::uint8_t> lane_dead_;   // fail-stopped lanes (lazy size)
+  std::vector<double> lane_retry_at_;     // backoff hold-down per lane
+  bool crashed_ = false;
+  std::vector<UnservedFrame> unserved_;   // snapshot taken at crash()
+  std::uint64_t faults_injected_ = 0;
+  std::uint64_t quanta_retried_ = 0;
+  std::uint64_t lane_stalls_ = 0;
+  std::uint64_t lanes_dead_ = 0;
+  std::uint64_t bricks_pushed_in_ = 0;
 
   // Streaming / preemption / prefetch telemetry.
   std::uint64_t tiles_total_ = 0;

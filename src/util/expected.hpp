@@ -1,0 +1,65 @@
+#pragma once
+
+// Minimal expected<T, E> substitute (the toolchain targets C++20;
+// std::expected is C++23). Just enough surface for recoverable error
+// returns on I/O read paths: construct from a value or an Unexpected<E>,
+// query, and take the value or the error.
+
+#include <utility>
+#include <variant>
+
+#include "util/check.hpp"
+
+namespace vrmr {
+
+template <typename E>
+struct Unexpected {
+  E error;
+};
+
+template <typename E>
+Unexpected<std::decay_t<E>> make_unexpected(E&& e) {
+  return Unexpected<std::decay_t<E>>{std::forward<E>(e)};
+}
+
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Unexpected<E> e) : state_(std::in_place_index<1>, std::move(e.error)) {}
+
+  bool has_value() const { return state_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() {
+    VRMR_CHECK_MSG(has_value(), "Expected::value() on an error");
+    return std::get<0>(state_);
+  }
+  const T& value() const {
+    VRMR_CHECK_MSG(has_value(), "Expected::value() on an error");
+    return std::get<0>(state_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  E& error() {
+    VRMR_CHECK_MSG(!has_value(), "Expected::error() on a value");
+    return std::get<1>(state_);
+  }
+  const E& error() const {
+    VRMR_CHECK_MSG(!has_value(), "Expected::error() on a value");
+    return std::get<1>(state_);
+  }
+
+  template <typename U>
+  T value_or(U&& fallback) const {
+    return has_value() ? std::get<0>(state_) : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  std::variant<T, E> state_;
+};
+
+}  // namespace vrmr

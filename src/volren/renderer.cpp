@@ -87,6 +87,7 @@ std::unique_ptr<PlannedFrame> plan_frame(cluster::Cluster& cluster, const Volume
   config.include_disk_io = options.include_disk_io;
   config.staging_hook = std::move(staging_hook);
   config.fetch_hook = aq.fetch_hook;
+  config.fault_hook = aq.fault_hook;
   config.trace = options.trace;
 
   auto planned = std::unique_ptr<PlannedFrame>(new PlannedFrame());

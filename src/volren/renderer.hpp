@@ -169,6 +169,9 @@ struct AdaptiveQuality {
   /// Peer-hydration fetch hook, copied into the frame's JobConfig (see
   /// mr::FetchHook): consulted on staging misses before the disk read.
   mr::FetchHook fetch_hook;
+  /// Fault-injection hook, copied into the frame's JobConfig (see
+  /// mr::FaultHook): consulted at each map-quantum issue.
+  mr::FaultHook fault_hook;
 };
 
 /// A planned (not yet executed) frame: the ray-cast mapper, compositing

@@ -1,0 +1,113 @@
+// FaultPlan tests: explicit and seeded event generation, the
+// determinism contract (same seed + same calls => bit-identical event
+// list; wall clock never enters), time-sorted iteration, and per-shard
+// filtering.
+
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vrmr::fault {
+namespace {
+
+TEST(FaultPlan, EventsSortByTimeThenInsertionOrder) {
+  FaultPlan plan;
+  plan.add({FaultKind::LaneDeath, 2.0, 0, 1})
+      .add({FaultKind::DiskReadError, 0.5, 0, -1})
+      .add({FaultKind::ShardCrash, 2.0, 1, -1})   // ties with the first add
+      .add({FaultKind::LaneStall, 1.0, 0, 0, 0.25});
+  const std::vector<FaultEvent> events = plan.events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].kind, FaultKind::DiskReadError);
+  EXPECT_EQ(events[1].kind, FaultKind::LaneStall);
+  // Stable sort: equal times keep insertion order.
+  EXPECT_EQ(events[2].kind, FaultKind::LaneDeath);
+  EXPECT_EQ(events[3].kind, FaultKind::ShardCrash);
+}
+
+TEST(FaultPlan, EventsForFiltersByShardAndKind) {
+  FaultPlan plan;
+  plan.add({FaultKind::LaneDeath, 1.0, 0, 1})
+      .add({FaultKind::ShardCrash, 2.0, 1, -1})
+      .add({FaultKind::LaneStall, 3.0, 0, 2, 0.5});
+  EXPECT_EQ(plan.events_for(0).size(), 2u);
+  EXPECT_EQ(plan.events_for(1).size(), 1u);
+  EXPECT_EQ(plan.events_for(2).size(), 0u);
+  const std::vector<FaultEvent> stalls =
+      plan.events_for(0, FaultKind::LaneStall);
+  ASSERT_EQ(stalls.size(), 1u);
+  EXPECT_EQ(stalls[0].target, 2);
+  EXPECT_DOUBLE_EQ(stalls[0].param_s, 0.5);
+}
+
+TEST(FaultPlan, SameSeedReplaysBitIdentically) {
+  // The determinism contract: two plans built with the same seed and
+  // the same sequence of add_random calls hold identical events — the
+  // replay recipe in src/fault/README.md depends on this.
+  const auto build = [] {
+    FaultPlan plan(0xfeedface);
+    plan.add_random(FaultKind::DiskReadError, 8, 0.0, 10.0, 4, 4);
+    plan.add_random(FaultKind::FabricDrop, 4, 5.0, 20.0, 4, -1, 0.0);
+    plan.add_random(FaultKind::LaneStall, 2, 0.0, 1.0, 2, 8, 0.125);
+    return plan.events();
+  };
+  const std::vector<FaultEvent> a = build();
+  const std::vector<FaultEvent> b = build();
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.size(), 14u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << i;
+    EXPECT_EQ(a[i].shard, b[i].shard) << i;
+    EXPECT_EQ(a[i].target, b[i].target) << i;
+    // Bit-identical, not approximately equal.
+    EXPECT_EQ(a[i].time_s, b[i].time_s) << i;
+    EXPECT_EQ(a[i].param_s, b[i].param_s) << i;
+  }
+}
+
+TEST(FaultPlan, DifferentSeedsDiverge) {
+  FaultPlan a(1), b(2);
+  a.add_random(FaultKind::DiskReadError, 16, 0.0, 100.0, 8, 8);
+  b.add_random(FaultKind::DiskReadError, 16, 0.0, 100.0, 8, 8);
+  const std::vector<FaultEvent> ea = a.events();
+  const std::vector<FaultEvent> eb = b.events();
+  ASSERT_EQ(ea.size(), eb.size());
+  bool any_difference = false;
+  for (std::size_t i = 0; i < ea.size() && !any_difference; ++i)
+    any_difference = ea[i].time_s != eb[i].time_s ||
+                     ea[i].shard != eb[i].shard || ea[i].target != eb[i].target;
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlan, RandomEventsRespectRanges) {
+  FaultPlan plan(7);
+  plan.add_random(FaultKind::LaneDeath, 64, 2.0, 3.0, 3, 5);
+  for (const FaultEvent& e : plan.events()) {
+    EXPECT_GE(e.time_s, 2.0);
+    EXPECT_LT(e.time_s, 3.0);
+    EXPECT_GE(e.shard, 0);
+    EXPECT_LT(e.shard, 3);
+    EXPECT_GE(e.target, 0);
+    EXPECT_LT(e.target, 5);
+  }
+  // num_targets <= 0 means "any target" (-1).
+  FaultPlan wildcard(7);
+  wildcard.add_random(FaultKind::ShardCrash, 4, 0.0, 1.0, 2, -1);
+  for (const FaultEvent& e : wildcard.events()) EXPECT_EQ(e.target, -1);
+}
+
+TEST(FaultPlan, KindNamesAreStable) {
+  // Trace events and BENCH metrics embed these strings; renames break
+  // trace validation (tools/validate_trace.py --require fault...).
+  EXPECT_STREQ(to_string(FaultKind::DiskReadError), "disk_read_error");
+  EXPECT_STREQ(to_string(FaultKind::FabricDrop), "fabric_drop");
+  EXPECT_STREQ(to_string(FaultKind::FabricDelay), "fabric_delay");
+  EXPECT_STREQ(to_string(FaultKind::LaneStall), "lane_stall");
+  EXPECT_STREQ(to_string(FaultKind::LaneDeath), "lane_death");
+  EXPECT_STREQ(to_string(FaultKind::ShardCrash), "shard_crash");
+}
+
+}  // namespace
+}  // namespace vrmr::fault

@@ -1,0 +1,102 @@
+// FramePlan under an injected mr::FaultHook: a failed map quantum is
+// detected after its timeout, the chunk is restored and re-issued, the
+// attempt counter climbs, and the finished pixels are bit-identical to
+// the fault-free schedule. Driven through volren::plan_frame's greedy
+// run_to_completion (the service's externally-driven retry/backoff path
+// is covered by tests/service/test_fault_tolerance.cpp).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "mr/job.hpp"
+#include "sim/engine.hpp"
+#include "volren/datasets.hpp"
+#include "volren/image.hpp"
+#include "volren/renderer.hpp"
+
+namespace vrmr::mr {
+namespace {
+
+volren::RenderOptions small_options() {
+  volren::RenderOptions opt;
+  opt.image_width = 32;
+  opt.image_height = 32;
+  return opt;
+}
+
+/// Greedy render with a fault hook installed; returns the result.
+volren::RenderResult render_with_hook(int gpus, const volren::Volume& volume,
+                                      FaultHook hook) {
+  sim::Engine engine;
+  cluster::Cluster cluster(engine,
+                           cluster::ClusterConfig::with_total_gpus(gpus));
+  const volren::RenderOptions opt = small_options();
+  const volren::BrickLayout layout =
+      volren::choose_layout(volume, opt, cluster.total_gpus());
+  volren::AdaptiveQuality aq;
+  aq.fault_hook = std::move(hook);
+  auto frame = volren::plan_frame(cluster, volume, opt, nullptr, layout, aq);
+  frame->plan().run_to_completion();
+  return frame->finish();
+}
+
+TEST(FramePlanFaults, FailedQuantumRetriesToIdenticalPixels) {
+  const volren::Volume volume = volren::datasets::skull({24, 24, 24});
+  const volren::RenderResult clean = render_with_hook(2, volume, nullptr);
+
+  std::vector<int> attempts_seen;
+  const volren::RenderResult faulted = render_with_hook(
+      2, volume, [&attempts_seen](int, int chunk_index, int attempt) {
+        QuantumFault fault;
+        if (chunk_index == 0) {
+          attempts_seen.push_back(attempt);
+          if (attempt == 1) {  // fail exactly once
+            fault.fail = true;
+            fault.detect_s = 1e-3;
+            fault.kind = "disk_error";
+          }
+        }
+        return fault;
+      });
+
+  // The hook saw the first attempt and its retry.
+  ASSERT_EQ(attempts_seen.size(), 2u);
+  EXPECT_EQ(attempts_seen[0], 1);
+  EXPECT_EQ(attempts_seen[1], 2);
+  EXPECT_EQ(faulted.stats.quanta_failed, 1u);
+  EXPECT_EQ(clean.stats.quanta_failed, 0u);
+  // Recovery is invisible in the pixels and visible in the clock.
+  EXPECT_EQ(volren::compare_images(faulted.image, clean.image).max_abs, 0.0);
+  EXPECT_GT(faulted.stats.runtime_s, clean.stats.runtime_s);
+}
+
+TEST(FramePlanFaults, EveryQuantumFailingOnceStillCompletes) {
+  const volren::Volume volume = volren::datasets::skull({24, 24, 24});
+  const volren::RenderResult clean = render_with_hook(2, volume, nullptr);
+  const volren::RenderResult faulted = render_with_hook(
+      2, volume, [](int, int, int attempt) {
+        QuantumFault fault;
+        fault.fail = attempt == 1;  // first attempt of EVERY chunk fails
+        fault.detect_s = 5e-4;
+        return fault;
+      });
+  EXPECT_GT(faulted.stats.quanta_failed, 0u);
+  EXPECT_EQ(volren::compare_images(faulted.image, clean.image).max_abs, 0.0);
+}
+
+TEST(FramePlanFaults, NoFaultHookMatchesNullBaseline) {
+  // An installed hook that never fails must not perturb the schedule:
+  // same pixels, same runtime as planning without a hook at all.
+  const volren::Volume volume = volren::datasets::skull({16, 16, 16});
+  const volren::RenderResult without = render_with_hook(2, volume, nullptr);
+  const volren::RenderResult with = render_with_hook(
+      2, volume, [](int, int, int) { return QuantumFault{}; });
+  EXPECT_EQ(with.stats.quanta_failed, 0u);
+  EXPECT_EQ(volren::compare_images(with.image, without.image).max_abs, 0.0);
+  EXPECT_EQ(with.stats.runtime_s, without.stats.runtime_s);
+}
+
+}  // namespace
+}  // namespace vrmr::mr

@@ -9,13 +9,15 @@ Checks (stdlib only, no third-party deps):
     simulated clock per process);
   * async events: every e closes a b with the same (cat, id), none left open;
   * metadata events (ph=M) carry the name they claim to set;
-  * optional --require PREFIX flags assert at least one non-metadata event
-    whose name starts with PREFIX exists (e.g. --require preempt).
+  * optional --require PREFIX[:MIN] flags assert at least MIN (default 1)
+    events whose name starts with PREFIX exist (e.g. --require preempt,
+    --require retry.:2 — CI gates fault benches on fault./retry./failover.
+    events actually reaching the export).
 
 Exit code 0 on success, 1 on any violation (each violation is printed).
 
 Usage:
-  python3 tools/validate_trace.py trace.json [--require PREFIX]...
+  python3 tools/validate_trace.py trace.json [--require PREFIX[:MIN]]...
 """
 
 import argparse
@@ -40,8 +42,9 @@ def main():
         "--require",
         action="append",
         default=[],
-        metavar="PREFIX",
-        help="assert at least one event whose name starts with PREFIX",
+        metavar="PREFIX[:MIN]",
+        help="assert at least MIN (default 1) events whose name starts "
+        "with PREFIX",
     )
     args = parser.parse_args()
 
@@ -55,7 +58,7 @@ def main():
     open_spans = {}  # (pid, tid) -> list of begin names (stack)
     last_ts = {}  # (pid, tid) -> last timestamp seen on the track
     open_async = {}  # (cat, id) -> count of unmatched b events
-    names_seen = set()
+    name_counts = {}  # event name -> occurrences (metadata excluded)
 
     for index, event in enumerate(events):
         where = f"event {index}"
@@ -77,8 +80,8 @@ def main():
         if ph in ("B", "i", "b", "e", "M") and not isinstance(name, str):
             errors.append(f"{where} (ph={ph}): missing string 'name'")
             continue
-        if isinstance(name, str):
-            names_seen.add(name)
+        if isinstance(name, str) and ph != "M":
+            name_counts[name] = name_counts.get(name, 0) + 1
 
         track = (pid, tid)
         if ph in ("B", "E", "i", "X"):
@@ -126,9 +129,22 @@ def main():
                 f"{count} unclosed async event(s) for cat={cat} id={async_id}"
             )
 
-    for prefix in args.require:
-        if not any(name.startswith(prefix) for name in names_seen):
-            errors.append(f"required event prefix '{prefix}' not found")
+    for requirement in args.require:
+        prefix, _, min_text = requirement.rpartition(":")
+        if prefix and min_text.isdigit():
+            minimum = int(min_text)
+        else:
+            prefix, minimum = requirement, 1
+        found = sum(
+            count
+            for name, count in name_counts.items()
+            if name.startswith(prefix)
+        )
+        if found < minimum:
+            errors.append(
+                f"required event prefix '{prefix}': found {found}, "
+                f"need >= {minimum}"
+            )
 
     if errors:
         for error in errors:
