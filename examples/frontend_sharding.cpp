@@ -6,6 +6,13 @@
 // skull, so she lands on alice's shard and her first frame hits the
 // cache instead of restaging from disk.
 //
+// The epilogue shows the farm's control plane: carol migrates live to
+// the least-loaded shard (her queued frames move with her, callbacks
+// retained, and the skull's warm bricks are pre-pushed over the
+// inter-shard fabric so her first post-move frame renders warm), then
+// the now-quiet source shard drains and retires — its remaining
+// sessions migrate off through the same primitive.
+//
 //   $ ./examples/example_frontend_sharding [shards] [gpus_per_shard]
 
 #include <cstdlib>
@@ -68,6 +75,24 @@ int main(int argc, char** argv) {
   carol.submit_orbit(skull, options, 12, 0.0, 0.03);
   frontend.drain();
 
+  // Live migration: move carol to the placement policy's pick among
+  // the *other* shards while her next orbit is queued. Her callbacks
+  // stay installed, the queued frames re-issue on the target in order,
+  // and the skull's warm bricks ride ahead over the fabric.
+  int carol_from = -1;
+  if (shards > 1) {
+    carol_from = frontend.shard_of(carol);
+    carol.submit_orbit(skull, options, 12, 0.0, 0.03);
+    frontend.migrate_session(carol);
+    frontend.drain();
+
+    // Elasticity: the shard carol left drains and retires — any
+    // sessions still placed there migrate off first, so nothing is
+    // lost. (add_shard() is the inverse; AutoscaleConfig automates
+    // both against aggregate backlog.)
+    frontend.drain_shard(carol_from);
+  }
+
   Table placements({"session", "class", "shard", "frames", "p95", "fps", "hit%"});
   for (const service::Session& s : {alice, bob, batch, carol}) {
     const service::SessionStats stats = s.stats();
@@ -101,7 +126,16 @@ int main(int argc, char** argv) {
             << format_bytes(stats.bytes_h2d_saved) << " of H2D upload avoided\n"
             << "carol hit " << Table::num(100.0 * carol.stats().cache_hit_rate(), 1)
             << "% of her bricks warm on shard " << frontend.shard_of(carol)
-            << " (alice's)\n";
+            << "\n";
+  if (carol_from >= 0) {
+    std::cout << "control plane: " << stats.migrations << " migration(s), "
+              << stats.frames_migrated << " frames moved live, "
+              << stats.bricks_prepushed << " warm bricks ("
+              << format_bytes(stats.bytes_prepushed)
+              << ") pre-pushed; shard " << carol_from
+              << " drained and retired (" << stats.shards_drained
+              << " drained total)\n";
+  }
   if (trace_path != nullptr && trace_path[0] != '\0' &&
       recorder.write_file(trace_path)) {
     std::cout << "trace: " << recorder.size() << " events -> " << trace_path

@@ -384,6 +384,35 @@ std::uint64_t BrickCache::resident_bytes_for_volume(std::uint64_t volume_id) con
   return bytes;
 }
 
+std::vector<BrickCache::WarmBrick> BrickCache::warm_bricks_for_volume(
+    std::uint64_t volume_id) const {
+  std::vector<WarmBrick> out;
+  for (int gpu = 0; gpu < num_gpus(); ++gpu) {
+    const Shard& shard = shards_[static_cast<std::size_t>(gpu)];
+    for (const std::list<Entry>* list : {&shard.t1, &shard.t2}) {
+      for (const Entry& entry : *list) {
+        if (entry.key.volume_id != volume_id) continue;
+        out.push_back({gpu, entry.key, entry.bytes, entry.logical_bytes});
+      }
+    }
+  }
+  // One entry per (layout, brick): ascending GPU order above means the
+  // first copy seen wins the dedupe.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const WarmBrick& a, const WarmBrick& b) {
+                     if (a.key.layout_id != b.key.layout_id)
+                       return a.key.layout_id < b.key.layout_id;
+                     return a.key.brick_id < b.key.brick_id;
+                   });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const WarmBrick& a, const WarmBrick& b) {
+                          return a.key.layout_id == b.key.layout_id &&
+                                 a.key.brick_id == b.key.brick_id;
+                        }),
+            out.end());
+  return out;
+}
+
 void BrickCache::clear() {
   for (Shard& shard : shards_) {
     stats_.arc_p_bytes -= shard.p;

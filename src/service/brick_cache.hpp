@@ -224,6 +224,22 @@ class BrickCache {
   /// session toward the shard where its volume is already warm.
   std::uint64_t resident_bytes_for_volume(std::uint64_t volume_id) const;
 
+  /// One warm payload of a volume, for handoff sizing: the migration /
+  /// failover pre-push enumerates these to ship a source shard's
+  /// resident bricks to the target at their true stored sizes.
+  struct WarmBrick {
+    int gpu = 0;  // lowest GPU holding the payload
+    BrickKey key;
+    std::uint64_t stored_bytes = 0;
+    std::uint64_t logical_bytes = 0;
+  };
+  /// Every resident payload of `volume_id`, one entry per (brick,
+  /// layout) — a brick resident on several GPUs reports the lowest —
+  /// sorted by (layout_id, brick_id) so handoff traffic is
+  /// deterministic regardless of cache-internal list order. No recency
+  /// touch, no accounting; ghosts are not resident.
+  std::vector<WarmBrick> warm_bricks_for_volume(std::uint64_t volume_id) const;
+
   void clear();
 
   int num_gpus() const { return static_cast<int>(shards_.size()); }

@@ -15,8 +15,43 @@
 
 namespace vrmr::service {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+int default_placement(const PlacementQuery& query) {
+  // Pin first: the frontend only forwards a pin that names a live,
+  // accepting shard, so honoring it unconditionally is safe.
+  if (query.pinned.has_value()) return *query.pinned;
+  // Brick affinity: restrict to candidates where the volume is warm,
+  // when any. Then least outstanding predicted cost; ties break on the
+  // lowest shard index (determinism).
+  bool any_warm = false;
+  for (const PlacementSignal& signal : query.shards)
+    any_warm = any_warm || (signal.alive && signal.accepting && signal.warm);
+  int best = -1;
+  double best_cost = kInf;
+  for (const PlacementSignal& signal : query.shards) {
+    if (!signal.alive || !signal.accepting) continue;
+    if (any_warm && !signal.warm) continue;
+    if (signal.outstanding_cost_s < best_cost) {
+      best = signal.shard;
+      best_cost = signal.outstanding_cost_s;
+    }
+  }
+  return best;
+}
+
 ServiceFrontend::ServiceFrontend(FrontendConfig config)
     : config_(std::move(config)) {
+  // Fold the deprecated aliases into their sub-configs (kept one
+  // release): when set, the alias wins over the sub-config field.
+  if (config_.enable_peer_hydration.has_value())
+    config_.handoff.peer_hydration = *config_.enable_peer_hydration;
+  if (config_.hydration_fabric.has_value())
+    config_.handoff.fabric = *config_.hydration_fabric;
+  if (config_.failover_prepush.has_value())
+    config_.handoff.failover_prepush = *config_.failover_prepush;
   VRMR_CHECK_MSG(config_.shards >= 1, "frontend needs at least one shard");
   VRMR_CHECK_MSG(config_.gpus_per_shard >= 1,
                  "frontend shards need at least one GPU");
@@ -27,44 +62,56 @@ ServiceFrontend::ServiceFrontend(FrontendConfig config)
                  "per shard ("
                      << config_.shards << "), got "
                      << config_.cache_policy_per_shard.size());
-  shards_.reserve(static_cast<std::size_t>(config_.shards));
-  for (int s = 0; s < config_.shards; ++s) {
-    Shard shard;
-    shard.engine = std::make_unique<sim::Engine>();
-    shard.cluster = std::make_unique<cluster::Cluster>(
-        *shard.engine,
-        cluster::ClusterConfig::with_total_gpus(
-            config_.gpus_per_shard, config_.hw, config_.max_gpus_per_node));
-    ServiceConfig service_config = config_.service;
-    if (!config_.cache_policy_per_shard.empty()) {
-      service_config.cache_policy =
-          config_.cache_policy_per_shard[static_cast<std::size_t>(s)];
-    }
-    shard.service =
-        std::make_unique<RenderService>(*shard.cluster, service_config);
-    shards_.push_back(std::move(shard));
-  }
-  if (config_.shards > 1) {
-    for (int s = 0; s < config_.shards; ++s) {
-      Shard& shard = shards_[static_cast<std::size_t>(s)];
-      // One fabric per shard, on that shard's engine, with one "node"
-      // per shard: hydration INTO shard s advances only s's timeline
-      // (see the Shard::fabric comment). The fabric exists even when
-      // hydration is off — failover pre-pushes ride it too.
-      shard.fabric = std::make_unique<net::Fabric>(
-          *shard.engine, config_.hydration_fabric, config_.shards);
-      if (config_.enable_peer_hydration) {
-        shard.service->set_hydration_source(
-            [this, s](int gpu, const volren::Volume* volume, const BrickKey& key,
-                      std::uint64_t stored_bytes, std::function<void()> done) {
-              return hydrate(s, gpu, volume, key, stored_bytes, std::move(done));
-            });
-      }
-    }
-  }
+  VRMR_CHECK_MSG(config_.autoscale.min_shards >= 1,
+                 "autoscale.min_shards must be >= 1, got "
+                     << config_.autoscale.min_shards);
+  VRMR_CHECK_MSG(config_.autoscale.max_shards >= 0,
+                 "autoscale.max_shards must be >= 0, got "
+                     << config_.autoscale.max_shards);
+  VRMR_CHECK_MSG(config_.rebalance.skew_ratio >= 1.0,
+                 "rebalance.skew_ratio must be >= 1, got "
+                     << config_.rebalance.skew_ratio);
+  max_farm_shards_ = std::max(config_.shards, config_.autoscale.max_shards);
+  shards_.reserve(static_cast<std::size_t>(max_farm_shards_));
+  for (int s = 0; s < config_.shards; ++s) shards_.push_back(make_shard(s));
 }
 
 ServiceFrontend::~ServiceFrontend() = default;
+
+ServiceFrontend::Shard ServiceFrontend::make_shard(int index) {
+  Shard shard;
+  shard.engine = std::make_unique<sim::Engine>();
+  shard.cluster = std::make_unique<cluster::Cluster>(
+      *shard.engine,
+      cluster::ClusterConfig::with_total_gpus(
+          config_.gpus_per_shard, config_.hw, config_.max_gpus_per_node));
+  ServiceConfig service_config = config_.service;
+  if (index < static_cast<int>(config_.cache_policy_per_shard.size())) {
+    service_config.cache_policy =
+        config_.cache_policy_per_shard[static_cast<std::size_t>(index)];
+  }
+  shard.service =
+      std::make_unique<RenderService>(*shard.cluster, service_config);
+  if (max_farm_shards_ > 1) {
+    // One fabric per shard, on that shard's engine, with one "node" per
+    // farm SLOT (max_farm_shards_, so shards added later join the same
+    // interconnect): hydration INTO shard `index` advances only its
+    // timeline (see the Shard::fabric comment). The fabric exists even
+    // when hydration is off — migration and failover pushes ride it.
+    shard.fabric = std::make_unique<net::Fabric>(
+        *shard.engine, config_.handoff.fabric, max_farm_shards_);
+    if (config_.handoff.peer_hydration) {
+      shard.service->set_hydration_source(
+          [this, index](int gpu, const volren::Volume* volume,
+                        const BrickKey& key, std::uint64_t stored_bytes,
+                        std::function<void()> done) {
+            return hydrate(index, gpu, volume, key, stored_bytes,
+                           std::move(done));
+          });
+    }
+  }
+  return shard;
+}
 
 Session ServiceFrontend::open_session(SessionProfile profile) {
   if (profile.pin_shard.has_value()) {
@@ -91,6 +138,19 @@ int ServiceFrontend::shard_of(const Session& session) const {
   return sessions_[static_cast<std::size_t>(session.index_)]->shard;
 }
 
+bool ServiceFrontend::shard_accepting(int index) const {
+  VRMR_CHECK_MSG(index >= 0 && index < num_shards(),
+                 "shard " << index << " out of range");
+  const Shard& shard = shards_[static_cast<std::size_t>(index)];
+  return shard.accepting && !shard.retired && !shard.service->crashed();
+}
+
+bool ServiceFrontend::shard_retired(int index) const {
+  VRMR_CHECK_MSG(index >= 0 && index < num_shards(),
+                 "shard " << index << " out of range");
+  return shards_[static_cast<std::size_t>(index)].retired;
+}
+
 void ServiceFrontend::pin_shard(const Session& session, int shard) {
   VRMR_CHECK_MSG(session.valid(), "pin_shard on an invalid Session");
   VRMR_CHECK_MSG(static_cast<const SessionBackend*>(this) == session.backend_,
@@ -101,56 +161,80 @@ void ServiceFrontend::pin_shard(const Session& session, int shard) {
   FrontendSession& state = *sessions_[static_cast<std::size_t>(session.index_)];
   if (state.shard >= 0) {
     // Idempotent: pinning a session to the shard it already lives on is
-    // a no-op. Moving a placed session is an error — its queued frames
-    // and brick residency live on the original shard, and half-moving
-    // them would leave the session split; only failover() relocates.
+    // a no-op. Moving a placed session through pin_shard is an error —
+    // its queued frames and brick residency live on the original shard,
+    // and a pin would silently strand them; migrate_session() is the
+    // sanctioned path (it moves the queue and warms the target).
     if (state.shard == shard) return;
     VRMR_CHECK_MSG(false, "session '"
                               << state.profile.name
                               << "' is already placed on shard " << state.shard
                               << "; cannot re-pin to shard " << shard
-                              << " (only failover moves placed sessions)");
+                              << " (use migrate_session to move a placed "
+                                 "session)");
   }
   state.profile.pin_shard = shard;  // repeated pins just overwrite
 }
 
-int ServiceFrontend::place(const volren::Volume* volume) const {
-  // Brick affinity first: restrict to shards where the volume is warm,
-  // when any. Then least outstanding predicted cost; ties break on the
-  // lowest shard index (determinism). The warm probe scans the shard's
-  // cache, so run it once per shard.
-  std::vector<bool> warm(static_cast<std::size_t>(num_shards()));
-  bool any_warm = false;
+int ServiceFrontend::resolve_placement(const SessionProfile& profile,
+                                       const volren::Volume* volume,
+                                       int exclude_shard) const {
+  PlacementQuery query;
+  query.profile = &profile;
+  query.volume = volume;
+  query.current_shard = exclude_shard;
+  query.shards.reserve(shards_.size());
   for (int s = 0; s < num_shards(); ++s) {
-    warm[static_cast<std::size_t>(s)] =
-        shards_[static_cast<std::size_t>(s)].service->volume_warm(volume);
-    any_warm = any_warm || warm[static_cast<std::size_t>(s)];
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    PlacementSignal signal;
+    signal.shard = s;
+    signal.alive = !shard.service->crashed();
+    signal.accepting = shard.accepting && !shard.retired && s != exclude_shard;
+    // The warm probe scans the shard's cache, so run it once per shard.
+    signal.warm = signal.alive && !shard.retired && volume != nullptr &&
+                  shard.service->volume_warm(volume);
+    signal.outstanding_cost_s = shard.service->outstanding_cost_s();
+    query.shards.push_back(signal);
   }
+  // A pin naming a dead or non-accepting shard cannot be honored; the
+  // policy re-places over the survivors rather than queueing frames a
+  // shard will never serve.
+  if (profile.pin_shard.has_value()) {
+    const int pin = *profile.pin_shard;
+    if (pin >= 0 && pin < num_shards()) {
+      const PlacementSignal& signal =
+          query.shards[static_cast<std::size_t>(pin)];
+      if (signal.alive && signal.accepting) query.pinned = pin;
+    }
+  }
+  const int chosen = config_.placement ? config_.placement(query)
+                                       : default_placement(query);
+  VRMR_CHECK_MSG(chosen >= 0 && chosen < num_shards(),
+                 "no accepting shard to place on (placement policy returned "
+                     << chosen << " for session '" << profile.name << "')");
+  const PlacementSignal& signal =
+      query.shards[static_cast<std::size_t>(chosen)];
+  VRMR_CHECK_MSG(signal.alive && signal.accepting,
+                 "placement policy chose shard "
+                     << chosen << " for session '" << profile.name
+                     << "', which is not accepting");
+  return chosen;
+}
+
+int ServiceFrontend::least_loaded_target(int exclude_shard) const {
   int best = -1;
-  double best_cost = std::numeric_limits<double>::infinity();
+  double best_cost = kInf;
   for (int s = 0; s < num_shards(); ++s) {
-    if (shards_[static_cast<std::size_t>(s)].service->crashed()) continue;
-    if (any_warm && !warm[static_cast<std::size_t>(s)]) continue;
-    const double cost =
-        shards_[static_cast<std::size_t>(s)].service->outstanding_cost_s();
+    if (s == exclude_shard) continue;
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    if (shard.service->crashed() || shard.retired || !shard.accepting) continue;
+    const double cost = shard.service->outstanding_cost_s();
     if (cost < best_cost) {
       best = s;
       best_cost = cost;
     }
   }
-  // Warm shards may all have crashed; retry against the survivors.
-  if (best < 0 && any_warm) {
-    for (int s = 0; s < num_shards(); ++s) {
-      if (shards_[static_cast<std::size_t>(s)].service->crashed()) continue;
-      const double cost =
-          shards_[static_cast<std::size_t>(s)].service->outstanding_cost_s();
-      if (cost < best_cost) {
-        best = s;
-        best_cost = cost;
-      }
-    }
-  }
-  VRMR_CHECK_MSG(best >= 0, "no surviving shard to place on");
+  VRMR_CHECK_MSG(best >= 0, "no surviving shard to fail over to");
   return best;
 }
 
@@ -167,8 +251,9 @@ bool ServiceFrontend::hydrate(int shard_index, int gpu,
     if (s == shard_index) continue;
     const Shard& sibling = shards_[static_cast<std::size_t>(s)];
     // A crashed sibling serves nothing, hydration included (its cache
-    // is only read by failover()'s warm handoff).
-    if (sibling.service->crashed()) continue;
+    // is only read by failover()'s warm handoff); a retired one kept
+    // its cache but left the farm — skip both.
+    if (sibling.service->crashed() || sibling.retired) continue;
     const std::optional<std::uint64_t> vid =
         sibling.service->volume_id_of(volume);
     if (!vid.has_value()) continue;
@@ -221,26 +306,19 @@ std::uint64_t ServiceFrontend::session_submit(int session, RenderRequest request
                      << request.arrival_s);
   FrontendSession& state = *sessions_[static_cast<std::size_t>(session)];
   if (state.shard < 0) {
-    // Probe every shard's registration guard before pinning: a volume
-    // reshaped without invalidation must reject the submit no matter
-    // which shard placement would pick (its stale registration may
-    // live on a shard that has since gone cold), and the session stays
-    // free to place elsewhere on retry after invalidate_volume.
+    // Probe every live shard's registration guard before pinning: a
+    // volume reshaped without invalidation must reject the submit no
+    // matter which shard placement would pick (its stale registration
+    // may live on a shard that has since gone cold), and the session
+    // stays free to place elsewhere on retry after invalidate_volume.
     for (const Shard& shard : shards_)
-      shard.service->check_volume_compatible(request.volume);
-    int chosen = state.profile.pin_shard.has_value() ? *state.profile.pin_shard
-                                                     : place(request.volume);
-    // A pin naming a crashed shard cannot be honored; fall back to the
-    // placement policy over the survivors rather than queueing frames a
-    // dead service will never serve.
-    if (shards_[static_cast<std::size_t>(chosen)].service->crashed())
-      chosen = place(request.volume);
-    state.shard = chosen;
+      if (!shard.retired) shard.service->check_volume_compatible(request.volume);
+    state.shard = resolve_placement(state.profile, request.volume, -1);
     Shard& shard = shards_[static_cast<std::size_t>(state.shard)];
     state.inner = shard.service->open_session(state.profile);
     ++shard.sessions_placed;
-    // Install COPIES of the retained client callbacks: failover
-    // re-installs the originals on the replacement shard's session.
+    // Install COPIES of the retained client callbacks: every migration
+    // trigger re-installs the originals on the target shard's session.
     if (state.client_callback)
       state.inner.on_frame(translate(session, state.client_callback));
     if (state.client_tile_callback)
@@ -297,7 +375,31 @@ SessionStats ServiceFrontend::session_stats(int session) const {
     empty.priority = state.profile.priority;
     return empty;
   }
-  return state.inner.stats();
+  SessionStats agg = state.inner.stats();
+  // Epoch merge across migrations: counters sum over every shard the
+  // session has lived on, latency means are frame-weighted, and
+  // percentiles/max take the worst epoch (conservative — the true
+  // merged quantile of two sorted populations is bounded by the worse
+  // one's). fps, cost_scale and queued_frames reflect the current
+  // epoch: moved frames re-queued on the target and count there.
+  for (const Session& past : state.past_inner) {
+    const SessionStats p = past.stats();
+    const int total = agg.frames + p.frames;
+    if (total > 0) {
+      agg.mean_latency_s =
+          (agg.mean_latency_s * agg.frames + p.mean_latency_s * p.frames) /
+          total;
+    }
+    agg.frames = total;
+    agg.p50_latency_s = std::max(agg.p50_latency_s, p.p50_latency_s);
+    agg.p95_latency_s = std::max(agg.p95_latency_s, p.p95_latency_s);
+    agg.p99_latency_s = std::max(agg.p99_latency_s, p.p99_latency_s);
+    agg.max_latency_s = std::max(agg.max_latency_s, p.max_latency_s);
+    agg.cache_hits += p.cache_hits;
+    agg.cache_misses += p.cache_misses;
+    agg.tiles_delivered += p.tiles_delivered;
+  }
+  return agg;
 }
 
 const SessionProfile& ServiceFrontend::session_profile(int session) const {
@@ -365,6 +467,154 @@ void ServiceFrontend::install_fault_plan(const fault::FaultPlan& plan) {
   }
 }
 
+void ServiceFrontend::execute_migration(const MigrationPlan& plan) {
+  // The one repoint-plus-handoff primitive behind every control-plane
+  // trigger. The two triggers differ only in provenance: a crash's
+  // frames come from the dead service's snapshot and re-issue against
+  // the target's own clock; a voluntary move extracts the live queue
+  // and floors arrivals at the decision time (the farm horizon), so
+  // moved work cannot time-travel onto an idle target's younger
+  // timeline.
+  const bool crash = plan.trigger == MigrationPlan::Trigger::Failover;
+  const char* repin_name = crash ? "failover.repin" : "migrate.repin";
+  const char* push_name = crash ? "failover.push" : "migrate.push";
+  const char* category = crash ? "failover" : "migrate";
+  const bool prepush_enabled = crash ? config_.handoff.failover_prepush
+                                     : config_.handoff.migration_prepush;
+  VRMR_CHECK_MSG(plan.from_shard >= 0 && plan.from_shard < num_shards(),
+                 "migration plan from_shard " << plan.from_shard
+                                              << " out of range");
+  Shard& source = shards_[static_cast<std::size_t>(plan.from_shard)];
+
+  // Pass 1: repoint every moved session — re-open on the target,
+  // re-install the retained client callbacks, and warm the target with
+  // the source cache's bricks for that session's moved volumes.
+  // Sessions move in plan order (the triggers build them in open
+  // order — determinism).
+  std::unordered_map<int, int> inner_to_front;  // source-local -> frontend
+  std::vector<double> ready_s(sessions_.size(), 0.0);
+  for (const MigrationPlan::Move& move : plan.moves) {
+    VRMR_CHECK_MSG(move.session >= 0 && move.session < num_sessions(),
+                   "migration plan names unknown session " << move.session);
+    VRMR_CHECK_MSG(move.target >= 0 && move.target < num_shards() &&
+                       move.target != plan.from_shard,
+                   "migration plan targets shard " << move.target);
+    FrontendSession& state = *sessions_[static_cast<std::size_t>(move.session)];
+    inner_to_front[move.source_inner] = move.session;
+    Shard& dest = shards_[static_cast<std::size_t>(move.target)];
+    SessionProfile profile = state.profile;
+    profile.pin_shard.reset();  // the placement decision was already made
+    if (!crash) {
+      // A voluntary move supersedes any pre-placement pin, and stamps
+      // the hysteresis clock the rebalancer consults.
+      state.profile.pin_shard.reset();
+      state.last_migrated_s = plan.decision_s;
+    }
+    // The previous epoch's session stays open on the source (its
+    // in-flight frame and queued refinements deliver there through the
+    // callback copies); session_stats merges its history.
+    state.past_inner.push_back(state.inner);
+    state.shard = move.target;
+    state.inner = dest.service->open_session(std::move(profile));
+    ++dest.sessions_placed;
+    if (crash)
+      ++sessions_repinned_;
+    else
+      ++migrations_;
+    if (state.client_callback)
+      state.inner.on_frame(translate(move.session, state.client_callback));
+    if (state.client_tile_callback)
+      state.inner.on_tile(
+          translate_tile(move.session, state.client_tile_callback));
+    if (trace_ != nullptr) {
+      trace_->instant(dest.engine->now(), trace_pid_base_ + move.target,
+                      obs::kServiceTid, repin_name, category,
+                      {{"session", std::to_string(move.session)},
+                       {"from_shard", std::to_string(plan.from_shard)},
+                       {"to_shard", std::to_string(move.target)}});
+    }
+
+    // Warm handoff: push the source cache's resident bricks for this
+    // session's moved volumes to the target over its fabric, once per
+    // (volume, layout) pair. ready_s floors the re-issued frames'
+    // arrivals at a serialization-sum estimate of the handoff window —
+    // a slight overestimate (per-message latency overlaps in truth), so
+    // by then every pushed brick has landed and the frames render warm.
+    double session_ready_s = crash
+                                 ? dest.engine->now()
+                                 : std::max(dest.engine->now(), plan.decision_s);
+    if (prepush_enabled && dest.fabric != nullptr &&
+        source.service->cache() != nullptr) {
+      std::set<std::pair<const volren::Volume*, std::uint64_t>> pushed;
+      for (const RenderService::UnservedFrame& frame : plan.frames) {
+        if (frame.session != move.source_inner) continue;
+        if (frame.layout == nullptr) continue;
+        if (!pushed.insert({frame.request.volume, frame.layout_sig}).second)
+          continue;
+        const std::optional<std::uint64_t> vid =
+            source.service->volume_id_of(frame.request.volume);
+        if (!vid.has_value()) continue;
+        for (const BrickCache::WarmBrick& brick :
+             source.service->cache()->warm_bricks_for_volume(*vid)) {
+          if (brick.key.layout_id != frame.layout_sig) continue;
+          const int gpu = brick.key.brick_id % config_.gpus_per_shard;
+          ++bricks_prepushed_;
+          bytes_prepushed_ += brick.stored_bytes;
+          session_ready_s += dest.fabric->ideal_transfer_time(
+              plan.from_shard, move.target, brick.stored_bytes);
+          obs::TraceRecorder* trace = trace_;
+          std::uint64_t arrow = 0;
+          if (trace != nullptr) {
+            arrow = trace->next_async_id();
+            trace->async_begin(dest.engine->now(),
+                               trace_pid_base_ + plan.from_shard, arrow,
+                               push_name, category,
+                               {{"brick", std::to_string(brick.key.brick_id)},
+                                {"bytes", std::to_string(brick.stored_bytes)},
+                                {"to_shard", std::to_string(move.target)}});
+          }
+          // send_reliable: an injected drop retransmits — the handoff
+          // completes late instead of silently shedding a brick.
+          dest.fabric->send_reliable(
+              plan.from_shard, move.target, brick.stored_bytes,
+              [service = dest.service.get(), volume = frame.request.volume,
+               brick_id = brick.key.brick_id, layout_sig = frame.layout_sig,
+               gpu, stored = brick.stored_bytes,
+               logical = brick.logical_bytes, trace, arrow,
+               pid = trace_pid_base_ + move.target,
+               engine = dest.engine.get(), push_name, category] {
+                if (trace != nullptr) {
+                  trace->async_end(engine->now(), pid, arrow, push_name,
+                                   category);
+                }
+                service->admit_pushed_brick(volume, brick_id, layout_sig, gpu,
+                                            stored, logical);
+              });
+        }
+      }
+    }
+    ready_s[static_cast<std::size_t>(move.session)] = session_ready_s;
+  }
+
+  // Pass 2: re-issue the moved frames in frame_id order (global
+  // submission order on the source), each on its session's new shard,
+  // arrival floored at the handoff window so re-issued work renders
+  // against the pushed bricks.
+  for (const RenderService::UnservedFrame& frame : plan.frames) {
+    const auto it = inner_to_front.find(frame.session);
+    if (it == inner_to_front.end()) continue;  // not a frontend session
+    FrontendSession& state = *sessions_[static_cast<std::size_t>(it->second)];
+    RenderRequest request = frame.request;
+    request.arrival_s = std::max(
+        request.arrival_s, ready_s[static_cast<std::size_t>(it->second)]);
+    state.inner.submit(std::move(request));
+    if (crash)
+      ++frames_reissued_;
+    else
+      ++frames_migrated_;
+  }
+}
+
 void ServiceFrontend::failover(int crashed_shard) {
   VRMR_CHECK_MSG(crashed_shard >= 0 && crashed_shard < num_shards(),
                  "failover shard " << crashed_shard << " out of range");
@@ -374,155 +624,425 @@ void ServiceFrontend::failover(int crashed_shard) {
   if (crashed.failed_over) return;
   crashed.failed_over = true;
   ++failovers_;
-  const std::vector<RenderService::UnservedFrame>& unserved =
-      crashed.service->unserved_frames();
+  MigrationPlan plan;
+  plan.trigger = MigrationPlan::Trigger::Failover;
+  plan.from_shard = crashed_shard;
+  plan.decision_s = crashed.engine->now();
+  plan.frames = crashed.service->unserved_frames();
   VRMR_WARN("frontend") << "shard " << crashed_shard << " crashed with "
-                        << unserved.size()
+                        << plan.frames.size()
                         << " unserved frame(s); failing over";
-
-  // Pass 1: re-pin every orphaned session onto the least-loaded
-  // survivor and warm the target with the crashed cache's bricks for
-  // that session's unserved volumes. Sessions move in open order
-  // (determinism); each picks its target independently so a big crash
-  // spreads over the farm instead of dogpiling one sibling.
-  std::unordered_map<int, int> inner_to_front;  // crashed-local -> frontend
-  std::vector<double> ready_s(sessions_.size(), 0.0);
+  // Each orphan picks its target independently — least outstanding
+  // cost among the survivors, ties to the lowest index — so a big
+  // crash spreads over the farm instead of dogpiling one sibling.
+  // (Nothing below changes outstanding cost until the frames re-issue
+  // in pass 2, so picking all targets up front is equivalent to
+  // interleaving.)
   for (int session = 0; session < num_sessions(); ++session) {
-    FrontendSession& state = *sessions_[static_cast<std::size_t>(session)];
+    const FrontendSession& state =
+        *sessions_[static_cast<std::size_t>(session)];
     if (state.shard != crashed_shard) continue;
-    const int old_inner = state.inner.index_;
-    inner_to_front[old_inner] = session;
-    int target = -1;
-    double best_cost = std::numeric_limits<double>::infinity();
-    for (int s = 0; s < num_shards(); ++s) {
-      if (shards_[static_cast<std::size_t>(s)].service->crashed()) continue;
-      const double cost =
-          shards_[static_cast<std::size_t>(s)].service->outstanding_cost_s();
-      if (cost < best_cost) {
-        target = s;
-        best_cost = cost;
-      }
-    }
-    VRMR_CHECK_MSG(target >= 0, "no surviving shard to fail over to");
-    Shard& dest = shards_[static_cast<std::size_t>(target)];
-    SessionProfile profile = state.profile;
-    profile.pin_shard.reset();  // the pinned shard is gone
-    state.shard = target;
-    state.inner = dest.service->open_session(std::move(profile));
-    ++dest.sessions_placed;
-    ++sessions_repinned_;
-    if (state.client_callback)
-      state.inner.on_frame(translate(session, state.client_callback));
-    if (state.client_tile_callback)
-      state.inner.on_tile(translate_tile(session, state.client_tile_callback));
-    if (trace_ != nullptr) {
-      trace_->instant(dest.engine->now(), trace_pid_base_ + target,
-                      obs::kServiceTid, "failover.repin", "failover",
-                      {{"session", std::to_string(session)},
-                       {"from_shard", std::to_string(crashed_shard)},
-                       {"to_shard", std::to_string(target)}});
-    }
-
-    // Warm handoff: push the crashed cache's resident copies of this
-    // session's unserved bricks to the target over its fabric, once per
-    // (volume, layout) pair. ready_s floors the re-issued frames'
-    // arrivals at a serialization-sum estimate of the handoff window —
-    // a slight overestimate (per-message latency overlaps in truth), so
-    // by then every pushed brick has landed and the frames render warm.
-    double session_ready_s = dest.engine->now();
-    if (config_.failover_prepush && dest.fabric != nullptr &&
-        crashed.service->cache() != nullptr) {
-      std::set<std::pair<const volren::Volume*, std::uint64_t>> pushed;
-      for (const RenderService::UnservedFrame& frame : unserved) {
-        if (frame.session != old_inner) continue;
-        if (frame.layout == nullptr) continue;
-        if (!pushed.insert({frame.request.volume, frame.layout_sig}).second)
-          continue;
-        const std::optional<std::uint64_t> vid =
-            crashed.service->volume_id_of(frame.request.volume);
-        if (!vid.has_value()) continue;
-        for (const volren::BrickInfo& brick : frame.layout->bricks()) {
-          const BrickKey key{*vid, brick.id, frame.layout_sig};
-          std::optional<BrickCache::Residency> payload;
-          for (int g = 0; g < config_.gpus_per_shard && !payload; ++g)
-            payload = crashed.service->cache()->payload_of(g, key);
-          if (!payload) continue;  // cold on the crashed shard too
-          const int gpu = brick.id % config_.gpus_per_shard;
-          ++bricks_prepushed_;
-          bytes_prepushed_ += payload->stored_bytes;
-          session_ready_s += dest.fabric->ideal_transfer_time(
-              crashed_shard, target, payload->stored_bytes);
-          obs::TraceRecorder* trace = trace_;
-          std::uint64_t arrow = 0;
-          if (trace != nullptr) {
-            arrow = trace->next_async_id();
-            trace->async_begin(dest.engine->now(),
-                               trace_pid_base_ + crashed_shard, arrow,
-                               "failover.push", "failover",
-                               {{"brick", std::to_string(brick.id)},
-                                {"bytes", std::to_string(payload->stored_bytes)},
-                                {"to_shard", std::to_string(target)}});
-          }
-          // send_reliable: an injected drop retransmits — the handoff
-          // completes late instead of silently shedding a brick.
-          dest.fabric->send_reliable(
-              crashed_shard, target, payload->stored_bytes,
-              [service = dest.service.get(), volume = frame.request.volume,
-               brick_id = brick.id, layout_sig = frame.layout_sig, gpu,
-               stored = payload->stored_bytes,
-               logical = payload->logical_bytes, trace, arrow,
-               pid = trace_pid_base_ + target, engine = dest.engine.get()] {
-                if (trace != nullptr) {
-                  trace->async_end(engine->now(), pid, arrow, "failover.push",
-                                   "failover");
-                }
-                service->admit_pushed_brick(volume, brick_id, layout_sig, gpu,
-                                            stored, logical);
-              });
-        }
-      }
-    }
-    ready_s[static_cast<std::size_t>(session)] = session_ready_s;
+    plan.moves.push_back(
+        {session, least_loaded_target(crashed_shard), state.inner.index_});
   }
+  execute_migration(plan);
+}
 
-  // Pass 2: re-issue the crash snapshot in global submission order
-  // (frame_id ascending — unserved_frames() is already sorted), each
-  // frame on its session's new shard, arrival floored at the handoff
-  // window so re-issued work renders against the pushed bricks.
-  for (const RenderService::UnservedFrame& frame : unserved) {
-    const auto it = inner_to_front.find(frame.session);
-    if (it == inner_to_front.end()) continue;  // not a frontend session
-    FrontendSession& state = *sessions_[static_cast<std::size_t>(it->second)];
-    RenderRequest request = frame.request;
-    request.arrival_s = std::max(
-        request.arrival_s, ready_s[static_cast<std::size_t>(it->second)]);
-    state.inner.submit(std::move(request));
-    ++frames_reissued_;
+MigrationPlan ServiceFrontend::plan_voluntary(int session, int target_shard,
+                                              double decision_s) {
+  FrontendSession& state = *sessions_[static_cast<std::size_t>(session)];
+  const int source = state.shard;
+  VRMR_CHECK_MSG(source >= 0, "cannot migrate an unplaced session");
+  Shard& src = shards_[static_cast<std::size_t>(source)];
+  // Validate the destination (or that one exists) BEFORE extracting the
+  // live queue, so a CHECK-failure cannot strand extracted frames.
+  if (target_shard >= 0) {
+    VRMR_CHECK_MSG(target_shard < num_shards(),
+                   "migrate target " << target_shard << " out of range for "
+                                     << num_shards() << " shards");
+    VRMR_CHECK_MSG(target_shard != source,
+                   "migrate target equals the session's current shard "
+                       << source);
+    const Shard& dest = shards_[static_cast<std::size_t>(target_shard)];
+    VRMR_CHECK_MSG(!dest.service->crashed() && dest.accepting && !dest.retired,
+                   "migrate target " << target_shard << " is not accepting");
+  } else {
+    bool any = false;
+    for (int s = 0; s < num_shards() && !any; ++s) {
+      const Shard& dest = shards_[static_cast<std::size_t>(s)];
+      any = s != source && !dest.service->crashed() && dest.accepting &&
+            !dest.retired;
+    }
+    VRMR_CHECK_MSG(any, "no other accepting shard to migrate session '"
+                            << state.profile.name << "' onto");
+  }
+  MigrationPlan plan;
+  plan.trigger = MigrationPlan::Trigger::Voluntary;
+  plan.from_shard = source;
+  plan.decision_s = decision_s;
+  // Frame-boundary extraction: queued frames move; the in-flight frame
+  // (if any) and queued refinements stay and deliver on the source.
+  plan.frames = src.service->extract_session_frames(state.inner.index_);
+  if (target_shard < 0) {
+    const volren::Volume* volume =
+        plan.frames.empty() ? nullptr : plan.frames.front().request.volume;
+    target_shard = resolve_placement(state.profile, volume, source);
+  }
+  plan.moves.push_back({session, target_shard, state.inner.index_});
+  return plan;
+}
+
+void ServiceFrontend::migrate_session(const Session& session,
+                                      int target_shard) {
+  VRMR_CHECK_MSG(session.valid(), "migrate_session on an invalid Session");
+  VRMR_CHECK_MSG(static_cast<const SessionBackend*>(this) == session.backend_,
+                 "Session belongs to a different backend");
+  FrontendSession& state = *sessions_[static_cast<std::size_t>(session.index_)];
+  VRMR_CHECK_MSG(state.shard >= 0,
+                 "migrate_session on unplaced session '" << state.profile.name
+                     << "'; placement happens at its first submit");
+  if (target_shard >= 0 && target_shard == state.shard) return;  // no-op
+  VRMR_CHECK_MSG(
+      !shards_[static_cast<std::size_t>(state.shard)].service->crashed(),
+      "session '" << state.profile.name << "' is on crashed shard "
+                  << state.shard << "; failover() relocates crash orphans");
+  MigrationPlan plan = plan_voluntary(session.index_, target_shard, farm_now());
+  execute_migration(plan);
+  VRMR_DEBUG("frontend") << "session '" << state.profile.name
+                         << "' migrated from shard " << plan.from_shard
+                         << " to shard " << state.shard << " ("
+                         << plan.frames.size() << " frame(s) moved)";
+}
+
+int ServiceFrontend::add_shard() {
+  VRMR_CHECK_MSG(
+      num_shards() < max_farm_shards_,
+      "add_shard: farm already at slot capacity "
+          << max_farm_shards_
+          << " (the fabric was wired for max(shards, autoscale.max_shards) "
+             "nodes at construction; retired slots are not reused)");
+  const int index = num_shards();
+  const double join_s = farm_now();
+  Shard shard = make_shard(index);
+  if (join_s > 0.0) {
+    // Align the new shard's timeline with the farm: its engine joins at
+    // the current farm time, not at 0, so frames placed here cannot
+    // render in the farm's past.
+    shard.engine->schedule_at(join_s, [] {});
+    shard.engine->run();
+  }
+  shard.active_from_s = join_s;
+  shards_.push_back(std::move(shard));
+  Shard& added = shards_.back();
+  if (trace_ != nullptr) {
+    added.service->set_trace(trace_, trace_pid_base_ + index);
+    trace_->instant(join_s, trace_pid_base_ + index, obs::kServiceTid,
+                    "scale.up", "scale",
+                    {{"shard", std::to_string(index)},
+                     {"farm_shards", std::to_string(num_shards())}});
+  }
+  ++shards_added_;
+  VRMR_INFO("frontend") << "scale up: shard " << index << " joined at t="
+                        << join_s;
+  return index;
+}
+
+void ServiceFrontend::drain_shard(int index) {
+  VRMR_CHECK_MSG(index >= 0 && index < num_shards(),
+                 "drain_shard " << index << " out of range");
+  Shard& shard = shards_[static_cast<std::size_t>(index)];
+  if (shard.retired) return;  // idempotent
+  VRMR_CHECK_MSG(!shard.service->crashed(),
+                 "drain_shard(" << index
+                                << ") on a crashed shard; failover() handles "
+                                   "crashes");
+  bool any_other = false;
+  for (int s = 0; s < num_shards() && !any_other; ++s) {
+    const Shard& sibling = shards_[static_cast<std::size_t>(s)];
+    any_other = s != index && !sibling.service->crashed() &&
+                sibling.accepting && !sibling.retired;
+  }
+  VRMR_CHECK_MSG(any_other, "drain_shard(" << index
+                                           << "): no other accepting shard to "
+                                              "migrate its sessions onto");
+  const double decision_s = farm_now();
+  shard.accepting = false;  // placement and migration stop targeting it
+  int migrated = 0;
+  for (int session = 0; session < num_sessions(); ++session) {
+    if (sessions_[static_cast<std::size_t>(session)]->shard != index) continue;
+    // One plan per session: each consults the placement policy against
+    // post-previous-move signals, so a big drain spreads over the farm.
+    execute_migration(plan_voluntary(session, -1, decision_s));
+    ++migrated;
+  }
+  // Serve what stayed behind (queued refinements of already-delivered
+  // previews and their cascades): the shard retires with zero orphaned
+  // frames.
+  shard.service->drain();
+  shard.retired = true;
+  shard.active_to_s = std::max(decision_s, shard.engine->now());
+  ++shards_drained_;
+  if (trace_ != nullptr) {
+    trace_->instant(shard.engine->now(), trace_pid_base_ + index,
+                    obs::kServiceTid, "scale.down", "scale",
+                    {{"shard", std::to_string(index)},
+                     {"sessions_migrated", std::to_string(migrated)}});
+  }
+  VRMR_INFO("frontend") << "scale down: shard " << index << " retired at t="
+                        << shard.active_to_s << " (" << migrated
+                        << " session(s) migrated off)";
+}
+
+int ServiceFrontend::rebalance_pass(double now_s) {
+  const RebalanceConfig& rb = config_.rebalance;
+  if (!rb.enabled) return 0;
+  int moved = 0;
+  for (int pass = 0; pass < std::max(1, rb.max_moves_per_pass); ++pass) {
+    // Hottest / coldest accepting shard by outstanding predicted cost.
+    int hot = -1, cold = -1;
+    double hot_cost = -1.0, cold_cost = kInf;
+    for (int s = 0; s < num_shards(); ++s) {
+      const Shard& shard = shards_[static_cast<std::size_t>(s)];
+      if (shard.retired || !shard.accepting || shard.service->crashed())
+        continue;
+      const double cost = shard.service->outstanding_cost_s();
+      if (cost > hot_cost) {
+        hot = s;
+        hot_cost = cost;
+      }
+      if (cost < cold_cost) {
+        cold = s;
+        cold_cost = cost;
+      }
+    }
+    if (hot < 0 || cold < 0 || hot == cold) break;
+    const double gap = hot_cost - cold_cost;
+    // Both skew gates must hold: relative ratio (scale-free) and the
+    // absolute floor (a 2:1 skew over microseconds is not worth a
+    // handoff); a uniformly loaded or uniformly idle farm never churns.
+    if (hot_cost <= 0.0 || gap < rb.min_imbalance_s) break;
+    if (hot_cost <= rb.skew_ratio * std::max(cold_cost, 1e-12)) break;
+    if (rb.sustained_utilization > 0.0) {
+      const double span = rb.sustain_s > 0.0      ? rb.sustain_s
+                          : rb.period_s > 0.0     ? rb.period_s
+                                                  : config_.service.stats_window_s;
+      if (span > 0.0) {
+        const double busy = trailing_busy_s(hot, now_s, span);
+        const double util =
+            busy / (span * static_cast<double>(config_.gpus_per_shard));
+        if (util < rb.sustained_utilization) break;  // a blip, not a trend
+      }
+    }
+    // Candidate: the hot shard's session whose move best balances the
+    // pair — minimize |gap - 2*cost| — skipping sessions inside the
+    // hysteresis window and ones whose move would only swap the skew
+    // (cost >= gap). Ties to the lowest session index (determinism).
+    const Shard& hot_shard = shards_[static_cast<std::size_t>(hot)];
+    int best_session = -1;
+    double best_score = kInf;
+    for (int session = 0; session < num_sessions(); ++session) {
+      const FrontendSession& state =
+          *sessions_[static_cast<std::size_t>(session)];
+      if (state.shard != hot) continue;
+      if (now_s - state.last_migrated_s < rb.hysteresis_s) continue;
+      const double cost =
+          hot_shard.service->outstanding_cost_for_session(state.inner.index_);
+      if (cost <= 0.0 || cost >= gap) continue;
+      const double score = std::abs(gap - 2.0 * cost);
+      if (score < best_score) {
+        best_session = session;
+        best_score = score;
+      }
+    }
+    if (best_session < 0) break;
+    // Target through the placement policy (warm affinity may beat the
+    // literal coldest shard) — the hot source is excluded in the query.
+    execute_migration(plan_voluntary(best_session, -1, now_s));
+    ++rebalance_migrations_;
+    ++moved;
+  }
+  return moved;
+}
+
+void ServiceFrontend::autoscale_pass(double now_s) {
+  const AutoscaleConfig& as = config_.autoscale;
+  if (!as.enabled) return;
+  if (now_s - last_scale_s_ < as.cooldown_s) return;
+  int active = 0;
+  double backlog = 0.0;
+  for (int s = 0; s < num_shards(); ++s) {
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    if (shard.retired || !shard.accepting || shard.service->crashed()) continue;
+    ++active;
+    backlog += shard.service->outstanding_cost_s();
+  }
+  if (active == 0) return;
+  const double per_shard = backlog / static_cast<double>(active);
+  if (per_shard > as.scale_up_backlog_s && num_shards() < max_farm_shards_) {
+    add_shard();
+    last_scale_s_ = now_s;
+    return;
+  }
+  if (per_shard <= as.scale_down_backlog_s &&
+      active > std::max(1, as.min_shards)) {
+    // Retire the least-loaded accepting shard; ties to the HIGHEST
+    // index (newest-first elasticity — added shards leave first).
+    int victim = -1;
+    double victim_cost = kInf;
+    for (int s = 0; s < num_shards(); ++s) {
+      const Shard& shard = shards_[static_cast<std::size_t>(s)];
+      if (shard.retired || !shard.accepting || shard.service->crashed())
+        continue;
+      const double cost = shard.service->outstanding_cost_s();
+      if (cost <= victim_cost) {
+        victim = s;
+        victim_cost = cost;
+      }
+    }
+    if (victim >= 0) {
+      drain_shard(victim);
+      last_scale_s_ = now_s;
+    }
   }
 }
 
+double ServiceFrontend::farm_now() const {
+  double now = 0.0;
+  for (const Shard& shard : shards_)
+    now = std::max(now, shard.engine->now());
+  return now;
+}
+
+double ServiceFrontend::trailing_busy_s(int index, double now_s,
+                                        double span_s) const {
+  const double width = config_.service.stats_window_s;
+  if (width <= 0.0 || span_s <= 0.0) return 0.0;
+  const Shard& shard = shards_[static_cast<std::size_t>(index)];
+  const double lo = now_s - span_s;
+  double busy = 0.0;
+  for (const auto& [bin, window] : shard.service->window_bins()) {
+    const double bin_lo = static_cast<double>(bin) * width;
+    const double overlap =
+        std::min(bin_lo + width, now_s) - std::max(bin_lo, lo);
+    if (overlap <= 0.0) continue;
+    busy += window.gpu_busy_s * (overlap / width);  // pro-rate partial bins
+  }
+  return busy;
+}
+
+int ServiceFrontend::accepting_shards() const {
+  int count = 0;
+  for (const Shard& shard : shards_) {
+    if (!shard.retired && shard.accepting && !shard.service->crashed())
+      ++count;
+  }
+  return count;
+}
+
 void ServiceFrontend::drain() {
-  // A callback running on one shard may submit frames that place onto
-  // an already-drained shard (brick affinity), so loop until every
-  // shard's queue is empty. A shard that crashed mid-drain fails over
-  // on the next sweep: its sessions re-pin and its unserved frames
-  // re-issue onto survivors, which the loop then drains.
-  bool any_served = true;
-  while (any_served) {
-    any_served = false;
-    for (int s = 0; s < num_shards(); ++s) {
-      Shard& shard = shards_[static_cast<std::size_t>(s)];
-      if (shard.service->crashed()) {
-        if (!shard.failed_over) {
-          failover(s);
-          any_served = true;
+  const bool control = config_.rebalance.enabled || config_.autoscale.enabled;
+  const double period = config_.rebalance.period_s;
+
+  // One full sweep: a callback running on one shard may submit frames
+  // that place onto an already-drained shard (brick affinity), so loop
+  // until every live shard's queue is empty. A shard that crashed
+  // mid-drain fails over on the next sweep: its sessions re-pin and
+  // its unserved frames re-issue onto survivors, which the loop then
+  // drains.
+  const auto sweep = [this] {
+    bool again = true;
+    while (again) {
+      again = false;
+      for (int s = 0; s < num_shards(); ++s) {
+        Shard& shard = shards_[static_cast<std::size_t>(s)];
+        if (shard.retired) continue;
+        if (shard.service->crashed()) {
+          if (!shard.failed_over) {
+            failover(s);
+            again = true;
+          }
+          continue;
         }
-        continue;
+        if (shard.service->queued_frames() == 0) continue;
+        shard.service->drain();
+        again = true;
       }
-      if (shard.service->queued_frames() == 0) continue;
-      shard.service->drain();
-      any_served = true;
     }
+  };
+  const auto total_queued = [this] {
+    int queued = 0;
+    for (const Shard& shard : shards_) {
+      if (shard.retired || shard.service->crashed()) continue;
+      queued += shard.service->queued_frames();
+    }
+    return queued;
+  };
+
+  if (!control || period <= 0.0) {
+    // Classic full sweeps. With a control plane but no period, the
+    // passes run between sweeps (useful for end-of-run scale-down; a
+    // fully drained farm leaves the rebalancer nothing to move).
+    while (true) {
+      sweep();
+      if (!control) return;
+      const double now = farm_now();
+      autoscale_pass(now);  // capacity first; the rebalancer fills it
+      const int moves = rebalance_pass(now);
+      if (moves == 0 && total_queued() == 0) return;
+    }
+  }
+
+  // Horizon rounds: advance every live shard to a shared farm-time
+  // horizon (RenderService::drain_until stops admitting at the horizon
+  // and lets the event cascade die at a frame boundary; in-flight
+  // frames complete past it), then run the control passes at that
+  // boundary, then move the horizon forward. The next horizon is
+  // floored at the farm clock (completions may legitimately end past
+  // the horizon) and jumped over arrival gaps (an idle farm does not
+  // spin rounds waiting for a far-future submit).
+  double horizon = farm_now() + period;
+  while (true) {
+    bool served = true;
+    while (served) {
+      served = false;
+      for (int s = 0; s < num_shards(); ++s) {
+        Shard& shard = shards_[static_cast<std::size_t>(s)];
+        if (shard.retired) continue;
+        if (shard.service->crashed()) {
+          if (!shard.failed_over) {
+            failover(s);
+            served = true;
+          }
+          continue;
+        }
+        const int before = shard.service->queued_frames();
+        if (before == 0) continue;
+        const double clock_before = shard.engine->now();
+        shard.service->drain_until(horizon);
+        if (shard.service->queued_frames() < before ||
+            shard.engine->now() > clock_before)
+          served = true;
+      }
+    }
+    autoscale_pass(horizon);  // capacity first; the rebalancer fills it
+    const int moves = rebalance_pass(horizon);
+    int queued = 0;
+    double min_arrival = kInf;
+    for (const Shard& shard : shards_) {
+      if (shard.retired || shard.service->crashed()) continue;
+      const int q = shard.service->queued_frames();
+      queued += q;
+      if (q > 0)
+        min_arrival = std::min(min_arrival, shard.service->next_arrival_s());
+    }
+    if (queued == 0 && moves == 0) break;
+    double next = std::max(horizon + period, farm_now());
+    // Arrival-gap jump. Strictly above min_arrival: the admission gate
+    // blocks arrivals AT the horizon, so a horizon equal to the next
+    // arrival would spin.
+    if (min_arrival < kInf && min_arrival >= next)
+      next = min_arrival + period;
+    horizon = next;
   }
 }
 
@@ -548,6 +1068,9 @@ FrontendStats ServiceFrontend::stats() const {
     ShardStats detail;
     detail.shard = s;
     detail.sessions = shard.sessions_placed;
+    detail.retired = shard.retired;
+    detail.active_from_s = shard.active_from_s;
+    detail.active_to_s = shard.active_to_s;
     detail.bytes_hydrated_from_peers = shard.bytes_hydrated_from_peers;
     detail.bytes_disk_avoided = shard.bytes_disk_avoided;
     detail.bricks_hydrated = shard.bricks_hydrated;
@@ -567,6 +1090,11 @@ FrontendStats ServiceFrontend::stats() const {
   out.frames_reissued = frames_reissued_;
   out.bricks_prepushed = bricks_prepushed_;
   out.bytes_prepushed = bytes_prepushed_;
+  out.migrations = migrations_;
+  out.frames_migrated = frames_migrated_;
+  out.rebalance_migrations = rebalance_migrations_;
+  out.shards_added = shards_added_;
+  out.shards_drained = shards_drained_;
   out.fps = out.makespan_s > 0.0 ? out.frames_total / out.makespan_s : 0.0;
   out.cache_hit_rate =
       hits + misses > 0
@@ -578,7 +1106,9 @@ FrontendStats ServiceFrontend::stats() const {
   // the bin index — llround is exact for start_s values the shards
   // themselves computed as bin * width. Counters sum (each farm bin
   // partitions exactly into the shard bins it merged); utilization is
-  // re-derived over the farm's capacity.
+  // re-derived over the farm's TIME-VARYING capacity: each bin
+  // integrates the shards actually active during it, so a farm that
+  // scaled mid-run reports utilization against what it actually had.
   const double width = config_.service.stats_window_s;
   if (width > 0.0) {
     std::map<std::int64_t, ServiceWindow> merged;
@@ -594,11 +1124,17 @@ FrontendStats ServiceFrontend::stats() const {
         m.gpu_busy_s += w.gpu_busy_s;
       }
     }
-    const double capacity = width * static_cast<double>(config_.shards) *
-                            static_cast<double>(config_.gpus_per_shard);
     out.windows.reserve(merged.size());
     for (auto& [bin, window] : merged) {
-      (void)bin;
+      const double bin_lo = static_cast<double>(bin) * width;
+      const double bin_hi = bin_lo + width;
+      double capacity = 0.0;
+      for (const Shard& shard : shards_) {
+        const double overlap = std::min(bin_hi, shard.active_to_s) -
+                               std::max(bin_lo, shard.active_from_s);
+        if (overlap > 0.0)
+          capacity += overlap * static_cast<double>(config_.gpus_per_shard);
+      }
       window.utilization =
           capacity > 0.0
               ? std::min(1.0, std::max(0.0, window.gpu_busy_s / capacity))

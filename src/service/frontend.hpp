@@ -9,25 +9,43 @@
 // a sharded deployment from a single backend.
 //
 // Placement happens lazily on the session's FIRST submit (only then is
-// the volume known):
+// the volume known), through a pluggable PlacementPolicy. The default:
 //
-//   1. brick affinity — shards where the volume already has warm bricks
+//   1. pin — a SessionProfile::pin_shard naming a live, accepting
+//      shard is honored;
+//   2. brick affinity — shards where the volume already has warm bricks
 //      are preferred (a returning user's dataset is still resident);
-//   2. least outstanding cost — among candidates, the shard whose
+//   3. least outstanding cost — among candidates, the shard whose
 //      queued frames sum to the smallest predicted cost
 //      (RenderService::outstanding_cost_s) wins; ties go to the lowest
 //      shard index.
 //
-// Every frame of a session stays on its shard (brick residency is per
-// cluster). Shards simulate independent timelines: drain() drains them
-// back to back on the host, but the simulated farm runs them in
-// parallel, so aggregate makespan is the max over shards and aggregate
-// fps is frames / that max. Placement and per-shard scheduling are both
-// deterministic, so identical workloads replay byte-identical schedules.
+// A session's placement is no longer forever: the frontend's CONTROL
+// PLANE moves placed sessions at frame boundaries through one shared
+// migration primitive (MigrationPlan → execute_migration) with three
+// triggers — failover() (crash), migrate_session() / the steady-state
+// rebalancer (voluntary), and drain_shard() (elastic scale-down).
+// Every trigger re-opens the session on the target, re-installs the
+// RETAINED client callbacks, pre-pushes the source cache's warm bricks
+// over the inter-shard fabric (HandoffConfig), and re-issues the moved
+// frames in frame_id order with arrivals floored past the handoff
+// window, so the first post-move frame renders warm.
+//
+// Shards simulate independent timelines: drain() drains them back to
+// back on the host, but the simulated farm runs them in parallel, so
+// aggregate makespan is the max over shards and aggregate fps is
+// frames / that max. When the rebalancer or autoscaler is enabled,
+// drain() proceeds in HORIZON ROUNDS — every shard drains to a shared
+// farm-time horizon (RenderService::drain_until), then the control
+// passes run at that frame boundary. Placement, migration and
+// per-shard scheduling are all deterministic, so identical workloads
+// replay byte-identical schedules.
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -39,6 +57,150 @@
 #include "sim/engine.hpp"
 
 namespace vrmr::service {
+
+/// Shard-to-shard byte movement: peer hydration of cache misses and
+/// the warm-brick handoff that rides every migration trigger.
+struct HandoffConfig {
+  /// A shard missing a brick asks its siblings' caches BEFORE reading
+  /// disk, and a warm sibling ships the stored (compressed) payload
+  /// over the inter-shard fabric — a cold shard warms from the farm
+  /// instead of re-reading every brick. Off by default: hydration
+  /// reroutes misses, which shifts timings and telemetry that replay
+  /// baselines compare against. Pays off for out-of-core serving
+  /// (RenderOptions::include_disk_io); for in-core frames it only
+  /// inserts a fabric hop before the H2D copy.
+  bool peer_hydration = false;
+  /// Interconnect model for every shard-to-shard transfer (each shard
+  /// is one "node" on a per-shard fabric instance).
+  net::FabricModel fabric;
+  /// Warm handoff on CRASH failover: pre-push the dead shard's
+  /// resident bricks for the orphaned volumes to the failover target
+  /// (send_reliable, so injected drops retransmit) and floor the
+  /// re-issued frames' arrivals past the handoff window — they render
+  /// warm instead of re-reading disk. Off: failover re-issues cold
+  /// (the A/B baseline bench_fault_tolerance gates against).
+  bool failover_prepush = true;
+  /// Warm handoff on VOLUNTARY moves (migrate_session, the rebalancer,
+  /// drain_shard): same pre-push, sourced from the still-live origin
+  /// shard's cache. Off: migrated frames re-read disk on the target
+  /// (the A/B baseline bench_elastic_farm gates against).
+  bool migration_prepush = true;
+};
+
+/// Steady-state rebalancer: a periodic control pass (inside drain())
+/// that reads the farm's windowed load and outstanding cost, detects
+/// sustained skew, and migrates sessions off the hottest shard toward
+/// the shard where their bricks are warm or outstanding cost is
+/// lowest. `period_s` is also the cadence of the autoscale pass.
+struct RebalanceConfig {
+  bool enabled = false;
+  /// Farm-time cadence of the control passes: drain() advances every
+  /// shard to a shared horizon (RenderService::drain_until), runs the
+  /// passes at that frame boundary, and repeats. 0 runs the passes
+  /// only between full drain sweeps — fine for the autoscaler's
+  /// scale-down, useless for rebalancing a backlog (the sweep already
+  /// drained it); set a period comparable to service.stats_window_s
+  /// for steady-state behaviour.
+  double period_s = 0.0;
+  /// Trigger: hottest outstanding cost > skew_ratio x coldest (and the
+  /// absolute gap >= min_imbalance_s). Both must hold, so a uniformly
+  /// loaded or uniformly idle farm never churns.
+  double skew_ratio = 2.0;
+  double min_imbalance_s = 0.0;
+  /// Sustained-skew guard over FrontendStats::windows: when > 0, the
+  /// hot shard must also show at least this trailing-window GPU
+  /// utilization (busy / (sustain_s x gpus)) — a cold-start blip with
+  /// no serving history does not count as sustained. 0 disables.
+  double sustained_utilization = 0.0;
+  /// Trailing span for the sustained check; 0 means one period_s.
+  double sustain_s = 0.0;
+  /// Hysteresis against ping-ponging: a session migrated at farm time
+  /// t is not migrated again before t + hysteresis_s.
+  double hysteresis_s = 0.0;
+  /// At most this many session moves per control pass.
+  int max_moves_per_pass = 1;
+};
+
+/// Elastic shard count: add_shard() / drain_shard() driven by the
+/// aggregate backlog, at the same cadence as RebalanceConfig::period_s.
+struct AutoscaleConfig {
+  bool enabled = false;
+  /// The farm never drains below this many accepting shards.
+  int min_shards = 1;
+  /// Farm capacity: the fabric is wired for max(shards, max_shards)
+  /// nodes at construction, so shards added later join the existing
+  /// interconnect. add_shard() beyond this is an error. 0 means the
+  /// initial shard count (no growth capacity).
+  int max_shards = 0;
+  /// Scale up when mean outstanding cost per accepting shard exceeds
+  /// this many (simulated) seconds of backlog.
+  double scale_up_backlog_s = 0.5;
+  /// Scale down (drain the least-loaded shard) when mean backlog per
+  /// accepting shard falls to/below this.
+  double scale_down_backlog_s = 0.01;
+  /// Minimum farm time between scale operations.
+  double cooldown_s = 0.0;
+};
+
+/// Per-shard signals assembled by the frontend for a placement
+/// decision (first placement or a voluntary migration's target pick).
+struct PlacementSignal {
+  int shard = -1;
+  bool alive = true;       ///< not crashed
+  bool accepting = true;   ///< not draining / retired
+  bool warm = false;       ///< the session's volume has resident bricks
+  double outstanding_cost_s = 0.0;
+};
+
+struct PlacementQuery {
+  const SessionProfile* profile = nullptr;
+  /// The volume of the placing submit (or of a migrating session's
+  /// first moved frame); null when no volume is known.
+  const volren::Volume* volume = nullptr;
+  /// SessionProfile::pin_shard passthrough (unset when the pin names a
+  /// shard that is dead or not accepting — the policy must re-place).
+  std::optional<int> pinned;
+  /// The shard the session currently lives on (already excluded from
+  /// the candidate signals), or -1 for a first placement.
+  int current_shard = -1;
+  std::vector<PlacementSignal> shards;
+};
+
+/// Returns the chosen shard index. Must pick an alive, accepting
+/// candidate from `query.shards`; the frontend CHECK-fails otherwise.
+using PlacementPolicy = std::function<int(const PlacementQuery&)>;
+
+/// The default policy: pin, then brick affinity, then least
+/// outstanding cost, ties to the lowest index (see the header
+/// comment). Custom policies can call this as their fallback.
+int default_placement(const PlacementQuery& query);
+
+/// One computed relocation, shared by every control-plane trigger:
+/// failover() (crash — frames come from the crash snapshot),
+/// migrate_session() / the rebalancer (voluntary — the live queue is
+/// extracted), and drain_shard() (voluntary, every session of the
+/// shard). execute_migration() re-opens each session on its target,
+/// re-installs the retained client callbacks, pre-pushes warm bricks
+/// (HandoffConfig), and re-issues `frames` in frame_id order.
+struct MigrationPlan {
+  enum class Trigger { Failover, Voluntary };
+  Trigger trigger = Trigger::Voluntary;
+  int from_shard = -1;
+  struct Move {
+    int session = -1;      ///< frontend session index
+    int target = -1;       ///< destination shard
+    int source_inner = -1; ///< the session's index on from_shard
+  };
+  /// Sessions to repoint, in open order (determinism).
+  std::vector<Move> moves;
+  /// Frames to re-issue, frame_id ascending (global submission order);
+  /// UnservedFrame::session is the SOURCE-local inner index.
+  std::vector<RenderService::UnservedFrame> frames;
+  /// Farm time of the decision: re-issued arrivals are floored at
+  /// max(decision_s, target clock) plus the handoff window, so moved
+  /// work cannot time-travel onto an idle target's younger timeline.
+  double decision_s = 0.0;
+};
 
 struct FrontendConfig {
   int shards = 2;
@@ -53,43 +215,45 @@ struct FrontendConfig {
   /// profile to whichever shard placement picks.
   ServiceConfig service;
   /// Optional per-shard brick-cache policy override: when non-empty it
-  /// must name one policy per shard, and shard i's RenderService runs
-  /// with cache_policy_per_shard[i] instead of service.cache_policy —
-  /// e.g. Arc on the shards that host mixed interactive+batch traffic
-  /// while a batch-only shard keeps plain Lru. Empty (default): every
-  /// shard uses service.cache_policy.
+  /// must name one policy per INITIAL shard; shards added by the
+  /// autoscaler use service.cache_policy. Empty (default): every shard
+  /// uses service.cache_policy.
   std::vector<CachePolicy> cache_policy_per_shard;
-  /// Shard-to-shard warm hydration: a shard missing a brick asks its
-  /// siblings' caches BEFORE reading disk, and a warm sibling ships the
-  /// stored (compressed) payload over the inter-shard fabric — a cold
-  /// shard warms from the farm instead of re-reading every brick.
-  /// Off by default: hydration reroutes misses, which shifts timings
-  /// and telemetry that replay baselines compare against. Pays off for
-  /// out-of-core serving (RenderOptions::include_disk_io), where the
-  /// fabric transfer replaces a disk read; for in-core frames it only
-  /// inserts a fabric hop before the H2D copy.
-  bool enable_peer_hydration = false;
-  /// Interconnect model for hydration transfers between shards (each
-  /// shard pair is one "node" pair on a per-shard fabric instance).
-  /// Failover pre-pushes ride the same model.
-  net::FabricModel hydration_fabric;
-  /// Warm handoff on shard failover: pre-push the crashed shard's
-  /// resident bricks for the orphaned volumes to the failover target
-  /// over the inter-shard fabric (send_reliable, so injected drops
-  /// retransmit), and admit the re-issued frames only after the
-  /// handoff window — they render warm instead of re-reading disk.
-  /// Off: failover re-pins and re-issues cold (the A/B baseline
-  /// bench_fault_tolerance gates against).
-  bool failover_prepush = true;
+
+  // --- control plane ------------------------------------------------------
+  HandoffConfig handoff;
+  RebalanceConfig rebalance;
+  AutoscaleConfig autoscale;
+  /// Placement hook; null runs default_placement. The policy sees
+  /// every placement-shaped decision: first placement and voluntary
+  /// migration targets (failover keeps its documented
+  /// least-outstanding-cost survivor pick).
+  PlacementPolicy placement;
+
+  // --- deprecated aliases (one release) -----------------------------------
+  /// DEPRECATED: use handoff.peer_hydration. When set, overrides it.
+  std::optional<bool> enable_peer_hydration;
+  /// DEPRECATED: use handoff.fabric. When set, overrides it.
+  std::optional<net::FabricModel> hydration_fabric;
+  /// DEPRECATED: use handoff.failover_prepush. When set, overrides it.
+  std::optional<bool> failover_prepush;
 };
 
 struct ShardStats {
   int shard = 0;
-  int sessions = 0;  // sessions placed on this shard
-  /// Peer hydration (enable_peer_hydration): stored bytes this shard
-  /// received from warm siblings instead of reading disk, and the disk
-  /// bytes those hydrations avoided (equal today — both paths move the
-  /// stored payload; kept separate so a future wire format can diverge).
+  int sessions = 0;  // sessions placed on this shard (lifetime)
+  /// Elastic lifecycle: the farm-time interval this shard has been
+  /// serving capacity. Initial shards activate at 0; added shards at
+  /// their add_shard() farm time; a drained shard's active_to_s is its
+  /// retirement time (+inf while active).
+  bool retired = false;
+  double active_from_s = 0.0;
+  double active_to_s = std::numeric_limits<double>::infinity();
+  /// Peer hydration (HandoffConfig::peer_hydration): stored bytes this
+  /// shard received from warm siblings instead of reading disk, and the
+  /// disk bytes those hydrations avoided (equal today — both paths move
+  /// the stored payload; kept separate so a future wire format can
+  /// diverge).
   std::uint64_t bytes_hydrated_from_peers = 0;
   std::uint64_t bytes_disk_avoided = 0;
   std::uint64_t bricks_hydrated = 0;
@@ -110,18 +274,32 @@ struct FrontendStats {
   std::uint64_t bytes_disk_avoided = 0;
   std::uint64_t bricks_hydrated = 0;
   /// Failover: crashed shards failed over, orphaned sessions re-pinned
-  /// to siblings, undelivered frames re-issued there, and the warm
-  /// handoff's pre-pushed brick traffic.
+  /// to siblings, undelivered frames re-issued there.
   std::uint64_t failovers = 0;
   std::uint64_t sessions_repinned = 0;
   std::uint64_t frames_reissued = 0;
+  /// Warm handoff traffic, shared by BOTH triggers (crash pre-push and
+  /// voluntary migration pre-push ride the same fabric path).
   std::uint64_t bricks_prepushed = 0;
   std::uint64_t bytes_prepushed = 0;
+  /// Voluntary moves: migrate_session / rebalancer / drain_shard
+  /// session relocations and the live queued frames that moved along.
+  std::uint64_t migrations = 0;
+  std::uint64_t frames_migrated = 0;
+  /// The subset of `migrations` the steady-state rebalancer triggered.
+  std::uint64_t rebalance_migrations = 0;
+  /// Elastic shard count: shards added / drained since construction.
+  std::uint64_t shards_added = 0;
+  std::uint64_t shards_drained = 0;
   /// Time-aligned farm windows: every shard's ServiceStats::windows
   /// merged by bin (shards share bin boundaries — same stats_window_s,
   /// parallel simulated timelines), counters summed, utilization over
-  /// the FARM's capacity (window_s x shards x gpus_per_shard). A bin's
-  /// counters partition exactly into the per-shard bins it merged.
+  /// the farm's TIME-VARYING capacity: each bin's capacity integrates
+  /// the shards actually active during it (ShardStats::active_from_s /
+  /// active_to_s x gpus_per_shard), so a farm that scaled mid-run
+  /// reports utilization against what it actually had, not against a
+  /// constant shard count. A bin's counters partition exactly into the
+  /// per-shard bins it merged.
   std::vector<ServiceWindow> windows;
   std::vector<ShardStats> shards;
 };
@@ -144,13 +322,16 @@ class ServiceFrontend final : public SessionBackend {
   }
 
   /// Drain every shard's queue (each on its own simulated timeline).
+  /// With the rebalancer or autoscaler enabled, drains in horizon
+  /// rounds and runs the control passes between them (see the header
+  /// comment).
   void drain();
 
   /// Attach one flight recorder to every shard: shard i records as
   /// trace process pid_base + i, so a single exported file opens the
   /// whole farm in Perfetto with one process block per shard (pass a
   /// nonzero pid_base when other timelines already share the
-  /// recorder). nullptr detaches.
+  /// recorder). nullptr detaches. Shards added later inherit it.
   void set_trace(obs::TraceRecorder* recorder, int pid_base = 0);
 
   /// Cross-shard aggregate statistics, queryable at any time.
@@ -164,37 +345,74 @@ class ServiceFrontend final : public SessionBackend {
   RenderService& shard(int index);
   /// Shard a frontend session landed on; -1 while still unplaced.
   int shard_of(const Session& session) const;
+  /// False once drain_shard() marked the shard draining/retired (or it
+  /// crashed): placement and migration will not target it.
+  bool shard_accepting(int index) const;
+  bool shard_retired(int index) const;
+  /// The config AFTER deprecated aliases folded into their sub-configs.
   const FrontendConfig& config() const { return config_; }
+
+  // --- control plane ------------------------------------------------------
+  /// Voluntarily migrate a placed session at a frame boundary: its
+  /// queued frames are extracted live (no crash snapshot), the session
+  /// re-opens on `target_shard` (-1 lets the placement policy choose
+  /// among the other accepting shards), retained client callbacks are
+  /// re-installed, the source cache's warm bricks for the moved
+  /// frames' volumes are pre-pushed (HandoffConfig::migration_prepush)
+  /// and the frames re-issue in order with arrivals floored past the
+  /// handoff window. A frame of the session already in flight on the
+  /// source finishes and delivers THERE (its callbacks remain
+  /// installed); queued refinements also stay and serve on the source.
+  /// Frame ids are not stable across the move; submission order is.
+  void migrate_session(const Session& session, int target_shard = -1);
+
+  /// Grow the farm: construct shard N (engine, cluster, service,
+  /// fabric node N), aligned to the current farm time, and open it for
+  /// placement. Requires growth capacity (AutoscaleConfig::max_shards
+  /// — the fabric was wired for that many nodes at construction).
+  /// Returns the new shard's index. Emits a `scale.up` trace instant.
+  int add_shard();
+
+  /// Shrink the farm: stop placing onto `index`, migrate every placed
+  /// session off it (placement policy picks each target), serve any
+  /// remaining internal work, then retire the shard — it serves
+  /// nothing afterwards and its windows capacity contribution ends at
+  /// the retirement time. Its serving history stays in stats(). Emits
+  /// a `scale.down` trace instant. Requires another accepting shard.
+  void drain_shard(int index);
 
   // --- fault injection & failover ----------------------------------------
   /// Install a seeded fault plan across the farm: each event is routed
   /// to its `shard`'s RenderService (disk/lane/crash faults), except
   /// FabricDrop/FabricDelay, which install one deterministic injector
   /// on the target shard's inter-shard fabric — the drop/delay applies
-  /// to that shard's inbound hydration and failover-push messages,
+  /// to that shard's inbound hydration and handoff-push messages,
   /// seeded from the plan so replays are bit-identical.
   void install_fault_plan(const fault::FaultPlan& plan);
   /// Fail over a crashed shard: re-pin its sessions onto surviving
   /// siblings (least outstanding cost, ties to the lowest index),
   /// pre-push the crashed cache's warm bricks for the orphaned volumes
-  /// (warm handoff; config_.failover_prepush), and re-issue the crash
+  /// (HandoffConfig::failover_prepush), and re-issue the crash
   /// snapshot (RenderService::unserved_frames) in global submission
-  /// order. The re-issued frames arrive after the handoff window, so
-  /// they render against the pushed bricks. drain() calls this
-  /// automatically when it meets a crashed shard; idempotent.
+  /// order — all through the same execute_migration() primitive the
+  /// voluntary paths use. drain() calls this automatically when it
+  /// meets a crashed shard; idempotent.
   void failover(int crashed_shard);
-  /// Pin an UNPLACED session to a shard ahead of its first submit.
+  /// Pin an UNPLACED session to a shard ahead of its first submit
+  /// (sets SessionProfile::pin_shard; the placement policy honors it).
   /// Range-validated; idempotent — re-pinning to the same shard (or
   /// pinning a session already placed there) is a no-op, while moving
-  /// an already-placed session is an error (its frames and brick
-  /// residency live on the original shard; only failover relocates
-  /// placed sessions).
+  /// an already-placed session is an error: use migrate_session().
   void pin_shard(const Session& session, int shard);
 
   // --- SessionBackend (prefer the Session handle) ------------------------
   std::uint64_t session_submit(int session, RenderRequest request) override;
   void session_on_frame(int session, FrameCallback callback) override;
   void session_on_tile(int session, TileCallback callback) override;
+  /// Migration-aware: counters (frames, cache hits/misses, tiles) sum
+  /// over every shard the session has lived on; latency means are
+  /// frame-weighted across epochs, percentiles/max are the worst
+  /// epoch's (conservative). fps reflects the current epoch only.
   SessionStats session_stats(int session) const override;
   const SessionProfile& session_profile(int session) const override;
 
@@ -215,18 +433,55 @@ class ServiceFrontend final : public SessionBackend {
     std::uint64_t bricks_hydrated = 0;
     /// Set once failover() has evacuated this crashed shard.
     bool failed_over = false;
+    /// Elastic lifecycle: accepting=false while draining and after
+    /// retirement; retired shards serve nothing and are skipped
+    /// everywhere (placement, hydration, drain sweeps).
+    bool accepting = true;
+    bool retired = false;
+    double active_from_s = 0.0;
+    double active_to_s = std::numeric_limits<double>::infinity();
   };
   struct FrontendSession {
     SessionProfile profile;
     /// Client callbacks are RETAINED (not moved into the inner session):
-    /// failover re-installs them on the replacement shard's session.
+    /// every migration trigger re-installs them on the target shard's
+    /// session.
     FrameCallback client_callback;
     TileCallback client_tile_callback;
     int shard = -1;
     Session inner;  // valid once placed
+    /// Earlier placements' inner sessions (failover and voluntary
+    /// moves): session_stats merges their served history.
+    std::vector<Session> past_inner;
+    /// Farm time of the last migration (rebalancer hysteresis).
+    double last_migrated_s = -std::numeric_limits<double>::infinity();
   };
 
-  int place(const volren::Volume* volume) const;  // deterministic choice
+  /// Build one shard (used by the constructor and add_shard).
+  Shard make_shard(int index);
+  /// Run the placement policy over the current farm signals and
+  /// validate its answer. `exclude_shard` (a migration's source) is
+  /// reported as non-accepting in the query.
+  int resolve_placement(const SessionProfile& profile,
+                        const volren::Volume* volume, int exclude_shard) const;
+  /// Failover's documented survivor pick: least outstanding cost among
+  /// alive accepting shards, ties to the lowest index.
+  int least_loaded_target(int exclude_shard) const;
+  /// Compute a voluntary plan for one session: extract its live queue
+  /// from the source shard and pick the target (policy when < 0).
+  MigrationPlan plan_voluntary(int session, int target_shard,
+                               double decision_s);
+  /// The shared repoint-plus-handoff core (see MigrationPlan).
+  void execute_migration(const MigrationPlan& plan);
+  /// Steady-state control passes, run at horizon frame boundaries.
+  /// rebalance_pass returns the number of sessions it moved.
+  int rebalance_pass(double now_s);
+  void autoscale_pass(double now_s);
+  /// Max simulated time over live shards — the farm clock.
+  double farm_now() const;
+  /// GPU-busy seconds shard `index` logged in [now - span, now).
+  double trailing_busy_s(int index, double now_s, double span_s) const;
+  int accepting_shards() const;
   /// The HydrationSource installed on every shard: probe siblings for a
   /// warm copy of (volume -> their id, key.brick_id, key.layout_id) and
   /// ship it over the requesting shard's fabric. Returns false (disk
@@ -240,18 +495,27 @@ class ServiceFrontend final : public SessionBackend {
   static TileCallback translate_tile(int session, TileCallback callback);
 
   FrontendConfig config_;
+  /// Farm capacity: max(config.shards, autoscale.max_shards) — the
+  /// node count every fabric was wired with.
+  int max_farm_shards_ = 0;
   std::vector<Shard> shards_;
   std::vector<std::unique_ptr<FrontendSession>> sessions_;
   /// Kept for hydrate()'s shard-to-shard arrows (set_trace already
   /// forwards the recorder to every shard for their own spans).
   obs::TraceRecorder* trace_ = nullptr;
   int trace_pid_base_ = 0;
-  // Failover accounting (aggregated into FrontendStats by stats()).
+  // Control-plane accounting (aggregated into FrontendStats by stats()).
   std::uint64_t failovers_ = 0;
   std::uint64_t sessions_repinned_ = 0;
   std::uint64_t frames_reissued_ = 0;
   std::uint64_t bricks_prepushed_ = 0;
   std::uint64_t bytes_prepushed_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t frames_migrated_ = 0;
+  std::uint64_t rebalance_migrations_ = 0;
+  std::uint64_t shards_added_ = 0;
+  std::uint64_t shards_drained_ = 0;
+  double last_scale_s_ = -std::numeric_limits<double>::infinity();
 };
 
 }  // namespace vrmr::service

@@ -257,12 +257,17 @@ int RenderService::queued_frames() const {
 
 double RenderService::outstanding_cost_s() const {
   double total = 0.0;
-  for (const auto& session : sessions_) {
-    double raw = 0.0;
-    for (const Pending& pending : session->queue) raw += pending.submit_cost_s;
-    total += session->cost_scale * raw;
-  }
+  for (int s = 0; s < num_sessions(); ++s) total += outstanding_cost_for_session(s);
   return total;
+}
+
+double RenderService::outstanding_cost_for_session(int session) const {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "outstanding_cost_for_session: unknown session " << session);
+  const SessionState& state = *sessions_[static_cast<std::size_t>(session)];
+  double raw = 0.0;
+  for (const Pending& pending : state.queue) raw += pending.submit_cost_s;
+  return state.cost_scale * raw;
 }
 
 bool RenderService::volume_warm(const volren::Volume* volume) const {
@@ -998,8 +1003,12 @@ void RenderService::serve_one(int session_index, double arrival_floor_s,
 
 void RenderService::drain_monolithic(double arrival_floor_s) {
   while (true) {
+    // Horizon stop (drain_until): frames are served whole here, so the
+    // check between serves IS the frame boundary.
+    if (cluster_.engine().now() >= admission_horizon_s_) break;
     const double earliest = earliest_head_arrival();
     if (earliest == kInf) break;  // every queue drained
+    if (earliest >= admission_horizon_s_) break;  // next work is next round's
     double predicted_cost_s = -1.0;
     const int pick =
         pick_next(cluster_.engine().now(), &predicted_cost_s, false);
@@ -1058,6 +1067,10 @@ void RenderService::admit(int session_index, double predicted_cost_s) {
 }
 
 void RenderService::try_admit() {
+  // Horizon gate (drain_until): at/after the horizon nothing new is
+  // admitted — in-flight frames finish, then the drain stops at that
+  // frame boundary with the rest of the queue intact.
+  if (cluster_.engine().now() >= admission_horizon_s_) return;
   while (true) {
     bool interactive_active = false;
     bool batch_active = false;
@@ -1334,6 +1347,10 @@ void RenderService::reap() {
 }
 
 void RenderService::schedule_wake(double t) {
+  // Arrivals at/after the admission horizon are a later round's
+  // problem (drain_until): arming their wake would drag the clock past
+  // the horizon chasing work this round will not admit.
+  if (t >= admission_horizon_s_) return;
   const double now = cluster_.engine().now();
   if (next_wake_s_ > now && next_wake_s_ <= t) return;  // already armed
   next_wake_s_ = t;
@@ -1354,6 +1371,12 @@ void RenderService::drain_quantum() {
       // queued work means every head is in the future and nothing is in
       // flight — jump the clock to the next arrival.
       const double earliest = earliest_head_arrival();
+      // Horizon stop (drain_until): nothing is in flight (the engine is
+      // empty) and every remaining head is gated or beyond the horizon
+      // — a frame boundary; the queue carries over to the next round.
+      if (engine.now() >= admission_horizon_s_ ||
+          earliest >= admission_horizon_s_)
+        break;
       VRMR_CHECK_MSG(earliest > engine.now(),
                      "quantum scheduler stalled with arrived work queued");
       engine.schedule_at(earliest, [] {});
@@ -1606,19 +1629,71 @@ void RenderService::admit_pushed_brick(const volren::Volume* volume,
   if (admitted) ++bricks_pushed_in_;
 }
 
-void RenderService::drain() {
+std::vector<RenderService::UnservedFrame> RenderService::extract_session_frames(
+    int session) {
+  VRMR_CHECK_MSG(session >= 0 && session < num_sessions(),
+                 "extract_session_frames: unknown session " << session);
+  VRMR_CHECK_MSG(!crashed_,
+                 "extract_session_frames on a crashed service — the crash "
+                 "snapshot (unserved_frames) already owns its queue");
+  SessionState& state = *sessions_[static_cast<std::size_t>(session)];
+  VRMR_CHECK_MSG(state.delegate < 0,
+                 "extract_session_frames on an internal refinement session");
+  // Frame boundary: a frame in flight belongs to THIS shard's timeline
+  // (its tiles are streaming here); the caller migrates between pump
+  // rounds, when nothing of the session is in flight.
+  for (const auto& active : active_) {
+    VRMR_CHECK_MSG(active->done || active->session != session,
+                   "extract_session_frames at a non-frame-boundary: session "
+                       << session << " has a frame in flight");
+  }
+  std::vector<UnservedFrame> out;
+  out.reserve(state.queue.size());
+  std::deque<Pending> keep;  // refinements queue on the internal session,
+                             // but keep the filter symmetric with crash()
+  for (Pending& pending : state.queue) {
+    if (pending.is_refinement) {
+      keep.push_back(std::move(pending));
+      continue;
+    }
+    UnservedFrame moved;
+    moved.session = session;
+    moved.frame_id = pending.frame_id;
+    moved.request = pending.request;
+    moved.layout = pending.layout;
+    moved.layout_sig = pending.layout_sig;
+    out.push_back(std::move(moved));
+  }
+  state.queue.swap(keep);
+  return out;
+}
+
+void RenderService::drain() { (void)drain_to(kInf); }
+
+bool RenderService::drain_until(double horizon_s) {
+  VRMR_CHECK_MSG(std::isfinite(horizon_s) || horizon_s == kInf,
+                 "drain_until horizon must be finite or +inf");
+  return drain_to(horizon_s);
+}
+
+bool RenderService::drain_to(double horizon_s) {
   // A crashed shard serves nothing: the frontend re-points its sessions
   // and re-issues the snapshotted work on a sibling.
-  if (crashed_) return;
+  if (crashed_) return false;
   // Reentrant drain (a callback forcing synchronous completion) is a
   // no-op: the outer drain loop is already serving everything queued,
   // and nesting would reallocate completed_ under the caller's record.
-  if (draining_) return;
+  if (draining_) return queued_frames() == 0;
   draining_ = true;
   struct DrainGuard {  // also resets when a serve throws
     bool* flag;
-    ~DrainGuard() { *flag = false; }
-  } guard{&draining_};
+    double* horizon;
+    ~DrainGuard() {
+      *flag = false;
+      *horizon = std::numeric_limits<double>::infinity();
+    }
+  } guard{&draining_, &admission_horizon_s_};
+  admission_horizon_s_ = horizon_s;
   // Serving floor: arrivals backdated before the clock at drain start
   // (reused timeline) are treated as arriving now.
   drain_floor_s_ = cluster_.engine().now();
@@ -1627,6 +1702,7 @@ void RenderService::drain() {
   } else {
     drain_quantum();
   }
+  return !crashed_ && queued_frames() == 0;
 }
 
 SessionStats RenderService::stats_for(int session_index) const {

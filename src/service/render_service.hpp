@@ -354,6 +354,17 @@ class RenderService final : public SessionBackend {
   /// — brick residency persists and statistics keep accumulating.
   void drain();
 
+  /// drain() with a simulated-time horizon: pump until every queued
+  /// frame is served OR the clock reaches `horizon_s`, then stop at
+  /// the next FRAME BOUNDARY — no frame is admitted at/after the
+  /// horizon, in-flight frames complete and deliver normally (they may
+  /// finish past the horizon), and everything still queued stays
+  /// queued for the next call. The frontend's periodic control plane
+  /// (rebalance / autoscale passes) drains the farm in rounds with
+  /// this, migrating sessions between rounds. Returns true when the
+  /// queue fully drained (nothing left for a later round).
+  bool drain_until(double horizon_s);
+
   /// Statistics over everything completed since construction. Copies
   /// the frame history (including images under keep_images) into
   /// ServiceStats::frames — for frequent polling prefer frames() /
@@ -466,6 +477,16 @@ class RenderService final : public SessionBackend {
                           std::uint64_t logical_bytes);
   /// Lanes currently blacklisted by LaneDeath faults (tests).
   int dead_lanes() const;
+  /// Live-session queue extraction: pop `session`'s queued client
+  /// frames into UnservedFrame form (frame_id order — a session queue
+  /// is submission-ordered) WITHOUT crashing anything, for voluntary
+  /// migration. Must be called at a frame boundary: CHECK-fails when
+  /// the session has a frame in flight. Internal refinement work is
+  /// untouched — queued refinements of this client stay behind and
+  /// serve here (their previews already delivered here). The session
+  /// itself stays open and live; the frontend simply stops submitting
+  /// to it.
+  std::vector<UnservedFrame> extract_session_frames(int session);
 
   // --- introspection (frontend placement, tests) -------------------------
   const BrickCache* cache() const { return cache_ ? &*cache_ : nullptr; }
@@ -478,6 +499,21 @@ class RenderService final : public SessionBackend {
   /// online cost_scale — the signal the frontend's
   /// least-outstanding-cost placement reads.
   double outstanding_cost_s() const;
+  /// One session's share of outstanding_cost_s(): the calibrated cost
+  /// of ITS queued frames — the rebalancer's probe for choosing which
+  /// session to migrate off an overloaded shard.
+  double outstanding_cost_for_session(int session) const;
+  /// Earliest effective arrival among queued session heads; +inf when
+  /// every queue is empty. The frontend's horizon-round drain uses it
+  /// to jump a control horizon over an idle gap.
+  double next_arrival_s() const { return earliest_head_arrival(); }
+  /// Zero-copy view of the windowed bins (stats_window_s > 0), keyed
+  /// by bin index, utilization NOT filled in — the frontend's
+  /// rebalancer reads trailing busy from here without paying stats()'s
+  /// frame-history copy.
+  const std::map<std::int64_t, ServiceWindow>& window_bins() const {
+    return windows_;
+  }
   /// True when the volume is registered and has at least one brick
   /// resident on some GPU (the frontend's brick-affinity signal).
   bool volume_warm(const volren::Volume* volume) const;
@@ -683,6 +719,11 @@ class RenderService final : public SessionBackend {
   /// bins materialize for the gap).
   void sample_gpu_busy();
 
+  /// Shared body of drain() (horizon = +inf) and drain_until(): sets
+  /// the admission horizon for the duration of the call, returns true
+  /// when the queue fully drained.
+  bool drain_to(double horizon_s);
+
   // --- monolithic pipeline ------------------------------------------------
   void drain_monolithic(double arrival_floor_s);
   void serve_one(int session_index, double arrival_floor_s,
@@ -761,6 +802,11 @@ class RenderService final : public SessionBackend {
   std::vector<std::unique_ptr<ActiveFrame>> active_;  // <=1 per priority class
   std::vector<std::uint8_t> lane_busy_;  // quantum or prefetch in flight
   double drain_floor_s_ = 0.0;   // arrival clamp for the current drain
+  /// Admission gate for drain_until(): no frame is admitted (and no
+  /// arrival wake armed) at/after this clock value. +inf for a full
+  /// drain(). In-flight frames are never gated — they complete past
+  /// the horizon, which is what makes the stop a frame boundary.
+  double admission_horizon_s_ = std::numeric_limits<double>::infinity();
   double next_wake_s_ = 0.0;     // armed arrival wake-up (dedupe); 0 = none
   bool reap_scheduled_ = false;
 
